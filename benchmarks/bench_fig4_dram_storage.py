@@ -1,0 +1,43 @@
+"""Figure 4 (and Figure 1): off-chip DRAM storage, conventional vs MIME.
+
+Paper claim: storing ``{W_parent, T_child-1..n}`` instead of one fine-tuned
+weight set per child task saves ~3.48x DRAM for 3 child tasks, and the saving
+grows with the number of child tasks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_dram_storage
+from repro.experiments.report import render_table
+from benchmarks.conftest import run_once
+
+
+def test_fig4_dram_storage(benchmark):
+    result = run_once(benchmark, figure4_dram_storage, max_tasks=6)
+
+    curve = result["curve"]
+    rows = [
+        [int(n), conv, mime, ratio]
+        for n, conv, mime, ratio in zip(
+            curve["num_tasks"], curve["conventional_mb"], curve["mime_mb"], curve["saving_ratio"]
+        )
+    ]
+    print()
+    print(
+        render_table(
+            ["child tasks", "conventional (MB)", "MIME (MB)", "saving"],
+            rows,
+            title="Figure 4 — off-chip DRAM storage vs number of child tasks",
+        )
+    )
+    print(
+        f"3-child saving: reproduced {result['saving_ratio_3_tasks']:.2f}x "
+        f"(paper {result['paper_saving_ratio']:.2f}x)"
+    )
+
+    # Shape checks: MIME is much smaller, the saving is ~3x for 3 children and
+    # grows monotonically with the number of child tasks.
+    assert result["mime_mb"] < result["conventional_mb"]
+    assert 2.5 < result["saving_ratio_3_tasks"] < 4.5
+    ratios = curve["saving_ratio"]
+    assert all(b >= a for a, b in zip(ratios, ratios[1:]))

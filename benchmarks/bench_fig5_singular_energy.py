@@ -1,0 +1,44 @@
+"""Figure 5: layerwise energy in Singular task mode (Case-1 / Case-2 / MIME).
+
+Paper claims: MIME saves ~1.8-2.5x vs Case-1 and ~1.07-1.30x vs Case-2, but its
+E_DRAM is slightly *higher* than Case-2 because thresholds must also be fetched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure5_singular_energy
+from repro.experiments.report import render_energy_report, render_ratio_table
+from benchmarks.conftest import run_once
+
+
+def test_fig5_singular_energy(benchmark):
+    result = run_once(benchmark, figure5_singular_energy)
+
+    print()
+    print(
+        render_energy_report(
+            result["reports"],
+            result["layer_names"],
+            title="Figure 5 — Singular task mode, layerwise total energy (MAC-normalised)",
+        )
+    )
+    print(render_ratio_table(result["mime_vs_case1"], title="MIME saving vs Case-1 (paper: 1.8-2.5x)"))
+    print(render_ratio_table(result["mime_vs_case2"], title="MIME saving vs Case-2 (paper: 1.07-1.30x)"))
+
+    ratios1 = [v for k, v in result["mime_vs_case1"].items() if k != "conv1"]
+    ratios2 = [v for k, v in result["mime_vs_case2"].items() if k != "conv1"]
+    assert 1.6 < min(ratios1) and max(ratios1) < 3.2
+    assert 1.0 < min(ratios2) and max(ratios2) < 1.6
+
+    # E_DRAM of MIME is not lower than Case-2 in singular mode (threshold fetches).
+    case2 = result["reports"]["case2-baseline-zeroskip"]
+    mime = result["reports"]["mime"]
+    dram_higher = [
+        layer
+        for layer in result["layer_names"]
+        if mime.per_layer[layer].e_dram >= case2.per_layer[layer].e_dram
+    ]
+    print(f"layers where MIME E_DRAM >= Case-2 E_DRAM: {len(dram_higher)}/{len(result['layer_names'])}")
+    assert len(dram_higher) >= len(result["layer_names"]) // 2

@@ -1,0 +1,40 @@
+"""Figure 7: layerwise throughput in Pipelined task mode, normalised to Case-1.
+
+Paper claim: ~2.8-3.0x layerwise throughput improvement, attributed to the
+reduced MAC count under MIME's dynamic neuronal sparsity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_pipelined_throughput
+from repro.experiments.report import render_ratio_table
+from benchmarks.conftest import run_once
+
+
+def test_fig7_pipelined_throughput(benchmark):
+    result = run_once(benchmark, figure7_pipelined_throughput)
+
+    print()
+    print(
+        render_ratio_table(
+            result["mime_vs_case1"],
+            title="Figure 7 — MIME relative throughput vs Case-1 (paper: 2.8-3.0x)",
+            value_name="throughput x",
+        )
+    )
+    print(
+        render_ratio_table(
+            result["case2_vs_case1"],
+            title="Case-2 relative throughput vs Case-1 (for reference)",
+            value_name="throughput x",
+        )
+    )
+    print(f"mean MIME throughput improvement: {result['mean_mime_vs_case1']:.2f}x "
+          f"(paper {result['paper_range'][0]}-{result['paper_range'][1]}x)")
+
+    values = [v for k, v in result["mime_vs_case1"].items() if k != "conv1"]
+    assert min(values) > 2.0
+    assert max(values) < 3.2
+    # MIME is at least as fast as Case-2 on every layer (more sparsity to skip).
+    for layer, value in result["mime_vs_case1"].items():
+        assert value >= result["case2_vs_case1"][layer] - 1e-9

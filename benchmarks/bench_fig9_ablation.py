@@ -1,0 +1,51 @@
+"""Figure 9: MIME energy under reduced PE-array size and reduced cache size.
+
+Paper claims: shrinking the PE array from 1024 to 256 raises the energy of the
+intermediate convolutional layers (extra DRAM re-fetches of the task
+parameters), while shrinking the cache from 156 KB to 128 KB has a much milder
+effect — so the design should favour a large PE array over a large cache.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_ablation
+from repro.experiments.report import render_table
+from benchmarks.conftest import run_once
+
+
+def test_fig9_pe_and_cache_ablation(benchmark):
+    result = run_once(benchmark, figure9_ablation)
+
+    totals = result["totals"]
+    rows = [
+        [
+            layer,
+            totals["case_a_default"][layer],
+            totals["case_b_reduced_pe"][layer],
+            totals["case_c_reduced_cache"][layer],
+            result["case_b_over_a"][layer],
+            result["case_c_over_a"][layer],
+        ]
+        for layer in result["layer_names"]
+    ]
+    print()
+    print(
+        render_table(
+            ["layer", "Case-A (PE1024/156KB)", "Case-B (PE256)", "Case-C (128KB)", "B/A", "C/A"],
+            rows,
+            title="Figure 9 — MIME pipelined energy under reduced PE array / cache",
+        )
+    )
+    print(
+        f"mean middle-layer increase: Case-B {result['case_b_middle_mean']:.3f}x "
+        f"(paper {result['paper_pe_increase_range'][0]}-{result['paper_pe_increase_range'][1]}x), "
+        f"Case-C {result['case_c_middle_mean']:.3f}x"
+    )
+
+    # Shape checks: the PE-array reduction penalises the intermediate layers,
+    # leaves the first/last layers untouched, and dominates the cache reduction.
+    assert result["case_b_middle_mean"] > 1.02
+    assert result["case_b_over_a"]["conv1"] == 1.0
+    assert result["case_b_over_a"]["conv13"] == 1.0
+    assert result["case_c_middle_mean"] < result["case_b_middle_mean"]
+    assert result["case_c_middle_mean"] < 1.05

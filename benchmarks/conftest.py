@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the reproduced rows/series next to the paper's reported values, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
+
+The algorithmic benchmarks (Tables II/III) train the surrogate workload once
+per session at ``fast_config`` scale; the hardware benchmarks are analytical
+and use the paper's own sparsity tables as the default profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import fast_config
+from repro.experiments.workloads import build_workload
+
+
+@pytest.fixture(scope="session")
+def trained_workload():
+    """The surrogate multi-task workload (parent + MIME + baselines), trained once."""
+    return build_workload(fast_config(), include_mime=True, include_baselines=True)
+
+
+@pytest.fixture(scope="session")
+def pruned_workload():
+    """Workload variant that also trains the 90 %-pruned per-task models (Fig. 8)."""
+    return build_workload(
+        fast_config(), include_mime=False, include_baselines=False, include_pruned=True
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

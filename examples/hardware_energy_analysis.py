@@ -1,0 +1,66 @@
+"""Hardware analysis: regenerate the paper's energy, throughput and ablation figures.
+
+This example is purely analytical (no training): it uses the full VGG16 layer
+geometry and the paper's reported sparsity tables to regenerate Figures 5-9,
+printing the per-layer series and the headline ratios next to the paper's
+claims.  It is the scripted counterpart of the benchmark harness.
+
+Run with:  python examples/hardware_energy_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure5_singular_energy,
+    figure6_pipelined_energy,
+    figure7_pipelined_throughput,
+    figure8_vs_pruned,
+    figure9_ablation,
+)
+from repro.experiments.report import render_energy_report, render_ratio_table, render_table
+
+
+def main() -> None:
+    # ----------------------------------------------------------- Figures 5 & 6 --
+    singular = figure5_singular_energy()
+    pipelined = figure6_pipelined_energy()
+    print(render_energy_report(singular["reports"], singular["layer_names"],
+                               title="Fig. 5 — Singular task mode (total energy per conv layer)"))
+    print()
+    print(render_energy_report(pipelined["reports"], pipelined["layer_names"],
+                               title="Fig. 6 — Pipelined task mode (total energy per conv layer)"))
+    print()
+    print(render_ratio_table(pipelined["mime_vs_case1"],
+                             title="Fig. 6 — MIME saving vs Case-1 (paper: 2.4-3.1x)"))
+
+    # ---------------------------------------------------------------- Figure 7 --
+    throughput = figure7_pipelined_throughput()
+    print()
+    print(render_ratio_table(throughput["mime_vs_case1"],
+                             title="Fig. 7 — MIME relative throughput (paper: 2.8-3.0x)",
+                             value_name="throughput x"))
+
+    # ---------------------------------------------------------------- Figure 8 --
+    pruned = figure8_vs_pruned()
+    print()
+    print(render_ratio_table(pruned["param_dram_pruned_over_mime"],
+                             title="Fig. 8 — parameter-DRAM traffic, pruned / MIME (crossover mechanism)"))
+    print(f"MIME wins on total energy in: {pruned['mime_wins']}")
+
+    # ---------------------------------------------------------------- Figure 9 --
+    ablation = figure9_ablation()
+    rows = [
+        [layer, ablation["case_b_over_a"][layer], ablation["case_c_over_a"][layer]]
+        for layer in ablation["layer_names"]
+    ]
+    print()
+    print(render_table(["layer", "PE 256 / PE 1024", "cache 128KB / 156KB"], rows,
+                       title="Fig. 9 — MIME energy increase under reduced PE array / cache"))
+    print(
+        f"middle-layer mean increase: PE reduction {ablation['case_b_middle_mean']:.3f}x "
+        f"(paper 1.26-1.41x), cache reduction {ablation['case_c_middle_mean']:.3f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Multi-task pipelined inference: one backbone, three child tasks, interleaved inputs.
+
+Reproduces the paper's Pipelined task mode scenario end to end on the
+surrogate workload: a single frozen parent backbone serves CIFAR10-, CIFAR100-
+and Fashion-MNIST-style tasks whose inputs arrive interleaved, switching only
+the per-task thresholds (and tiny heads) between consecutive images.  The
+script then feeds the *measured* activation sparsities into the systolic-array
+model to show the resulting energy advantage over conventional per-task models.
+
+Run with:  python examples/multitask_pipelined_inference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import DataLoader, PipelinedTaskStream, build_child_tasks, imagenet_surrogate
+from repro.baselines import train_parent
+from repro.hardware import (
+    SystolicArraySimulator,
+    case2_config,
+    mime_config,
+    pipelined_task_schedule,
+)
+from repro.mime import MimeNetwork, ThresholdTrainer, average_sparsity_over_loader
+from repro.models import extract_layer_shapes, vgg_small
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+
+    # Parent backbone shared by every child task.
+    parent_task = imagenet_surrogate(scale=0.5, backbone_size=32, samples_per_class=25)
+    parent = vgg_small(num_classes=parent_task.num_classes, input_size=32, rng=rng)
+    print("Training the shared parent backbone ...")
+    train_parent(parent, parent_task, epochs=5, batch_size=32, rng=rng)
+
+    # Three child tasks with their own thresholds on the frozen backbone.
+    children = build_child_tasks(scale=0.6, backbone_size=32, samples_per_class=30)
+    network = MimeNetwork(parent)
+    trainer = ThresholdTrainer(network, lr=1e-3, beta=1e-6)
+    sparsity_profile = {}
+    for task in children:
+        network.add_task(task.name, task.num_classes, rng=rng)
+        print(f"Training thresholds for child task '{task.name}' ...")
+        trainer.train_task(task.name, DataLoader(task.train, batch_size=32, shuffle=True, rng=rng), epochs=8)
+        _, accuracy = trainer.evaluate(task.name, DataLoader(task.test, batch_size=64))
+        report = average_sparsity_over_loader(
+            network, DataLoader(task.test, batch_size=64), task=task.name
+        )
+        sparsity_profile[task.name] = report.per_layer
+        print(f"  accuracy {accuracy:.3f}, mean dynamic sparsity {report.mean:.3f}")
+
+    # Pipelined inference: consecutive images belong to different tasks.
+    print("\nPipelined task mode inference (task switches between consecutive images):")
+    stream = PipelinedTaskStream(children, rounds=2, rng=rng)
+    correct = 0
+    total = 0
+    for batch in stream:
+        logits = network.forward(batch.images, task=batch.task_name)
+        predicted = int(np.argmax(logits, axis=1)[0])
+        correct += int(predicted == batch.labels[0])
+        total += 1
+        print(f"  image from {batch.task_name:<9} -> predicted class {predicted} (true {batch.labels[0]})")
+    print(f"  pipelined batch accuracy: {correct}/{total}")
+
+    # Hardware consequence: project the *measured* mean dynamic sparsity of each
+    # task onto the paper's VGG16 geometry and compare the pipelined-batch
+    # energy against conventional per-task models (ReLU-level sparsity).
+    from repro.experiments.figures import paper_vgg16_shapes
+    from repro.hardware.scenario import LayerSparsityProfile
+
+    shapes = paper_vgg16_shapes()
+    schedule = pipelined_task_schedule([task.name for task in children])
+    measured_mean = {
+        task: float(np.mean(list(layers.values()))) for task, layers in sparsity_profile.items()
+    }
+    mime_profile = LayerSparsityProfile(
+        per_task={
+            task: {shape.name: value for shape in shapes}
+            for task, value in measured_mean.items()
+        }
+    )
+    # Conventional baselines owe their sparsity to ReLU alone (~0.4-0.5 typical).
+    baseline_profile = LayerSparsityProfile.uniform(list(measured_mean), 0.40)
+
+    simulator = SystolicArraySimulator()
+    baseline = simulator.run(shapes, schedule, baseline_profile, case2_config(), conv_only=True)
+    mime = simulator.run(shapes, schedule, mime_profile, mime_config(), conv_only=True)
+    saving = baseline.total_energy().total / mime.total_energy().total
+    print(
+        "\nProjected onto the paper's VGG16 geometry, the pipelined batch costs "
+        f"{baseline.total_energy().total:,.0f} (conventional, zero-skipping) vs "
+        f"{mime.total_energy().total:,.0f} (MIME) MAC-normalised energy units — a x{saving:.2f} saving."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""DRAM storage analysis: how much memory does MIME save as child tasks accumulate?
+
+Regenerates Figure 1 / Figure 4 of the paper: off-chip DRAM storage of
+conventional multi-task inference (one fine-tuned VGG16 weight set per child
+task) versus MIME ({W_parent, T_child-1, ..., T_child-n}), as a function of the
+number of child tasks, and prints the parameter breakdown behind the curve.
+
+Run with:  python examples/storage_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_dram_storage
+from repro.experiments.report import render_table
+from repro.mime.storage import StorageModel
+
+
+def main() -> None:
+    result = figure4_dram_storage(max_tasks=8)
+
+    curve = result["curve"]
+    rows = [
+        [int(n), f"{conv:,.0f}", f"{mime:,.0f}", f"{ratio:.2f}x"]
+        for n, conv, mime, ratio in zip(
+            curve["num_tasks"], curve["conventional_mb"], curve["mime_mb"], curve["saving_ratio"]
+        )
+    ]
+    print(render_table(
+        ["child tasks", "conventional (MB)", "MIME (MB)", "saving"],
+        rows,
+        title="Fig. 1 / Fig. 4 — off-chip DRAM storage vs number of child tasks (16-bit parameters)",
+    ))
+
+    print()
+    print("Breakdown for the paper's 3-child configuration:")
+    conv = result["conventional_breakdown"]
+    mime = result["mime_breakdown"]
+    print(f"  conventional: parent weights {conv['parent_params']:,} + "
+          + " + ".join(f"{task} {params:,}" for task, params in conv["per_task_params"].items()))
+    print(f"  MIME        : parent weights {mime['parent_params']:,} + "
+          + " + ".join(f"{task} {params:,}" for task, params in mime["per_task_params"].items()))
+    print(f"  saving: {result['saving_ratio_3_tasks']:.2f}x (paper reports ~{result['paper_saving_ratio']}x)")
+
+    # Sensitivity: count thresholds only on convolutional layers.
+    conv_only = figure4_dram_storage(storage_model=StorageModel(threshold_layers="conv"))
+    print(f"  saving with conv-only thresholds: {conv_only['saving_ratio_3_tasks']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Reproduction of MIME (DAC 2022): multi-task inference with memory-efficient dynamic pruning.
+
+The package is organised as follows:
+
+* :mod:`repro.nn` — NumPy neural-network framework (layers, losses, optimisers).
+* :mod:`repro.models` — VGG family and small reference models.
+* :mod:`repro.datasets` — synthetic parent/child task substrates and data streams.
+* :mod:`repro.mime` — the paper's contribution: per-task threshold masks, the
+  threshold trainer, multi-task network and DRAM storage accounting.
+* :mod:`repro.baselines` — conventional fine-tuning and pruning-at-init baselines.
+* :mod:`repro.hardware` — Eyeriss-style systolic-array energy/throughput simulator.
+* :mod:`repro.experiments` — harness reproducing every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "models",
+    "datasets",
+    "mime",
+    "baselines",
+    "hardware",
+    "experiments",
+    "utils",
+]

@@ -1,0 +1,35 @@
+"""Baselines the paper compares MIME against.
+
+* :mod:`repro.baselines.trainer` — a generic supervised trainer for full-weight
+  training (used for the parent task and every baseline).
+* :mod:`repro.baselines.finetune` — conventional multi-task transfer learning:
+  clone the parent and fine-tune all weights per child task (Table III).
+* :mod:`repro.baselines.prune_at_init` — 90 %-sparse models obtained by pruning
+  at initialisation (SNIP-style saliency or magnitude), used in Fig. 8.
+"""
+
+from repro.baselines.trainer import SupervisedTrainer, SupervisedHistory
+from repro.baselines.finetune import clone_vgg, finetune_child, train_parent, train_from_scratch
+from repro.baselines.prune_at_init import (
+    PruningMasks,
+    snip_prune,
+    magnitude_prune,
+    apply_masks,
+    measure_weight_sparsity,
+    prune_at_init,
+)
+
+__all__ = [
+    "SupervisedTrainer",
+    "SupervisedHistory",
+    "clone_vgg",
+    "finetune_child",
+    "train_parent",
+    "train_from_scratch",
+    "PruningMasks",
+    "snip_prune",
+    "magnitude_prune",
+    "apply_masks",
+    "measure_weight_sparsity",
+    "prune_at_init",
+]

@@ -1,0 +1,140 @@
+"""Generic supervised trainer for full-weight models.
+
+Used to (i) train the parent backbone, (ii) fine-tune conventional per-task
+child models, and (iii) train pruned-at-init models while keeping their weight
+masks enforced after every optimiser step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.nn import Adam, CrossEntropyLoss, SGD, accuracy
+from repro.nn.module import Module
+from repro.datasets.base import DataLoader
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("baselines.trainer")
+
+
+@dataclass
+class SupervisedHistory:
+    """Per-epoch training curves for a conventionally trained model."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class SupervisedTrainer:
+    """Cross-entropy training of every trainable parameter of a model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` with ``forward``/``backward``.
+    lr, optimizer, momentum, weight_decay:
+        Optimiser settings (``"adam"`` or ``"sgd"``).
+    weight_masks:
+        Optional ``{parameter_name: binary mask}`` applied multiplicatively to
+        the parameter data after every optimiser step — this keeps
+        pruned-at-init models exactly at their target weight sparsity.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 1e-3,
+        optimizer: str = "adam",
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        weight_masks: Dict[str, np.ndarray] | None = None,
+    ) -> None:
+        if optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        self.model = model
+        self.criterion = CrossEntropyLoss()
+        parameters = [p for p in model.parameters() if p.requires_grad]
+        if optimizer == "adam":
+            self.optimizer = Adam(parameters, lr=lr, weight_decay=weight_decay)
+        else:
+            self.optimizer = SGD(parameters, lr=lr, momentum=momentum, weight_decay=weight_decay)
+        self.weight_masks = weight_masks or {}
+        self._named = dict(model.named_parameters())
+        for name in self.weight_masks:
+            if name not in self._named:
+                raise KeyError(f"weight mask refers to unknown parameter '{name}'")
+
+    # ------------------------------------------------------------------ public --
+    def fit(
+        self,
+        train_loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]],
+        epochs: int = 10,
+        val_loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]] | None = None,
+        verbose: bool = False,
+    ) -> SupervisedHistory:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        history = SupervisedHistory()
+        self._apply_masks()
+        for epoch in range(epochs):
+            loss, acc = self._run_epoch(train_loader)
+            history.train_loss.append(loss)
+            history.train_accuracy.append(acc)
+            if val_loader is not None:
+                _, val_acc = self.evaluate(val_loader)
+                history.val_accuracy.append(val_acc)
+            if verbose:
+                _LOGGER.info("epoch=%d loss=%.4f acc=%.3f", epoch + 1, loss, acc)
+        return history
+
+    def evaluate(
+        self, loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[float, float]:
+        """Return ``(mean CE loss, accuracy)`` over ``loader``."""
+        self.model.eval()
+        total_loss = 0.0
+        total_correct = 0.0
+        total = 0
+        for images, labels in loader:
+            logits = self.model.forward(images)
+            total_loss += self.criterion(logits, labels) * images.shape[0]
+            total_correct += accuracy(logits, labels) * images.shape[0]
+            total += images.shape[0]
+        if total == 0:
+            raise ValueError("the evaluation loader yielded no batches")
+        return total_loss / total, total_correct / total
+
+    # ----------------------------------------------------------------- private --
+    def _run_epoch(self, loader) -> Tuple[float, float]:
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0.0
+        total = 0
+        for images, labels in loader:
+            self.optimizer.zero_grad()
+            logits = self.model.forward(images)
+            loss = self.criterion(logits, labels)
+            self.model.backward(self.criterion.backward())
+            self.optimizer.step()
+            self._apply_masks()
+
+            batch = images.shape[0]
+            total_loss += loss * batch
+            total_correct += accuracy(logits, labels) * batch
+            total += batch
+        if total == 0:
+            raise ValueError("the training loader yielded no batches")
+        return total_loss / total, total_correct / total
+
+    def _apply_masks(self) -> None:
+        for name, mask in self.weight_masks.items():
+            param = self._named[name]
+            param.data *= mask

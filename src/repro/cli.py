@@ -1,0 +1,179 @@
+"""Command-line interface for the MIME reproduction.
+
+Provides a small front-end over the experiment harness so a downstream user
+can regenerate the paper's artefacts without writing Python:
+
+``python -m repro storage``      — Fig. 1 / Fig. 4 DRAM storage curve
+``python -m repro energy``       — Fig. 5 / Fig. 6 energy tables + Fig. 7 throughput
+``python -m repro pruned``       — Fig. 8 comparison against 90 %-pruned models
+``python -m repro ablation``     — Fig. 9 PE-array / cache ablation
+``python -m repro train``        — train the surrogate workload and print Tables II/III
+``python -m repro all``          — everything above (training uses the fast configuration)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.experiments.config import fast_config, full_config
+from repro.experiments.figures import (
+    figure4_dram_storage,
+    figure5_singular_energy,
+    figure6_pipelined_energy,
+    figure7_pipelined_throughput,
+    figure8_vs_pruned,
+    figure9_ablation,
+)
+from repro.experiments.report import (
+    render_energy_report,
+    render_ratio_table,
+    render_sparsity_table,
+    render_table,
+)
+
+
+def _cmd_storage(args: argparse.Namespace) -> None:
+    result = figure4_dram_storage(max_tasks=args.max_tasks)
+    curve = result["curve"]
+    rows = [
+        [int(n), conv, mime, ratio]
+        for n, conv, mime, ratio in zip(
+            curve["num_tasks"], curve["conventional_mb"], curve["mime_mb"], curve["saving_ratio"]
+        )
+    ]
+    print(render_table(
+        ["child tasks", "conventional (MB)", "MIME (MB)", "saving"],
+        rows,
+        title="Fig. 1 / Fig. 4 — off-chip DRAM storage",
+    ))
+    print(f"3-child saving: {result['saving_ratio_3_tasks']:.2f}x (paper ~{result['paper_saving_ratio']}x)")
+
+
+def _cmd_energy(args: argparse.Namespace) -> None:
+    singular = figure5_singular_energy()
+    pipelined = figure6_pipelined_energy()
+    throughput = figure7_pipelined_throughput()
+    print(render_energy_report(singular["reports"], singular["layer_names"],
+                               title="Fig. 5 — Singular task mode energy"))
+    print()
+    print(render_energy_report(pipelined["reports"], pipelined["layer_names"],
+                               title="Fig. 6 — Pipelined task mode energy"))
+    print()
+    print(render_ratio_table(pipelined["mime_vs_case1"], title="Fig. 6 — MIME vs Case-1 (paper 2.4-3.1x)"))
+    print()
+    print(render_ratio_table(throughput["mime_vs_case1"],
+                             title="Fig. 7 — MIME relative throughput (paper 2.8-3.0x)",
+                             value_name="throughput x"))
+
+
+def _cmd_pruned(args: argparse.Namespace) -> None:
+    result = figure8_vs_pruned()
+    rows = [
+        [layer, result["pruned_over_mime"][layer], result["param_dram_pruned_over_mime"][layer]]
+        for layer in result["layer_names"]
+    ]
+    print(render_table(
+        ["layer", "pruned/MIME (total energy)", "pruned/MIME (param DRAM)"],
+        rows,
+        title="Fig. 8 — MIME vs 90%-pruned conventional models (pipelined)",
+    ))
+    print(f"MIME wins (total energy): {result['mime_wins']}")
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    result = figure9_ablation()
+    rows = [
+        [layer, result["case_b_over_a"][layer], result["case_c_over_a"][layer]]
+        for layer in result["layer_names"]
+    ]
+    print(render_table(
+        ["layer", "PE 256 / 1024", "cache 128KB / 156KB"],
+        rows,
+        title="Fig. 9 — MIME energy under reduced PE array / cache",
+    ))
+    print(
+        f"middle-layer mean: PE {result['case_b_middle_mean']:.3f}x "
+        f"(paper 1.26-1.41x), cache {result['case_c_middle_mean']:.3f}x"
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> None:
+    from repro.experiments.tables import (
+        table2_mime_accuracy_and_sparsity,
+        table3_baseline_accuracy_and_sparsity,
+    )
+    from repro.experiments.workloads import build_workload
+
+    config = fast_config() if args.fast else full_config()
+    print(f"Training the surrogate multi-task workload ({'fast' if args.fast else 'full'} config) ...")
+    workload = build_workload(config, include_mime=True, include_baselines=True)
+    print(f"parent test accuracy: {workload.parent_accuracy:.3f}")
+    print(render_sparsity_table(
+        table2_mime_accuracy_and_sparsity(workload),
+        title="Table II (reproduced) — MIME accuracy and layerwise sparsity",
+    ))
+    print()
+    print(render_sparsity_table(
+        table3_baseline_accuracy_and_sparsity(workload),
+        title="Table III (reproduced) — baseline accuracy and ReLU sparsity",
+    ))
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    args.fast = True
+    _cmd_storage(args)
+    print()
+    _cmd_energy(args)
+    print()
+    _cmd_pruned(args)
+    print()
+    _cmd_ablation(args)
+    print()
+    _cmd_train(args)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "storage": _cmd_storage,
+    "energy": _cmd_energy,
+    "pruned": _cmd_pruned,
+    "ablation": _cmd_ablation,
+    "train": _cmd_train,
+    "all": _cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the MIME (DAC 2022) evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    storage = subparsers.add_parser("storage", help="Fig. 1 / Fig. 4 DRAM storage comparison")
+    storage.add_argument("--max-tasks", type=int, default=6, help="number of child tasks to sweep")
+
+    subparsers.add_parser("energy", help="Fig. 5 / Fig. 6 energy and Fig. 7 throughput")
+    subparsers.add_parser("pruned", help="Fig. 8 comparison against 90%%-pruned models")
+    subparsers.add_parser("ablation", help="Fig. 9 PE-array / cache ablation")
+
+    train = subparsers.add_parser("train", help="train the surrogate workload (Tables II/III)")
+    train.add_argument("--fast", action="store_true", help="use the seconds-scale fast configuration")
+
+    subparsers.add_parser("all", help="run every artefact (training uses the fast configuration)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "max_tasks"):
+        args.max_tasks = 6
+    if not hasattr(args, "fast"):
+        args.fast = True
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

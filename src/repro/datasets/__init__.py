@@ -1,0 +1,56 @@
+"""Dataset substrate: synthetic surrogate tasks, loaders, transforms and task streams.
+
+The offline reproduction cannot download ImageNet / CIFAR / Fashion-MNIST, so
+each benchmark dataset is replaced by a *synthetic surrogate* with the same
+tensor shapes and a controllable difficulty (see DESIGN.md for the
+substitution rationale).  Everything downstream — MIME threshold training,
+baseline fine-tuning, sparsity measurement and the hardware model — is
+agnostic to where the images came from.
+"""
+
+from repro.datasets.base import ArrayDataset, DataLoader, train_test_split
+from repro.datasets.synthetic import SyntheticTaskConfig, make_synthetic_task
+from repro.datasets.tasks import (
+    TaskSpec,
+    imagenet_surrogate,
+    cifar10_surrogate,
+    cifar100_surrogate,
+    fmnist_surrogate,
+    build_child_tasks,
+    CHILD_TASK_NAMES,
+)
+from repro.datasets.transforms import (
+    Compose,
+    Normalize,
+    GrayscaleToRGB,
+    Resize,
+    ToFloat,
+)
+from repro.datasets.pipeline import (
+    TaskBatch,
+    SingularTaskStream,
+    PipelinedTaskStream,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticTaskConfig",
+    "make_synthetic_task",
+    "TaskSpec",
+    "imagenet_surrogate",
+    "cifar10_surrogate",
+    "cifar100_surrogate",
+    "fmnist_surrogate",
+    "build_child_tasks",
+    "CHILD_TASK_NAMES",
+    "Compose",
+    "Normalize",
+    "GrayscaleToRGB",
+    "Resize",
+    "ToFloat",
+    "TaskBatch",
+    "SingularTaskStream",
+    "PipelinedTaskStream",
+]

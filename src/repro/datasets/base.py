@@ -1,0 +1,136 @@
+"""Dataset containers and batching."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class ArrayDataset:
+    """An in-memory labelled image dataset.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` (or ``(N, features)`` for flat data).
+    labels:
+        Integer class labels of shape ``(N,)``.
+    name:
+        Human-readable task name (``"cifar10-surrogate"`` etc.).
+    num_classes:
+        Number of classes; inferred from the labels when omitted.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        name: str = "dataset",
+        num_classes: int | None = None,
+    ) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) disagree in length"
+            )
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D integer array")
+        self.images = images
+        self.labels = labels
+        self.name = name
+        if num_classes is None:
+            num_classes = int(labels.max()) + 1 if labels.size else 0
+        if labels.size and labels.max() >= num_classes:
+            raise ValueError("a label exceeds num_classes")
+        self.num_classes = num_classes
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of a single sample (excluding the batch dimension)."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(
+            self.images[indices],
+            self.labels[indices],
+            name=name or self.name,
+            num_classes=self.num_classes,
+        )
+
+    def map_images(self, fn, name: str | None = None) -> "ArrayDataset":
+        """Apply ``fn`` to the full image tensor and return a new dataset."""
+        return ArrayDataset(
+            fn(self.images),
+            self.labels,
+            name=name or self.name,
+            num_classes=self.num_classes,
+        )
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Shuffle and split a dataset into train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    rng = rng if rng is not None else new_rng()
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Iterating yields ``(images, labels)`` tuples.  With ``shuffle=True`` a new
+    permutation is drawn at the start of every epoch.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else new_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and batch_idx.shape[0] < self.batch_size:
+                break
+            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]

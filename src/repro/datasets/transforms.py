@@ -1,0 +1,94 @@
+"""Image-tensor transforms applied to whole ``(N, C, H, W)`` batches.
+
+The transforms are deliberately batch-level (vectorised) because the datasets
+are in-memory NumPy arrays; composing them with
+:meth:`repro.datasets.base.ArrayDataset.map_images` prepares a child task for a
+backbone expecting a different channel count or resolution (e.g. the greyscale
+28x28 Fashion-MNIST surrogate fed to an RGB 32x32 parent backbone, exactly as
+the paper feeds F-MNIST to an ImageNet-trained VGG16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images)
+        return images
+
+
+class ToFloat:
+    """Cast to float64 and optionally rescale from [0, 255] to [0, 1]."""
+
+    def __init__(self, rescale: bool = False) -> None:
+        self.rescale = rescale
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if self.rescale:
+            images = images / 255.0
+        return images
+
+
+class Normalize:
+    """Standardise each channel with the given per-channel mean and std."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if images.ndim != 4 or images.shape[1] != self.mean.shape[0]:
+            raise ValueError(
+                f"expected (N, {self.mean.shape[0]}, H, W) images, got {images.shape}"
+            )
+        return (images - self.mean[None, :, None, None]) / self.std[None, :, None, None]
+
+
+class GrayscaleToRGB:
+    """Replicate a single greyscale channel into ``channels`` identical channels."""
+
+    def __init__(self, channels: int = 3) -> None:
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        self.channels = channels
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if images.ndim != 4 or images.shape[1] != 1:
+            raise ValueError(f"expected (N, 1, H, W) greyscale images, got {images.shape}")
+        return np.repeat(images, self.channels, axis=1)
+
+
+class Resize:
+    """Nearest-neighbour resize of square images to ``size`` x ``size``.
+
+    Nearest-neighbour is sufficient for the surrogates (there is no aliasing-
+    sensitive texture) and keeps the transform dependency-free.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) images, got {images.shape}")
+        n, c, h, w = images.shape
+        if h == self.size and w == self.size:
+            return images
+        row_idx = np.clip((np.arange(self.size) * h) // self.size, 0, h - 1)
+        col_idx = np.clip((np.arange(self.size) * w) // self.size, 0, w - 1)
+        return images[:, :, row_idx[:, None], col_idx[None, :]]

@@ -1,0 +1,57 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.paper_data` — the numbers reported in the paper
+  (Tables II/III sparsities & accuracies, headline ratios) used both as
+  reference points and as default sparsity profiles for the hardware model.
+* :mod:`repro.experiments.config` — experiment-scale configuration.
+* :mod:`repro.experiments.workloads` — trains the surrogate parent, MIME
+  thresholds, conventional baselines and pruned models.
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` — generate
+  each table/figure of the evaluation section.
+* :mod:`repro.experiments.report` — plain-text rendering of the results.
+"""
+
+from repro.experiments import paper_data
+from repro.experiments.config import ExperimentConfig, fast_config, full_config
+from repro.experiments.workloads import MultiTaskWorkload, build_workload
+from repro.experiments.tables import (
+    table2_mime_accuracy_and_sparsity,
+    table3_baseline_accuracy_and_sparsity,
+)
+from repro.experiments.figures import (
+    figure4_dram_storage,
+    figure5_singular_energy,
+    figure6_pipelined_energy,
+    figure7_pipelined_throughput,
+    figure8_vs_pruned,
+    figure9_ablation,
+    paper_sparsity_profiles,
+    paper_vgg16_shapes,
+)
+from repro.experiments.report import (
+    render_table,
+    render_energy_report,
+    render_ratio_table,
+)
+
+__all__ = [
+    "paper_data",
+    "ExperimentConfig",
+    "fast_config",
+    "full_config",
+    "MultiTaskWorkload",
+    "build_workload",
+    "table2_mime_accuracy_and_sparsity",
+    "table3_baseline_accuracy_and_sparsity",
+    "figure4_dram_storage",
+    "figure5_singular_energy",
+    "figure6_pipelined_energy",
+    "figure7_pipelined_throughput",
+    "figure8_vs_pruned",
+    "figure9_ablation",
+    "paper_sparsity_profiles",
+    "paper_vgg16_shapes",
+    "render_table",
+    "render_energy_report",
+    "render_ratio_table",
+]

@@ -1,0 +1,80 @@
+"""Experiment-scale configuration.
+
+The algorithmic experiments (threshold training, baselines, pruned models) run
+on synthetic surrogate workloads whose size is set here.  ``fast_config`` runs
+in a few seconds and is what the test-suite and the pytest benchmarks use;
+``full_config`` trains longer / larger surrogates for more faithful accuracy
+and sparsity numbers.
+
+The hardware experiments are analytical and always use the full VGG16 layer
+geometry; ``hw_input_size`` sets the child-task resolution fed to the
+backbone.  The default of 112 is the smallest resolution consistent with the
+paper's observation that thresholds outnumber weights only in conv2/conv4 and
+the crossover happens at conv5 (Fig. 8) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs controlling the surrogate workload and the hardware analyses."""
+
+    # --- surrogate (trainable) workload ---------------------------------------
+    backbone: str = "vgg_small"
+    backbone_input_size: int = 32
+    task_scale: float = 1.0
+    samples_per_class: int | None = None
+    parent_epochs: int = 8
+    child_epochs: int = 10
+    mime_epochs: int = 10
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    mime_beta: float = 1e-6
+    init_threshold: float = 0.05
+    pruned_sparsity: float = 0.9
+    seed: int = 7
+
+    # --- hardware (analytical) experiments -------------------------------------
+    hw_backbone: str = "vgg16"
+    hw_input_size: int = 112
+    hw_num_classes: Tuple[int, int, int] = (10, 100, 10)
+    hw_classifier_hidden: Tuple[int, ...] = (4096, 4096)
+    images_per_task_singular: int = 3
+    pipelined_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.task_scale <= 0:
+            raise ValueError("task_scale must be positive")
+        if min(self.parent_epochs, self.child_epochs, self.mime_epochs, self.batch_size) <= 0:
+            raise ValueError("epochs and batch size must be positive")
+        if not 0.0 <= self.pruned_sparsity < 1.0:
+            raise ValueError("pruned_sparsity must lie in [0, 1)")
+        if self.hw_input_size <= 0 or self.backbone_input_size <= 0:
+            raise ValueError("input sizes must be positive")
+
+
+def fast_config() -> ExperimentConfig:
+    """A configuration that trains the full multi-task workload in seconds.
+
+    Used by tests and pytest benchmarks: tiny backbone, reduced class counts
+    and sample counts, few epochs.
+    """
+    return ExperimentConfig(
+        backbone="vgg_tiny",
+        backbone_input_size=16,
+        task_scale=0.3,
+        samples_per_class=16,
+        parent_epochs=4,
+        child_epochs=5,
+        mime_epochs=6,
+        batch_size=16,
+    )
+
+
+def full_config() -> ExperimentConfig:
+    """The default (still CPU-feasible) surrogate configuration."""
+    return ExperimentConfig()

@@ -1,0 +1,365 @@
+"""Generators for every figure of the paper's evaluation (Figs. 4-9).
+
+The hardware figures are analytical: they need layer geometry (full VGG16),
+sparsity profiles (either the paper's Tables II/III or profiles measured on
+the surrogate workload) and a hardware spec.  Each generator returns a plain
+dictionary of series/ratios which the benchmark harness prints and asserts
+against the paper's headline numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.shapes import LayerShape, vgg_layer_shapes
+from repro.mime.storage import (
+    StorageModel,
+    conventional_storage,
+    mime_storage,
+    storage_saving_ratio,
+    storage_vs_num_tasks,
+)
+from repro.hardware import (
+    LayerSparsityProfile,
+    SystolicArraySimulator,
+    SystolicArraySpec,
+    case1_config,
+    case2_config,
+    default_spec,
+    mime_config,
+    pipelined_task_schedule,
+    pruned_config,
+    reduced_cache_spec,
+    reduced_pe_spec,
+    relative_throughput,
+    singular_task_schedule,
+)
+from repro.hardware.energy import energy_saving_ratio
+from repro.experiments import paper_data
+from repro.experiments.config import ExperimentConfig, full_config
+
+
+# ---------------------------------------------------------------------------
+# Shared inputs
+# ---------------------------------------------------------------------------
+def paper_vgg16_shapes(config: ExperimentConfig | None = None, num_classes: int = 10) -> List[LayerShape]:
+    """VGG16 layer geometry at the child-task resolution used by the hardware analyses."""
+    config = config or full_config()
+    return vgg_layer_shapes(
+        config.hw_backbone,
+        input_size=config.hw_input_size,
+        in_channels=3,
+        num_classes=num_classes,
+        classifier_hidden=config.hw_classifier_hidden,
+    )
+
+
+def paper_sparsity_profiles() -> Tuple[LayerSparsityProfile, LayerSparsityProfile]:
+    """(MIME, baseline) sparsity profiles built from the paper's Tables II/III."""
+    mime_profile = LayerSparsityProfile(
+        per_task={
+            task: paper_data.complete_sparsity_profile(layers)
+            for task, layers in paper_data.MIME_SPARSITY.items()
+        }
+    )
+    baseline_profile = LayerSparsityProfile(
+        per_task={
+            task: paper_data.complete_sparsity_profile(layers)
+            for task, layers in paper_data.BASELINE_SPARSITY.items()
+        }
+    )
+    return mime_profile, baseline_profile
+
+
+def _profiles_by_config(
+    mime_profile: LayerSparsityProfile, baseline_profile: LayerSparsityProfile
+) -> Dict[str, LayerSparsityProfile]:
+    return {
+        "mime": mime_profile,
+        "default": baseline_profile,
+    }
+
+
+def _conv_layer_names(shapes: Sequence[LayerShape]) -> List[str]:
+    return [shape.name for shape in shapes if shape.kind == "conv"]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 (and Figure 1): off-chip DRAM storage
+# ---------------------------------------------------------------------------
+def figure4_dram_storage(
+    config: ExperimentConfig | None = None,
+    max_tasks: int = 6,
+    storage_model: StorageModel | None = None,
+    parent_input_size: int = 224,
+    child_input_size: int = 224,
+) -> Dict[str, object]:
+    """DRAM storage of conventional multi-task inference vs MIME (Fig. 1 / Fig. 4).
+
+    The parent is ImageNet-scale VGG16 (224x224, 1000 classes, 4096-wide
+    classifier).  Each conventional child task stores its own complete VGG16
+    weight set; following standard ImageNet transfer-learning practice (and the
+    paper's premise that every child is "the VGG16 DNN"), child inputs are
+    resized to the parent resolution, so a child model is architecturally
+    identical to the parent apart from its classification head.  MIME instead
+    stores the parent weights once plus per-task thresholds (one per output
+    neuron) and the tiny task heads.  Returns the storage curves versus the
+    number of child tasks plus the saving ratio for the paper's 3-child
+    configuration.
+    """
+    config = config or full_config()
+    storage_model = storage_model or StorageModel()
+
+    parent_shapes = vgg_layer_shapes(
+        config.hw_backbone,
+        input_size=parent_input_size,
+        in_channels=3,
+        num_classes=1000,
+        classifier_hidden=config.hw_classifier_hidden,
+    )
+    child_names = ("cifar10", "cifar100", "fmnist")
+    child_shapes = {
+        name: vgg_layer_shapes(
+            config.hw_backbone,
+            input_size=child_input_size,
+            in_channels=3,
+            num_classes=classes,
+            classifier_hidden=config.hw_classifier_hidden,
+        )
+        for name, classes in zip(child_names, config.hw_num_classes)
+    }
+
+    conventional = conventional_storage(parent_shapes, child_shapes, storage_model)
+    mime = mime_storage(parent_shapes, child_shapes, storage_model)
+    curve = storage_vs_num_tasks(
+        parent_shapes, child_shapes["cifar10"], max_tasks=max_tasks, model=storage_model
+    )
+    return {
+        "conventional_mb": conventional.total_megabytes,
+        "mime_mb": mime.total_megabytes,
+        "saving_ratio_3_tasks": storage_saving_ratio(conventional, mime),
+        "paper_saving_ratio": paper_data.DRAM_STORAGE_SAVING,
+        "curve": curve,
+        "conventional_breakdown": {
+            "parent_params": conventional.parent_params,
+            "per_task_params": dict(conventional.per_task_params),
+        },
+        "mime_breakdown": {
+            "parent_params": mime.parent_params,
+            "per_task_params": dict(mime.per_task_params),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7: energy and throughput in the two task modes
+# ---------------------------------------------------------------------------
+def _energy_experiment(
+    schedule,
+    config: ExperimentConfig,
+    spec: SystolicArraySpec,
+    mime_profile: LayerSparsityProfile,
+    baseline_profile: LayerSparsityProfile,
+) -> Dict[str, object]:
+    shapes = paper_vgg16_shapes(config)
+    simulator = SystolicArraySimulator(spec)
+    configs = [case1_config(), case2_config(), mime_config()]
+    profiles = _profiles_by_config(mime_profile, baseline_profile)
+    results = simulator.compare(shapes, schedule, profiles, configs, conv_only=True)
+
+    reports = {name: result.energy_report() for name, result in results.items()}
+    case1 = reports["case1-baseline-dense"]
+    case2 = reports["case2-baseline-zeroskip"]
+    mime = reports["mime"]
+    return {
+        "layer_names": _conv_layer_names(shapes),
+        "reports": reports,
+        "results": results,
+        "mime_vs_case1": energy_saving_ratio(case1, mime),
+        "mime_vs_case2": energy_saving_ratio(case2, mime),
+        "case2_vs_case1": energy_saving_ratio(case1, case2),
+    }
+
+
+def figure5_singular_energy(
+    config: ExperimentConfig | None = None,
+    spec: SystolicArraySpec | None = None,
+    mime_profile: LayerSparsityProfile | None = None,
+    baseline_profile: LayerSparsityProfile | None = None,
+    task: str = "cifar10",
+) -> Dict[str, object]:
+    """Layerwise energy in Singular task mode (Fig. 5): Case-1/Case-2/MIME."""
+    config = config or full_config()
+    spec = spec or default_spec()
+    if mime_profile is None or baseline_profile is None:
+        default_mime, default_baseline = paper_sparsity_profiles()
+        mime_profile = mime_profile or default_mime
+        baseline_profile = baseline_profile or default_baseline
+    schedule = singular_task_schedule([task], images_per_task=config.images_per_task_singular)
+    output = _energy_experiment(schedule, config, spec, mime_profile, baseline_profile)
+    output["mode"] = "singular"
+    output["task"] = task
+    return output
+
+
+def figure6_pipelined_energy(
+    config: ExperimentConfig | None = None,
+    spec: SystolicArraySpec | None = None,
+    mime_profile: LayerSparsityProfile | None = None,
+    baseline_profile: LayerSparsityProfile | None = None,
+    tasks: Sequence[str] = ("cifar10", "cifar100", "fmnist"),
+) -> Dict[str, object]:
+    """Layerwise energy in Pipelined task mode (Fig. 6): Case-1/Case-2/MIME."""
+    config = config or full_config()
+    spec = spec or default_spec()
+    if mime_profile is None or baseline_profile is None:
+        default_mime, default_baseline = paper_sparsity_profiles()
+        mime_profile = mime_profile or default_mime
+        baseline_profile = baseline_profile or default_baseline
+    schedule = pipelined_task_schedule(list(tasks), rounds=config.pipelined_rounds)
+    output = _energy_experiment(schedule, config, spec, mime_profile, baseline_profile)
+    output["mode"] = "pipelined"
+    output["tasks"] = list(tasks)
+    return output
+
+
+def figure7_pipelined_throughput(
+    config: ExperimentConfig | None = None,
+    spec: SystolicArraySpec | None = None,
+    mime_profile: LayerSparsityProfile | None = None,
+    baseline_profile: LayerSparsityProfile | None = None,
+    tasks: Sequence[str] = ("cifar10", "cifar100", "fmnist"),
+) -> Dict[str, object]:
+    """Layerwise relative throughput in Pipelined task mode (Fig. 7)."""
+    energy = figure6_pipelined_energy(config, spec, mime_profile, baseline_profile, tasks)
+    results = energy["results"]
+    case1 = results["case1-baseline-dense"]
+    mime = results["mime"]
+    case2 = results["case2-baseline-zeroskip"]
+    mime_report = relative_throughput(case1, mime)
+    case2_report = relative_throughput(case1, case2)
+    return {
+        "layer_names": energy["layer_names"],
+        "mime_vs_case1": dict(mime_report.per_layer),
+        "case2_vs_case1": dict(case2_report.per_layer),
+        "mean_mime_vs_case1": mime_report.mean,
+        "paper_range": paper_data.PIPELINED_THROUGHPUT_IMPROVEMENT,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: MIME vs 90 %-pruned conventional models (pipelined)
+# ---------------------------------------------------------------------------
+def figure8_vs_pruned(
+    config: ExperimentConfig | None = None,
+    spec: SystolicArraySpec | None = None,
+    mime_profile: LayerSparsityProfile | None = None,
+    baseline_profile: LayerSparsityProfile | None = None,
+    weight_sparsity: float = paper_data.PRUNED_MODEL_WEIGHT_SPARSITY,
+    tasks: Sequence[str] = ("cifar10", "cifar100", "fmnist"),
+) -> Dict[str, object]:
+    """Pipelined-mode energy: MIME vs highly pruned per-task models (Fig. 8).
+
+    Returns per-layer total energies for both scenarios plus the ratio
+    ``pruned / mime`` (values above 1 mean MIME wins that layer).
+    """
+    config = config or full_config()
+    spec = spec or default_spec()
+    if mime_profile is None or baseline_profile is None:
+        default_mime, default_baseline = paper_sparsity_profiles()
+        mime_profile = mime_profile or default_mime
+        baseline_profile = baseline_profile or default_baseline
+
+    shapes = paper_vgg16_shapes(config)
+    schedule = pipelined_task_schedule(list(tasks), rounds=config.pipelined_rounds)
+    simulator = SystolicArraySimulator(spec)
+
+    mime_result = simulator.run(shapes, schedule, mime_profile, mime_config(), conv_only=True)
+    pruned_result = simulator.run(
+        shapes,
+        schedule,
+        baseline_profile,
+        pruned_config(weight_density=1.0 - weight_sparsity),
+        conv_only=True,
+    )
+    mime_report = mime_result.energy_report()
+    pruned_report = pruned_result.energy_report()
+    ratio = energy_saving_ratio(pruned_report, mime_report)  # pruned / mime
+
+    # The mechanism the paper describes for the conv2/conv4 crossover is the
+    # parameter DRAM traffic: thresholds outnumber weights in the earliest
+    # layers and the balance flips from conv5 onwards.  Report that traffic
+    # ratio explicitly so the crossover can be checked in isolation from the
+    # compute-energy balance.
+    param_ratio = {
+        layer.name: (
+            pruned_result.layer(layer.name).param_dram_words
+            / max(mime_result.layer(layer.name).param_dram_words, 1e-12)
+        )
+        for layer in mime_result.layers
+    }
+    return {
+        "layer_names": _conv_layer_names(shapes),
+        "mime_total_by_layer": mime_report.layer_totals(),
+        "pruned_total_by_layer": pruned_report.layer_totals(),
+        "pruned_over_mime": ratio,
+        "param_dram_pruned_over_mime": param_ratio,
+        "mime_wins": [name for name, value in ratio.items() if value > 1.0],
+        "pruned_wins": [name for name, value in ratio.items() if value < 1.0],
+        "param_dram_mime_wins": [name for name, value in param_ratio.items() if value > 1.0],
+        "param_dram_pruned_wins": [name for name, value in param_ratio.items() if value < 1.0],
+        "paper_late_layer_saving": paper_data.PRUNED_COMPARISON_LATE_LAYER_SAVING,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: PE-array / cache-size ablation
+# ---------------------------------------------------------------------------
+def figure9_ablation(
+    config: ExperimentConfig | None = None,
+    mime_profile: LayerSparsityProfile | None = None,
+    tasks: Sequence[str] = ("cifar10", "cifar100", "fmnist"),
+    reduced_pe: int = 256,
+    reduced_cache_bytes: int = 128 * 1024,
+) -> Dict[str, object]:
+    """MIME pipelined-mode energy under reduced PE array / cache sizes (Fig. 9)."""
+    config = config or full_config()
+    if mime_profile is None:
+        mime_profile, _ = paper_sparsity_profiles()
+
+    shapes = paper_vgg16_shapes(config)
+    schedule = pipelined_task_schedule(list(tasks), rounds=config.pipelined_rounds)
+
+    specs = {
+        "case_a_default": default_spec(),
+        "case_b_reduced_pe": reduced_pe_spec(reduced_pe),
+        "case_c_reduced_cache": reduced_cache_spec(reduced_cache_bytes),
+    }
+    totals: Dict[str, Dict[str, float]] = {}
+    for name, spec in specs.items():
+        result = SystolicArraySimulator(spec).run(
+            shapes, schedule, mime_profile, mime_config(), conv_only=True
+        )
+        totals[name] = result.energy_report().layer_totals()
+
+    layer_names = _conv_layer_names(shapes)
+    ratio_b = {
+        layer: totals["case_b_reduced_pe"][layer] / totals["case_a_default"][layer]
+        for layer in layer_names
+    }
+    ratio_c = {
+        layer: totals["case_c_reduced_cache"][layer] / totals["case_a_default"][layer]
+        for layer in layer_names
+    }
+    middle_layers = [f"conv{i}" for i in range(5, 11)]
+    return {
+        "layer_names": layer_names,
+        "totals": totals,
+        "case_b_over_a": ratio_b,
+        "case_c_over_a": ratio_c,
+        "case_b_middle_mean": float(np.mean([ratio_b[l] for l in middle_layers if l in ratio_b])),
+        "case_c_middle_mean": float(np.mean([ratio_c[l] for l in middle_layers if l in ratio_c])),
+        "paper_pe_increase_range": paper_data.PE_ABLATION_ENERGY_INCREASE,
+    }

@@ -1,0 +1,94 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints human-readable tables so running
+``pytest benchmarks/ --benchmark-only -s`` shows, for every table/figure of the
+paper, the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.hardware.energy import LayerEnergyReport
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    rows = [[_format(value) for value in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_energy_report(
+    reports: Dict[str, LayerEnergyReport],
+    layer_names: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render per-layer total energy for several scenarios side by side."""
+    scenario_names = list(reports)
+    if layer_names is None:
+        layer_names = reports[scenario_names[0]].layer_names()
+    headers = ["layer"] + scenario_names
+    rows = []
+    for layer in layer_names:
+        row: List[object] = [layer]
+        for name in scenario_names:
+            breakdown = reports[name].per_layer.get(layer)
+            row.append(breakdown.total if breakdown is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_ratio_table(
+    ratios: Dict[str, float], title: str = "", value_name: str = "ratio"
+) -> str:
+    """Render a ``{layer: ratio}`` mapping as a two-column table."""
+    rows = [[layer, value] for layer, value in ratios.items()]
+    return render_table(["layer", value_name], rows, title=title)
+
+
+def render_sparsity_table(
+    rows: Dict[str, Dict[str, object]],
+    layer_names: Sequence[str] | None = None,
+    title: str = "",
+    accuracy_scale: float = 1.0,
+) -> str:
+    """Render a Table II / Table III style accuracy + layerwise sparsity table."""
+    if not rows:
+        return title
+    first_task = next(iter(rows))
+    if layer_names is None:
+        layer_names = list(rows[first_task]["layerwise_sparsity"])
+    headers = ["task", "accuracy"] + list(layer_names)
+    table_rows = []
+    for task, data in rows.items():
+        row: List[object] = [task, float(data["test_accuracy"]) * accuracy_scale]
+        sparsity = data["layerwise_sparsity"]
+        row.extend(sparsity.get(layer, "-") for layer in layer_names)
+        table_rows.append(row)
+    return render_table(headers, table_rows, title=title)

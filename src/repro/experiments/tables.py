@@ -1,0 +1,81 @@
+"""Generators for Table II and Table III of the paper.
+
+Both tables report, per child task, the test accuracy and the average
+layerwise neuronal sparsity.  The generators take a trained
+:class:`repro.experiments.workloads.MultiTaskWorkload` and return plain
+dictionaries so the benchmark harness can print them and compare them against
+the paper's reference values in :mod:`repro.experiments.paper_data`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.workloads import MultiTaskWorkload
+from repro.experiments import paper_data
+
+
+def _table_rows(
+    accuracies: Dict[str, float],
+    sparsities: Dict[str, Dict[str, float]],
+) -> Dict[str, Dict[str, object]]:
+    rows: Dict[str, Dict[str, object]] = {}
+    for task, accuracy in accuracies.items():
+        rows[task] = {
+            "test_accuracy": accuracy,
+            "layerwise_sparsity": dict(sparsities.get(task, {})),
+            "mean_sparsity": (
+                sum(sparsities[task].values()) / len(sparsities[task])
+                if task in sparsities and sparsities[task]
+                else 0.0
+            ),
+        }
+    return rows
+
+
+def table2_mime_accuracy_and_sparsity(workload: MultiTaskWorkload) -> Dict[str, Dict[str, object]]:
+    """Reproduce Table II from the trained surrogate workload.
+
+    Returns ``{task: {"test_accuracy", "layerwise_sparsity", "mean_sparsity"}}``
+    with accuracies in [0, 1] and sparsities in [0, 1].
+    """
+    if not workload.mime_accuracy:
+        raise ValueError("the workload was built without MIME training")
+    sparsities = {task: report.per_layer for task, report in workload.mime_sparsity.items()}
+    return _table_rows(workload.mime_accuracy, sparsities)
+
+
+def table3_baseline_accuracy_and_sparsity(workload: MultiTaskWorkload) -> Dict[str, Dict[str, object]]:
+    """Reproduce Table III (conventional baselines) from the trained workload."""
+    if not workload.baseline_accuracy:
+        raise ValueError("the workload was built without baseline training")
+    sparsities = {task: report.per_layer for task, report in workload.baseline_sparsity.items()}
+    return _table_rows(workload.baseline_accuracy, sparsities)
+
+
+def paper_table2_reference() -> Dict[str, Dict[str, object]]:
+    """Table II exactly as reported in the paper (accuracies in percent)."""
+    return _table_rows(paper_data.MIME_ACCURACY, paper_data.MIME_SPARSITY)
+
+
+def paper_table3_reference() -> Dict[str, Dict[str, object]]:
+    """Table III exactly as reported in the paper (accuracies in percent)."""
+    return _table_rows(paper_data.BASELINE_ACCURACY, paper_data.BASELINE_SPARSITY)
+
+
+def compare_sparsity_ordering(
+    mime_rows: Dict[str, Dict[str, object]],
+    baseline_rows: Dict[str, Dict[str, object]],
+) -> List[str]:
+    """Check the paper's qualitative claim: MIME sparsity exceeds ReLU sparsity.
+
+    Returns the list of tasks for which the claim holds (mean MIME sparsity
+    strictly greater than mean baseline sparsity).
+    """
+    holds: List[str] = []
+    for task in mime_rows:
+        if task not in baseline_rows:
+            continue
+        if mime_rows[task]["mean_sparsity"] > baseline_rows[task]["mean_sparsity"]:
+            holds.append(task)
+    return holds

@@ -1,0 +1,221 @@
+"""Builds and trains the full multi-task surrogate workload.
+
+The workload mirrors the paper's experimental pipeline end to end:
+
+1. train a parent backbone on the parent-task surrogate (stand-in for
+   VGG16/ImageNet);
+2. MIME: freeze the parent weights and train per-child-task thresholds;
+3. conventional baseline: clone the parent and fine-tune all weights per child;
+4. pruned baseline: prune clones at initialisation to 90 % layerwise weight
+   sparsity and train them;
+5. measure per-task layerwise activation sparsity for MIME (threshold masks)
+   and the baselines (ReLU), producing the sparsity profiles the hardware
+   model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.models import build_model
+from repro.models.vgg import VGG
+from repro.datasets import DataLoader, TaskSpec, build_child_tasks, imagenet_surrogate
+from repro.mime import MimeNetwork, ThresholdTrainer, average_sparsity_over_loader, SparsityReport
+from repro.baselines import (
+    SupervisedTrainer,
+    clone_vgg,
+    finetune_child,
+    measure_weight_sparsity,
+    prune_at_init,
+    train_parent,
+)
+from repro.hardware.scenario import LayerSparsityProfile
+from repro.experiments.config import ExperimentConfig, full_config
+from repro.utils.rng import new_rng
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("experiments.workloads")
+
+
+@dataclass
+class MultiTaskWorkload:
+    """Everything produced by training the surrogate multi-task pipeline."""
+
+    config: ExperimentConfig
+    parent_task: TaskSpec
+    child_tasks: List[TaskSpec]
+    parent_model: VGG
+    parent_accuracy: float
+
+    mime_network: MimeNetwork | None = None
+    mime_accuracy: Dict[str, float] = field(default_factory=dict)
+    mime_sparsity: Dict[str, SparsityReport] = field(default_factory=dict)
+
+    baseline_models: Dict[str, VGG] = field(default_factory=dict)
+    baseline_accuracy: Dict[str, float] = field(default_factory=dict)
+    baseline_sparsity: Dict[str, SparsityReport] = field(default_factory=dict)
+
+    pruned_models: Dict[str, VGG] = field(default_factory=dict)
+    pruned_accuracy: Dict[str, float] = field(default_factory=dict)
+    pruned_weight_sparsity: Dict[str, float] = field(default_factory=dict)
+
+    def child_names(self) -> List[str]:
+        return [task.name for task in self.child_tasks]
+
+    def mime_sparsity_profile(self) -> LayerSparsityProfile:
+        """Measured MIME sparsities as a hardware sparsity profile."""
+        per_task = {name: dict(report.per_layer) for name, report in self.mime_sparsity.items()}
+        return LayerSparsityProfile(per_task=per_task)
+
+    def baseline_sparsity_profile(self) -> LayerSparsityProfile:
+        """Measured baseline (ReLU) sparsities as a hardware sparsity profile."""
+        per_task = {name: dict(report.per_layer) for name, report in self.baseline_sparsity.items()}
+        return LayerSparsityProfile(per_task=per_task)
+
+
+def _loader(task: TaskSpec, config: ExperimentConfig, split: str, rng: np.random.Generator) -> DataLoader:
+    dataset = task.train if split == "train" else task.test
+    return DataLoader(dataset, batch_size=config.batch_size, shuffle=split == "train", rng=rng)
+
+
+def build_workload(
+    config: ExperimentConfig | None = None,
+    include_mime: bool = True,
+    include_baselines: bool = True,
+    include_pruned: bool = False,
+    verbose: bool = False,
+) -> MultiTaskWorkload:
+    """Train the surrogate workload described by ``config``.
+
+    ``include_pruned`` is off by default because the 90 %-sparse models are
+    only needed by the Fig. 8 experiment.
+    """
+    config = config or full_config()
+    rng = new_rng(config.seed)
+
+    # --- parent -----------------------------------------------------------------
+    parent_task = imagenet_surrogate(
+        scale=config.task_scale,
+        backbone_size=config.backbone_input_size,
+        samples_per_class=config.samples_per_class or 40,
+        seed=config.seed + 1000,
+    )
+    parent_model = build_model(
+        config.backbone,
+        num_classes=parent_task.num_classes,
+        in_channels=3,
+        input_size=config.backbone_input_size,
+        rng=new_rng(config.seed),
+    )
+    _LOGGER.info("training parent task '%s' (%d classes)", parent_task.name, parent_task.num_classes)
+    _, parent_accuracy = train_parent(
+        parent_model,
+        parent_task,
+        epochs=config.parent_epochs,
+        batch_size=config.batch_size,
+        lr=config.learning_rate,
+        rng=rng,
+        verbose=verbose,
+    )
+
+    child_tasks = build_child_tasks(
+        scale=config.task_scale,
+        backbone_size=config.backbone_input_size,
+        samples_per_class=config.samples_per_class,
+    )
+
+    workload = MultiTaskWorkload(
+        config=config,
+        parent_task=parent_task,
+        child_tasks=child_tasks,
+        parent_model=parent_model,
+        parent_accuracy=parent_accuracy,
+    )
+
+    if include_mime:
+        _train_mime(workload, rng, verbose)
+    if include_baselines:
+        _train_baselines(workload, rng, verbose)
+    if include_pruned:
+        _train_pruned(workload, rng, verbose)
+    return workload
+
+
+def _train_mime(workload: MultiTaskWorkload, rng: np.random.Generator, verbose: bool) -> None:
+    config = workload.config
+    network = MimeNetwork(
+        clone_vgg(workload.parent_model),
+        init_threshold=config.init_threshold,
+    )
+    trainer = ThresholdTrainer(network, lr=config.learning_rate, beta=config.mime_beta)
+    for task in workload.child_tasks:
+        network.add_task(task.name, task.num_classes, rng=rng)
+        _LOGGER.info("training MIME thresholds for '%s'", task.name)
+        trainer.train_task(
+            task.name,
+            _loader(task, config, "train", rng),
+            epochs=config.mime_epochs,
+            verbose=verbose,
+        )
+        _, accuracy = trainer.evaluate(task.name, _loader(task, config, "test", rng))
+        workload.mime_accuracy[task.name] = accuracy
+        network.set_active_task(task.name)
+        workload.mime_sparsity[task.name] = average_sparsity_over_loader(
+            network, _loader(task, config, "test", rng), task=task.name
+        )
+    workload.mime_network = network
+
+
+def _train_baselines(workload: MultiTaskWorkload, rng: np.random.Generator, verbose: bool) -> None:
+    config = workload.config
+    from repro.mime.sparsity import average_sparsity_over_loader as measure
+
+    for task in workload.child_tasks:
+        _LOGGER.info("fine-tuning conventional baseline for '%s'", task.name)
+        child_model, _, accuracy = finetune_child(
+            workload.parent_model,
+            task,
+            epochs=config.child_epochs,
+            batch_size=config.batch_size,
+            lr=config.learning_rate,
+            rng=rng,
+            verbose=verbose,
+        )
+        workload.baseline_models[task.name] = child_model
+        workload.baseline_accuracy[task.name] = accuracy
+        workload.baseline_sparsity[task.name] = measure(
+            child_model, _loader(task, config, "test", rng)
+        )
+
+
+def _train_pruned(workload: MultiTaskWorkload, rng: np.random.Generator, verbose: bool) -> None:
+    config = workload.config
+    for task in workload.child_tasks:
+        _LOGGER.info("training %.0f%%-pruned model for '%s'", config.pruned_sparsity * 100, task.name)
+        model = build_model(
+            config.backbone,
+            num_classes=task.num_classes,
+            in_channels=3,
+            input_size=config.backbone_input_size,
+            rng=new_rng(config.seed + 17),
+        )
+        train_loader = _loader(task, config, "train", rng)
+        masks = prune_at_init(
+            model,
+            sparsity=config.pruned_sparsity,
+            method="snip",
+            batches=iter(train_loader),
+            max_batches=1,
+        )
+        trainer = SupervisedTrainer(
+            model, lr=config.learning_rate, optimizer="adam", weight_masks=masks
+        )
+        trainer.fit(train_loader, epochs=config.child_epochs, verbose=verbose)
+        _, accuracy = trainer.evaluate(_loader(task, config, "test", rng))
+        workload.pruned_models[task.name] = model
+        workload.pruned_accuracy[task.name] = accuracy
+        sparsities = measure_weight_sparsity(model)
+        workload.pruned_weight_sparsity[task.name] = float(np.mean(list(sparsities.values())))

@@ -1,0 +1,63 @@
+"""Eyeriss-style systolic-array hardware model (Section III-B of the paper).
+
+The model is *analytical*: for every weight layer it counts DRAM, cache,
+scratchpad and MAC accesses under an output-stationary dataflow with optional
+zero-skipping, multiplies them by the normalised energy ratios of Table IV
+(200x / 6x / 2x / 1x) and aggregates per layer and per batch.  Task scheduling
+(Singular vs Pipelined mode) determines how often task-specific parameters
+must be re-fetched from DRAM, which is where MIME's weight sharing pays off.
+"""
+
+from repro.hardware.spec import (
+    SystolicArraySpec,
+    default_spec,
+    reduced_pe_spec,
+    reduced_cache_spec,
+)
+from repro.hardware.energy import EnergyBreakdown, LayerEnergyReport, energy_saving_ratio
+from repro.hardware.dataflow import AccessCounts, LayerCostModel
+from repro.hardware.scenario import (
+    LayerSparsityProfile,
+    InferencePass,
+    ParameterSharing,
+    ExecutionConfig,
+    singular_task_schedule,
+    pipelined_task_schedule,
+    parameter_load_events,
+    threshold_load_events,
+    case1_config,
+    case2_config,
+    mime_config,
+    pruned_config,
+)
+from repro.hardware.simulator import SystolicArraySimulator, LayerResult, BatchResult
+from repro.hardware.throughput import ThroughputReport, relative_throughput
+
+__all__ = [
+    "SystolicArraySpec",
+    "default_spec",
+    "reduced_pe_spec",
+    "reduced_cache_spec",
+    "EnergyBreakdown",
+    "LayerEnergyReport",
+    "energy_saving_ratio",
+    "AccessCounts",
+    "LayerCostModel",
+    "LayerSparsityProfile",
+    "InferencePass",
+    "ParameterSharing",
+    "ExecutionConfig",
+    "singular_task_schedule",
+    "pipelined_task_schedule",
+    "parameter_load_events",
+    "threshold_load_events",
+    "case1_config",
+    "case2_config",
+    "mime_config",
+    "pruned_config",
+    "SystolicArraySimulator",
+    "LayerResult",
+    "BatchResult",
+    "ThroughputReport",
+    "relative_throughput",
+]

@@ -1,0 +1,214 @@
+"""Output-stationary dataflow cost model.
+
+The model counts, for one weight layer processed for one input image, the
+number of accesses at every level of the memory hierarchy.  It follows the
+description in Section III-B of the paper and makes the following explicit
+assumptions (all of them are the same abstraction level as the paper's own
+co-simulation; none require cycle-accurate simulation):
+
+* **Output-stationary (OS) tiling.**  The layer's ``N_out`` output neurons are
+  computed in ``ceil(N_out / PE)`` passes; during a pass every PE accumulates
+  one output neuron, so partial sums never leave the PE registers.
+
+* **Parameter (weight / threshold) DRAM traffic.**  Weights are read from DRAM
+  into the weight cache once per *weight-load event* (how often a load event
+  happens is decided by the task schedule — see
+  :mod:`repro.hardware.scenario`).  If the layer's stored weights do not fit in
+  the weight cache, the spatial positions of an output channel span several
+  passes and the channel's weights must be re-streamed from DRAM for each of
+  those passes; this is modelled by the re-fetch factor
+  ``ceil(P / PE)`` with ``P = H_out * W_out`` (this is what penalises small PE
+  arrays in the paper's Fig. 9 for the middle convolutional layers).
+  Task-specific thresholds (MIME) are read once per threshold-load event; they
+  are used exactly once per output neuron so they carry no re-fetch factor.
+
+* **Activation DRAM traffic.**  The previous layer's activations are read from
+  DRAM once per image (non-zero values only when zero-skipping / MIME
+  compression is active) and the layer's outputs are written back once.
+
+* **Cache traffic.**  Operands move cache -> scratchpad once per MAC divided by
+  the architectural scratchpad reuse factor (``spec.spad_reuse``); thresholds
+  add one cache read per output neuron, and outputs add one cache write per
+  produced (non-zero) activation.
+
+* **Zero-skipping.**  When enabled, MACs, operand fetches and activation
+  transfers for zero input activations are skipped entirely (the paper's
+  Case-2 baseline and MIME); zero weights of pruned models are skipped the
+  same way.
+
+* **Compute.**  Every effective MAC costs ``e_mac``; MIME adds one threshold
+  comparison per output neuron at ``e_cmp``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.shapes import LayerShape
+from repro.hardware.spec import SystolicArraySpec
+
+
+@dataclass
+class AccessCounts:
+    """Raw access counts for one layer (per image unless stated otherwise).
+
+    DRAM counts related to parameters (``dram_weight_words``,
+    ``dram_threshold_words``) are *per load event*; the scheduler decides how
+    many load events a batch incurs and scales them accordingly.
+    """
+
+    macs: float = 0.0
+    comparisons: float = 0.0
+    dram_weight_words: float = 0.0
+    dram_threshold_words: float = 0.0
+    dram_act_in_words: float = 0.0
+    dram_act_out_words: float = 0.0
+    cache_weight_reads: float = 0.0
+    cache_act_reads: float = 0.0
+    cache_threshold_reads: float = 0.0
+    cache_act_writes: float = 0.0
+    reg_accesses: float = 0.0
+    passes: int = 0
+    cycles: float = 0.0
+
+    @property
+    def dram_parameter_words(self) -> float:
+        return self.dram_weight_words + self.dram_threshold_words
+
+    @property
+    def dram_activation_words(self) -> float:
+        return self.dram_act_in_words + self.dram_act_out_words
+
+    @property
+    def cache_accesses(self) -> float:
+        return (
+            self.cache_weight_reads
+            + self.cache_act_reads
+            + self.cache_threshold_reads
+            + self.cache_act_writes
+        )
+
+
+class LayerCostModel:
+    """Per-layer access counting under the OS dataflow."""
+
+    def __init__(self, spec: SystolicArraySpec) -> None:
+        self.spec = spec
+
+    # ----------------------------------------------------------------- helpers --
+    def output_passes(self, layer: LayerShape) -> int:
+        """Number of OS passes needed to cover every output neuron once."""
+        return max(1, math.ceil(layer.output_neurons / self.spec.pe_array_size))
+
+    def weight_refetch_factor(self, layer: LayerShape, stored_weight_words: float) -> float:
+        """How many times each stored weight crosses the DRAM interface per load event.
+
+        1.0 when the stored weights fit in the weight cache; otherwise the
+        number of passes an output channel's spatial positions are spread over
+        (``ceil(P / PE)``), because the channel's weights have to be re-streamed
+        for each of those passes once the cache cannot retain the layer.
+        """
+        stored_bytes = stored_weight_words * self.spec.bytes_per_word
+        if stored_bytes <= self.spec.weight_cache_bytes:
+            return 1.0
+        positions = layer.output_h * layer.output_w
+        return float(max(1, math.ceil(positions / self.spec.pe_array_size)))
+
+    # -------------------------------------------------------------------- main --
+    def layer_access_counts(
+        self,
+        layer: LayerShape,
+        input_density: float = 1.0,
+        output_density: float = 1.0,
+        weight_density: float = 1.0,
+        zero_skip: bool = True,
+        use_thresholds: bool = False,
+        first_layer: bool = False,
+        compressed_weight_storage: bool = False,
+        weight_zero_skipping: bool = False,
+    ) -> AccessCounts:
+        """Count accesses for one image through one layer.
+
+        Parameters
+        ----------
+        input_density:
+            Fraction of non-zero input activations (1 - sparsity of the
+            producing layer for this image/task).
+        output_density:
+            Fraction of non-zero output activations this layer produces.
+        weight_density:
+            Fraction of non-zero weights (0.1 for the 90 %-pruned models).
+        compressed_weight_storage:
+            When ``True`` only the non-zero weights cross the DRAM interface
+            (idealised compressed storage); when ``False`` (default, and the
+            paper's architecture) unstructured-sparse weights are stored and
+            fetched in dense layout.
+        weight_zero_skipping:
+            When ``True`` MACs with zero weights are gated off in the PEs
+            (idealised sparse-weight hardware); the paper's array only skips
+            zero activations, so the default is ``False``.
+        zero_skip:
+            Skip computation/communication of zero activations and weights
+            (Case-2 baseline and MIME); when ``False`` everything is dense
+            (Case-1 baseline).
+        use_thresholds:
+            Account for MIME threshold storage traffic and comparisons.
+        first_layer:
+            The first layer's input is the raw image, which is always dense.
+        """
+        self._validate_densities(input_density, output_density, weight_density)
+
+        effective_input_density = 1.0 if first_layer else input_density
+        act_density = effective_input_density if zero_skip else 1.0
+        # Whether zero weights save compute (PE gating) and DRAM traffic
+        # (compressed storage) is an architectural choice; the paper's array
+        # supports neither, so both default to dense behaviour.
+        compute_weight_density = weight_density if weight_zero_skipping else 1.0
+        stored_weight_words = layer.weight_count * (
+            weight_density if compressed_weight_storage else 1.0
+        )
+
+        counts = AccessCounts()
+        counts.passes = self.output_passes(layer)
+
+        # --- compute ------------------------------------------------------------
+        counts.macs = layer.macs * act_density * compute_weight_density
+        if use_thresholds:
+            counts.comparisons = float(layer.output_neurons)
+
+        # --- DRAM ---------------------------------------------------------------
+        counts.dram_weight_words = stored_weight_words * self.weight_refetch_factor(
+            layer, stored_weight_words
+        )
+        if use_thresholds:
+            counts.dram_threshold_words = float(layer.output_neurons)
+        counts.dram_act_in_words = layer.input_activations * act_density
+        out_density = output_density if (zero_skip or use_thresholds) else 1.0
+        counts.dram_act_out_words = layer.output_neurons * out_density
+
+        # --- cache --------------------------------------------------------------
+        operand_fetches = 2.0 * counts.macs / self.spec.spad_reuse
+        counts.cache_weight_reads = operand_fetches / 2.0
+        counts.cache_act_reads = operand_fetches / 2.0
+        if use_thresholds:
+            counts.cache_threshold_reads = float(layer.output_neurons)
+        counts.cache_act_writes = layer.output_neurons * out_density
+
+        # --- scratchpads ----------------------------------------------------------
+        counts.reg_accesses = 3.0 * counts.macs
+        if use_thresholds:
+            counts.reg_accesses += 2.0 * layer.output_neurons
+
+        # --- cycles ---------------------------------------------------------------
+        # Each pass takes as many cycles as MACs mapped onto one PE; with
+        # zero-skipping the skipped MACs take no cycle.
+        utilised_pes = min(self.spec.pe_array_size, layer.output_neurons)
+        counts.cycles = counts.macs / max(1.0, float(utilised_pes)) + counts.passes
+        return counts
+
+    @staticmethod
+    def _validate_densities(*densities: float) -> None:
+        for value in densities:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"density {value} outside [0, 1]")

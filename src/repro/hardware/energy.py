@@ -1,0 +1,91 @@
+"""Energy bookkeeping for the systolic-array model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split across the memory hierarchy, in MAC-normalised units.
+
+    Attributes mirror the stacked bars of Fig. 5/6 of the paper:
+    ``e_dram`` (off-chip accesses), ``e_cache`` (on-chip cache accesses),
+    ``e_reg`` (PE scratchpad accesses) and ``e_mac`` (MAC + comparator compute).
+    """
+
+    e_dram: float = 0.0
+    e_cache: float = 0.0
+    e_reg: float = 0.0
+    e_mac: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.e_dram + self.e_cache + self.e_reg + self.e_mac
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            e_dram=self.e_dram + other.e_dram,
+            e_cache=self.e_cache + other.e_cache,
+            e_reg=self.e_reg + other.e_reg,
+            e_mac=self.e_mac + other.e_mac,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return EnergyBreakdown(
+            e_dram=self.e_dram * factor,
+            e_cache=self.e_cache * factor,
+            e_reg=self.e_reg * factor,
+            e_mac=self.e_mac * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "e_dram": self.e_dram,
+            "e_cache": self.e_cache,
+            "e_reg": self.e_reg,
+            "e_mac": self.e_mac,
+            "total": self.total,
+        }
+
+
+@dataclass
+class LayerEnergyReport:
+    """Per-layer energy breakdowns for one scenario (one bar group of Fig. 5/6)."""
+
+    scenario: str
+    per_layer: Dict[str, EnergyBreakdown] = field(default_factory=dict)
+
+    def add_layer(self, name: str, energy: EnergyBreakdown) -> None:
+        if name in self.per_layer:
+            self.per_layer[name] = self.per_layer[name] + energy
+        else:
+            self.per_layer[name] = energy
+
+    def layer_names(self) -> List[str]:
+        return list(self.per_layer)
+
+    def total(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for energy in self.per_layer.values():
+            total = total + energy
+        return total
+
+    def layer_totals(self, layer_names: Iterable[str] | None = None) -> Dict[str, float]:
+        names = list(layer_names) if layer_names is not None else self.layer_names()
+        return {name: self.per_layer[name].total for name in names}
+
+
+def energy_saving_ratio(reference: LayerEnergyReport, improved: LayerEnergyReport) -> Dict[str, float]:
+    """Per-layer ``reference / improved`` total-energy ratios (savings factors)."""
+    ratios: Dict[str, float] = {}
+    for name, energy in reference.per_layer.items():
+        if name not in improved.per_layer:
+            continue
+        denominator = improved.per_layer[name].total
+        if denominator <= 0:
+            raise ValueError(f"non-positive energy for layer '{name}' in '{improved.scenario}'")
+        ratios[name] = energy.total / denominator
+    return ratios

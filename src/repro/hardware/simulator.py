@@ -1,0 +1,225 @@
+"""The systolic-array batch simulator.
+
+Combines the per-layer cost model (:mod:`repro.hardware.dataflow`), the task
+schedule and the sparsity profile (:mod:`repro.hardware.scenario`) into
+per-layer and per-batch energy/cycle results — the quantities plotted in
+Figures 5, 6, 7, 8 and 9 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.models.shapes import LayerShape
+from repro.hardware.spec import SystolicArraySpec, default_spec
+from repro.hardware.energy import EnergyBreakdown, LayerEnergyReport
+from repro.hardware.dataflow import AccessCounts, LayerCostModel
+from repro.hardware.scenario import (
+    ExecutionConfig,
+    InferencePass,
+    LayerSparsityProfile,
+    ParameterSharing,
+    parameter_load_events,
+    threshold_load_events,
+)
+
+
+@dataclass
+class LayerResult:
+    """Aggregated result for one layer over the whole batch."""
+
+    name: str
+    energy: EnergyBreakdown
+    macs: float
+    dram_words: float
+    param_dram_words: float
+    act_dram_words: float
+    cache_accesses: float
+    reg_accesses: float
+    cycles: float
+    weight_load_events: int
+    threshold_load_events: int
+
+
+@dataclass
+class BatchResult:
+    """Result of simulating one batch schedule under one execution config."""
+
+    scenario: str
+    spec: SystolicArraySpec
+    layers: List[LayerResult] = field(default_factory=list)
+
+    def layer_names(self) -> List[str]:
+        return [layer.name for layer in self.layers]
+
+    def layer(self, name: str) -> LayerResult:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named '{name}' in this result")
+
+    def energy_report(self) -> LayerEnergyReport:
+        report = LayerEnergyReport(scenario=self.scenario)
+        for layer in self.layers:
+            report.add_layer(layer.name, layer.energy)
+        return report
+
+    def total_energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for layer in self.layers:
+            total = total + layer.energy
+        return total
+
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    def cycles_by_layer(self) -> Dict[str, float]:
+        return {layer.name: layer.cycles for layer in self.layers}
+
+
+class SystolicArraySimulator:
+    """Analytical simulator for multi-task inference on the systolic array."""
+
+    def __init__(self, spec: SystolicArraySpec | None = None) -> None:
+        self.spec = spec if spec is not None else default_spec()
+        self._cost_model = LayerCostModel(self.spec)
+
+    # ------------------------------------------------------------------ public --
+    def run(
+        self,
+        shapes: Sequence[LayerShape],
+        schedule: Sequence[InferencePass],
+        profile: LayerSparsityProfile,
+        config: ExecutionConfig,
+        conv_only: bool = False,
+    ) -> BatchResult:
+        """Simulate ``schedule`` through the network described by ``shapes``.
+
+        Parameters
+        ----------
+        shapes:
+            Layer geometry, in network order.
+        schedule:
+            Ordered task labels of the batch's images.
+        profile:
+            Per-task, per-layer output sparsity (only used when the execution
+            config skips zeros or applies thresholds).
+        config:
+            Execution configuration (Case-1 / Case-2 / MIME / pruned).
+        conv_only:
+            Restrict the report to convolutional layers (the paper's figures
+            plot convolutional layers only).
+        """
+        if not shapes:
+            raise ValueError("shapes must not be empty")
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+
+        weight_events = parameter_load_events(schedule, config.sharing)
+        thr_events = threshold_load_events(schedule) if config.use_thresholds else 0
+
+        result = BatchResult(scenario=config.name, spec=self.spec)
+        for index, layer in enumerate(shapes):
+            if conv_only and layer.kind != "conv":
+                continue
+            result.layers.append(
+                self._simulate_layer(
+                    layer, index, shapes, schedule, profile, config, weight_events, thr_events
+                )
+            )
+        return result
+
+    # ----------------------------------------------------------------- private --
+    def _simulate_layer(
+        self,
+        layer: LayerShape,
+        layer_index: int,
+        shapes: Sequence[LayerShape],
+        schedule: Sequence[InferencePass],
+        profile: LayerSparsityProfile,
+        config: ExecutionConfig,
+        weight_events: int,
+        thr_events: int,
+    ) -> LayerResult:
+        spec = self.spec
+
+        # Per-image (data-dependent) access counts, cached per task.
+        per_task_counts: Dict[str, AccessCounts] = {}
+        total_macs = 0.0
+        total_comparisons = 0.0
+        total_act_dram = 0.0
+        total_cache = 0.0
+        total_reg = 0.0
+        total_cycles = 0.0
+        for image in schedule:
+            if image.task not in per_task_counts:
+                per_task_counts[image.task] = self._cost_model.layer_access_counts(
+                    layer,
+                    input_density=profile.input_density(image.task, layer_index, shapes),
+                    output_density=profile.output_density(image.task, layer.name),
+                    weight_density=config.weight_density,
+                    zero_skip=config.zero_skip,
+                    use_thresholds=config.use_thresholds,
+                    first_layer=layer_index == 0,
+                    compressed_weight_storage=config.compressed_weight_storage,
+                    weight_zero_skipping=config.weight_zero_skipping,
+                )
+            counts = per_task_counts[image.task]
+            total_macs += counts.macs
+            total_comparisons += counts.comparisons
+            total_act_dram += counts.dram_activation_words
+            total_cache += counts.cache_accesses
+            total_reg += counts.reg_accesses
+            total_cycles += counts.cycles
+
+        # Parameter traffic is charged per load event, not per image.
+        reference_counts = next(iter(per_task_counts.values()))
+        weight_dram = reference_counts.dram_weight_words * weight_events
+        threshold_dram = reference_counts.dram_threshold_words * thr_events
+        parameter_dram = weight_dram + threshold_dram
+
+        energy = EnergyBreakdown(
+            e_dram=spec.e_dram * (parameter_dram + total_act_dram),
+            e_cache=spec.e_cache * (total_cache + parameter_dram),
+            e_reg=spec.e_reg * total_reg,
+            e_mac=spec.e_mac * total_macs + spec.e_cmp * total_comparisons,
+        )
+        return LayerResult(
+            name=layer.name,
+            energy=energy,
+            macs=total_macs,
+            dram_words=parameter_dram + total_act_dram,
+            param_dram_words=parameter_dram,
+            act_dram_words=total_act_dram,
+            cache_accesses=total_cache + parameter_dram,
+            reg_accesses=total_reg,
+            cycles=total_cycles,
+            weight_load_events=weight_events,
+            threshold_load_events=thr_events,
+        )
+
+    # ------------------------------------------------------------ convenience --
+    def compare(
+        self,
+        shapes: Sequence[LayerShape],
+        schedule: Sequence[InferencePass],
+        profiles: Dict[str, LayerSparsityProfile],
+        configs: Sequence[ExecutionConfig],
+        conv_only: bool = True,
+    ) -> Dict[str, BatchResult]:
+        """Run several execution configs over the same schedule.
+
+        ``profiles`` maps config name -> sparsity profile (Case-1/2 use the
+        baseline ReLU profile, MIME uses the threshold profile).  Configs whose
+        name is missing fall back to a profile registered under ``"default"``.
+        """
+        results: Dict[str, BatchResult] = {}
+        for config in configs:
+            profile = profiles.get(config.name, profiles.get("default"))
+            if profile is None:
+                raise KeyError(
+                    f"no sparsity profile for config '{config.name}' and no 'default' profile"
+                )
+            results[config.name] = self.run(shapes, schedule, profile, config, conv_only=conv_only)
+        return results

@@ -1,0 +1,100 @@
+"""Systolic-array hardware specification (Table IV of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystolicArraySpec:
+    """Parameters of the Eyeriss-style accelerator used in the evaluation.
+
+    All energy values are normalised with respect to the energy of one MAC
+    operation in a PE (``e_mac = 1``), following Table IV of the paper.
+
+    Attributes
+    ----------
+    technology:
+        Process node label (informational only).
+    precision_bits:
+        Bit width of weights, activations, thresholds and partial sums.
+    pe_array_size:
+        Number of processing elements; under the output-stationary dataflow
+        each PE accumulates one output neuron at a time.
+    weight_cache_bytes, activation_cache_bytes, threshold_cache_bytes:
+        On-chip cache capacities.  Table IV lists 156 KB for the
+        (activation, weight, threshold) caches; the paper's cache-reduction
+        ablation shrinks this to 128 KB.
+    spad_bytes:
+        Per-PE scratchpad capacity.
+    e_dram, e_cache, e_reg, e_mac:
+        Normalised energy per access at each level of the hierarchy.
+    e_cmp:
+        Normalised energy of one threshold comparison (CMP unit inside the PE).
+        The paper folds this into the PE; we keep it explicit but equal to one
+        MAC by default.
+    spad_reuse:
+        Average number of MACs served by one cache-to-scratchpad operand fetch
+        (temporal reuse inside the spad window under the OS dataflow).
+    """
+
+    technology: str = "65nm CMOS"
+    precision_bits: int = 16
+    pe_array_size: int = 1024
+    weight_cache_bytes: int = 156 * 1024
+    activation_cache_bytes: int = 156 * 1024
+    threshold_cache_bytes: int = 156 * 1024
+    spad_bytes: int = 512
+    e_dram: float = 200.0
+    e_cache: float = 6.0
+    e_reg: float = 2.0
+    e_mac: float = 1.0
+    e_cmp: float = 1.0
+    spad_reuse: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.precision_bits <= 0:
+            raise ValueError("precision_bits must be positive")
+        if self.pe_array_size <= 0:
+            raise ValueError("pe_array_size must be positive")
+        if min(self.weight_cache_bytes, self.activation_cache_bytes, self.threshold_cache_bytes) <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.spad_bytes <= 0:
+            raise ValueError("spad_bytes must be positive")
+        if min(self.e_dram, self.e_cache, self.e_reg, self.e_mac, self.e_cmp) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.spad_reuse < 1:
+            raise ValueError("spad_reuse must be at least 1")
+
+    @property
+    def bytes_per_word(self) -> float:
+        return self.precision_bits / 8.0
+
+    def weight_cache_words(self) -> int:
+        return int(self.weight_cache_bytes / self.bytes_per_word)
+
+    def activation_cache_words(self) -> int:
+        return int(self.activation_cache_bytes / self.bytes_per_word)
+
+    def threshold_cache_words(self) -> int:
+        return int(self.threshold_cache_bytes / self.bytes_per_word)
+
+
+def default_spec() -> SystolicArraySpec:
+    """Case-A of Fig. 9: PE array 1024, caches 156 KB (the Table IV defaults)."""
+    return SystolicArraySpec()
+
+
+def reduced_pe_spec(pe_array_size: int = 256) -> SystolicArraySpec:
+    """Case-B of Fig. 9: a smaller PE array (default 256), caches unchanged."""
+    return replace(default_spec(), pe_array_size=pe_array_size)
+
+
+def reduced_cache_spec(cache_bytes: int = 128 * 1024) -> SystolicArraySpec:
+    """Case-C of Fig. 9: smaller caches (default 128 KB), PE array unchanged."""
+    return replace(
+        default_spec(),
+        weight_cache_bytes=cache_bytes,
+        activation_cache_bytes=cache_bytes,
+        threshold_cache_bytes=cache_bytes,
+    )

@@ -1,0 +1,54 @@
+"""MIME core: task-specific threshold masks on a frozen parent backbone.
+
+This package implements the paper's contribution:
+
+* :class:`repro.mime.threshold_layer.ThresholdMask` — the per-neuron threshold
+  comparison producing a binary mask (Eq. 1-2) with a piece-wise-linear
+  surrogate gradient for training.
+* :class:`repro.mime.masked_model.MimeNetwork` — a frozen parent backbone with
+  one set of thresholds (and a small classification head) per child task.
+* :class:`repro.mime.trainer.ThresholdTrainer` — trains the thresholds with
+  ``L = L_CE + beta * sum(exp(t))`` (Eq. 3-4).
+* :mod:`repro.mime.sparsity` — layerwise dynamic neuronal sparsity measurement.
+* :mod:`repro.mime.storage` — DRAM storage accounting (Fig. 1 / Fig. 4).
+"""
+
+from repro.mime.threshold_layer import ThresholdMask
+from repro.mime.masked_model import MimeNetwork
+from repro.mime.trainer import ThresholdTrainer, TrainingHistory
+from repro.mime.regularization import ThresholdRegularizer
+from repro.mime.task_manager import TaskRegistry, TaskParameters
+from repro.mime.sparsity import (
+    measure_mime_sparsity,
+    measure_relu_sparsity,
+    average_sparsity_over_loader,
+    SparsityReport,
+)
+from repro.mime.storage import (
+    StorageModel,
+    StorageBreakdown,
+    conventional_storage,
+    mime_storage,
+    storage_saving_ratio,
+    storage_vs_num_tasks,
+)
+
+__all__ = [
+    "ThresholdMask",
+    "MimeNetwork",
+    "ThresholdTrainer",
+    "TrainingHistory",
+    "ThresholdRegularizer",
+    "TaskRegistry",
+    "TaskParameters",
+    "measure_mime_sparsity",
+    "measure_relu_sparsity",
+    "average_sparsity_over_loader",
+    "SparsityReport",
+    "StorageModel",
+    "StorageBreakdown",
+    "conventional_storage",
+    "mime_storage",
+    "storage_saving_ratio",
+    "storage_vs_num_tasks",
+]

@@ -1,0 +1,269 @@
+"""The MIME multi-task network: a frozen parent backbone with per-task thresholds.
+
+Construction takes a trained VGG backbone, freezes every backbone parameter
+(``W_parent``), and replaces each post-convolution (and, optionally,
+post-hidden-FC) ReLU with a :class:`repro.mime.threshold_layer.ThresholdMask`.
+For every registered child task the network stores
+
+* one threshold tensor per masked layer (``T_child``), and
+* a small task-specific classification head (the paper's child tasks have
+  different class counts, so some output layer must be task-owned; its size is
+  accounted for in the storage model and is negligible next to ``W_parent``).
+
+Switching the *active task* rebinds the mask thresholds and the head
+parameters; the backbone weights are shared by construction, which is exactly
+the property the pipelined-mode hardware analysis exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Parameter
+from repro.nn import init as nn_init
+from repro.models.vgg import VGG
+from repro.mime.threshold_layer import ThresholdMask
+from repro.mime.task_manager import TaskParameters, TaskRegistry
+from repro.utils.rng import new_rng
+
+
+class MimeNetwork(Module):
+    """Multi-task inference network built around frozen parent weights.
+
+    Parameters
+    ----------
+    backbone:
+        A (typically parent-task-trained) :class:`repro.models.vgg.VGG`.  Its
+        parameters are frozen in place.
+    init_threshold:
+        Initial value of every threshold parameter (must be positive).
+    surrogate_width:
+        Width of the piece-wise-linear surrogate gradient of the masks.
+    mask_classifier_hidden:
+        Also mask the hidden fully-connected layers of the classifier (the
+        paper thresholds every neuron, including the FC layers it labels
+        conv14/conv15).
+    """
+
+    def __init__(
+        self,
+        backbone: VGG,
+        init_threshold: float = 0.05,
+        surrogate_width: float = 1.0,
+        mask_classifier_hidden: bool = True,
+    ) -> None:
+        super().__init__()
+        if not isinstance(backbone, VGG):
+            raise TypeError("MimeNetwork expects a repro.models.vgg.VGG backbone")
+        self.backbone = backbone
+        self.backbone.freeze()
+        self.init_threshold = init_threshold
+        self.surrogate_width = surrogate_width
+        self.mask_classifier_hidden = mask_classifier_hidden
+
+        self._feature_layers: List[Module] = []
+        self._classifier_layers: List[Module] = []
+        self._masks: List[ThresholdMask] = []
+        self._head_in_features: int = 0
+        self._build_masked_pipeline()
+
+        # The head is a shared Linear whose parameters are re-bound per task.
+        self.head = Linear(self._head_in_features, 1)
+        self.registry = TaskRegistry()
+        self._rng = new_rng()
+
+    # ------------------------------------------------------------------ build --
+    def _build_masked_pipeline(self) -> None:
+        """Copy the backbone layer sequence, swapping ReLUs for threshold masks."""
+        in_shape: Tuple[int, ...] = (
+            self.backbone.in_channels,
+            self.backbone.input_size,
+            self.backbone.input_size,
+        )
+        current = in_shape
+        conv_index = 0
+
+        for layer in self.backbone.features:
+            if isinstance(layer, ReLU):
+                conv_name = f"conv{conv_index}"
+                mask = ThresholdMask(
+                    current,
+                    init_threshold=self.init_threshold,
+                    surrogate_width=self.surrogate_width,
+                    name=conv_name,
+                )
+                self._feature_layers.append(mask)
+                self._masks.append(mask)
+                setattr(self, f"mask_{conv_name}", mask)
+                continue
+            if isinstance(layer, Conv2d):
+                conv_index += 1
+            self._feature_layers.append(layer)
+            if hasattr(layer, "output_shape"):
+                current = tuple(layer.output_shape(current))
+
+        layer_index = conv_index
+        flat = int(np.prod(current))
+        current = (flat,)
+        classifier_modules = list(self.backbone.classifier)
+        if not classifier_modules or not isinstance(classifier_modules[-1], Linear):
+            raise ValueError("the backbone classifier must end in a Linear layer")
+        trunk, final = classifier_modules[:-1], classifier_modules[-1]
+
+        for layer in trunk:
+            if isinstance(layer, ReLU):
+                if self.mask_classifier_hidden:
+                    fc_name = f"fc{layer_index}"
+                    mask = ThresholdMask(
+                        current,
+                        init_threshold=self.init_threshold,
+                        surrogate_width=self.surrogate_width,
+                        name=fc_name,
+                    )
+                    self._classifier_layers.append(mask)
+                    self._masks.append(mask)
+                    setattr(self, f"mask_{fc_name}", mask)
+                else:
+                    self._classifier_layers.append(layer)
+                continue
+            if isinstance(layer, Linear):
+                layer_index += 1
+            self._classifier_layers.append(layer)
+            if hasattr(layer, "output_shape"):
+                current = tuple(layer.output_shape(current))
+
+        self._head_in_features = final.in_features
+
+    # ------------------------------------------------------------- task admin --
+    def add_task(
+        self,
+        name: str,
+        num_classes: int,
+        rng: np.random.Generator | None = None,
+    ) -> TaskParameters:
+        """Register a child task: allocate its thresholds and classification head."""
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        rng = rng if rng is not None else self._rng
+        thresholds = [
+            Parameter(np.full(mask.neuron_shape, float(self.init_threshold)))
+            for mask in self._masks
+        ]
+        head_weight = Parameter(
+            nn_init.kaiming_uniform(
+                (num_classes, self._head_in_features), fan_in=self._head_in_features, rng=rng
+            )
+        )
+        bound = 1.0 / np.sqrt(self._head_in_features)
+        head_bias = Parameter(nn_init.uniform((num_classes,), -bound, bound, rng=rng))
+        task = TaskParameters(
+            name=name,
+            num_classes=num_classes,
+            thresholds=thresholds,
+            head_weight=head_weight,
+            head_bias=head_bias,
+        )
+        self.registry.register(task)
+        if len(self.registry) == 1:
+            self.set_active_task(name)
+        return task
+
+    def set_active_task(self, name: str) -> TaskParameters:
+        """Make ``name`` the task whose thresholds/head the forward pass uses."""
+        task = self.registry.set_active(name)
+        for mask, thresholds in zip(self._masks, task.thresholds):
+            mask.thresholds = thresholds
+        self.head.weight = task.head_weight
+        self.head.bias = task.head_bias
+        self.head.out_features = task.num_classes
+        return task
+
+    @property
+    def active_task(self) -> str:
+        return self.registry.active_name
+
+    def task_names(self) -> List[str]:
+        return self.registry.names()
+
+    # ---------------------------------------------------------------- forward --
+    def forward(self, x: np.ndarray, task: str | None = None) -> np.ndarray:
+        if task is not None and task != self.registry.active_name:
+            self.set_active_task(task)
+        if len(self.registry) == 0:
+            raise RuntimeError("no task registered; call add_task() first")
+        for layer in self._feature_layers:
+            x = layer(x)
+        x = x.reshape(x.shape[0], -1)
+        for layer in self._classifier_layers:
+            x = layer(x)
+        return self.head(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output)
+        for layer in reversed(self._classifier_layers):
+            grad = layer.backward(grad)
+        # Undo the flatten between features and classifier.
+        first_mask_shape = self._feature_output_shape()
+        grad = grad.reshape((grad.shape[0],) + first_mask_shape)
+        for layer in reversed(self._feature_layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def _feature_output_shape(self) -> Tuple[int, ...]:
+        shape: Tuple[int, ...] = (
+            self.backbone.in_channels,
+            self.backbone.input_size,
+            self.backbone.input_size,
+        )
+        for layer in self._feature_layers:
+            if hasattr(layer, "output_shape"):
+                shape = tuple(layer.output_shape(shape))
+        return shape
+
+    # ------------------------------------------------------------- train mode --
+    def train(self, mode: bool = True) -> "MimeNetwork":
+        """Switch training mode while keeping the frozen backbone in eval mode.
+
+        The parent's BatchNorm running statistics are part of ``W_parent`` and
+        must not drift while child-task thresholds are trained, so backbone
+        normalisation and dropout layers stay in inference mode.
+        """
+        super().train(mode)
+        for layer in self._feature_layers + self._classifier_layers:
+            if isinstance(layer, (BatchNorm1d, BatchNorm2d, Dropout)):
+                layer.train(False)
+        self.backbone.train(False)
+        return self
+
+    # ------------------------------------------------------------ introspection --
+    def masks(self) -> List[ThresholdMask]:
+        """The threshold masks in network order."""
+        return list(self._masks)
+
+    def masked_layer_names(self) -> List[str]:
+        """Names of the masked layers (``conv1`` ... ``fcK``), in network order."""
+        return [mask.layer_name for mask in self._masks]
+
+    def sparsity_by_layer(self) -> Dict[str, float]:
+        """Per-layer dynamic sparsity observed in the most recent forward pass."""
+        return {mask.layer_name: mask.last_sparsity() for mask in self._masks}
+
+    def threshold_counts(self) -> Dict[str, int]:
+        """Number of threshold parameters per masked layer."""
+        return {mask.layer_name: mask.num_thresholds() for mask in self._masks}
+
+    def num_threshold_parameters(self) -> int:
+        """Total threshold parameters stored per child task."""
+        return sum(mask.num_thresholds() for mask in self._masks)
+
+    def trainable_parameters(self, task: str | None = None) -> List[Parameter]:
+        """Parameters to optimise for ``task`` (default: the active task)."""
+        record = self.registry.get(task) if task is not None else self.registry.active
+        return record.trainable_parameters()
+
+    def parent_parameter_count(self) -> int:
+        """Number of shared (frozen) backbone parameters — the size of W_parent."""
+        return self.backbone.num_parameters()

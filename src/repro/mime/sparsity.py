@@ -1,0 +1,114 @@
+"""Layerwise neuronal-sparsity measurement.
+
+Tables II and III of the paper report, per convolutional layer, the average
+fraction of zero output activations:
+
+* for MIME the zeros come from the threshold masks (dynamic neuronal pruning);
+* for the conventional baselines they come from ReLU zeroing negative MAC
+  outputs.
+
+Both are measured the same way here: run batches through the model and average
+each layer's zero fraction over all evaluated inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.nn import Conv2d, ReLU
+from repro.models.vgg import VGG
+from repro.mime.masked_model import MimeNetwork
+
+
+@dataclass
+class SparsityReport:
+    """Average layerwise sparsity plus summary statistics.
+
+    Attributes
+    ----------
+    per_layer:
+        Mapping from layer name (``conv1`` ...) to mean sparsity in [0, 1].
+    num_samples:
+        Number of images the averages were computed over.
+    """
+
+    per_layer: Dict[str, float] = field(default_factory=dict)
+    num_samples: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean sparsity across layers (0 when no layers were recorded)."""
+        if not self.per_layer:
+            return 0.0
+        return float(np.mean(list(self.per_layer.values())))
+
+    def layer_names(self) -> List[str]:
+        return list(self.per_layer)
+
+    def as_vector(self, layer_names: Iterable[str] | None = None) -> np.ndarray:
+        """Sparsities as an array ordered by ``layer_names`` (or insertion order)."""
+        names = list(layer_names) if layer_names is not None else self.layer_names()
+        return np.array([self.per_layer[name] for name in names])
+
+
+def measure_mime_sparsity(model: MimeNetwork, images: np.ndarray, task: str | None = None) -> Dict[str, float]:
+    """Sparsity of every threshold mask for a single batch of ``images``."""
+    model.eval()
+    model.forward(images, task=task)
+    return model.sparsity_by_layer()
+
+
+def measure_relu_sparsity(model: VGG, images: np.ndarray) -> Dict[str, float]:
+    """Sparsity of the post-convolution ReLUs of a conventional VGG for one batch.
+
+    Only feature-extractor ReLUs (those that follow a convolution) are reported,
+    labelled ``conv1`` ... ``convN`` in network order to match Table III.
+    """
+    model.eval()
+    model.forward(images)
+    sparsities: Dict[str, float] = {}
+    conv_index = 0
+    for layer in model.features:
+        if isinstance(layer, Conv2d):
+            conv_index += 1
+        elif isinstance(layer, ReLU):
+            sparsities[f"conv{conv_index}"] = layer.last_sparsity()
+    return sparsities
+
+
+def _accumulate(
+    totals: Dict[str, float], counts: Dict[str, int], batch_sparsity: Dict[str, float], batch_size: int
+) -> None:
+    for name, value in batch_sparsity.items():
+        totals[name] = totals.get(name, 0.0) + value * batch_size
+        counts[name] = counts.get(name, 0) + batch_size
+
+
+def average_sparsity_over_loader(
+    model,
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+    task: str | None = None,
+    max_batches: int | None = None,
+) -> SparsityReport:
+    """Average layerwise sparsity of ``model`` over an iterable of ``(images, labels)``.
+
+    Works for both :class:`MimeNetwork` (threshold masks) and plain
+    :class:`repro.models.vgg.VGG` baselines (ReLU sparsity).
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    seen = 0
+    for batch_index, (images, _) in enumerate(batches):
+        if max_batches is not None and batch_index >= max_batches:
+            break
+        if isinstance(model, MimeNetwork):
+            batch_sparsity = measure_mime_sparsity(model, images, task=task)
+        else:
+            batch_sparsity = measure_relu_sparsity(model, images)
+        _accumulate(totals, counts, batch_sparsity, images.shape[0])
+        seen += images.shape[0]
+    per_layer = {name: totals[name] / counts[name] for name in totals}
+    return SparsityReport(per_layer=per_layer, num_samples=seen)

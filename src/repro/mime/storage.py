@@ -1,0 +1,199 @@
+"""Off-chip DRAM storage accounting (Fig. 1 and Fig. 4 of the paper).
+
+Conventional multi-task inference stores one fine-tuned weight set per child
+task in addition to (or instead of) the parent's weights.  MIME stores the
+parent weights once plus a set of per-task threshold parameters (and a tiny
+task head).  With 16-bit parameters the storage in bytes follows directly from
+the parameter counts, which this module derives from
+:class:`repro.models.shapes.LayerShape` records so the numbers stay consistent
+with the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.models.shapes import LayerShape
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Assumptions for the storage comparison.
+
+    Attributes
+    ----------
+    precision_bits:
+        Bits per stored parameter (weights, biases and thresholds).  The paper
+        uses 16-bit values throughout (Table IV).
+    store_parent_conventional:
+        Whether the conventional scenario also keeps the parent task's weights
+        in DRAM (the paper's Fig. 4 stores the parent task and its child tasks).
+    include_task_heads:
+        Whether MIME's per-task classification heads are counted in its storage
+        (they are tiny but we account for them for fairness).
+    threshold_layers:
+        Which layers carry thresholds: ``"all"`` (conv + hidden FC, default) or
+        ``"conv"`` (convolutions only).
+    """
+
+    precision_bits: int = 16
+    store_parent_conventional: bool = True
+    include_task_heads: bool = True
+    threshold_layers: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.precision_bits <= 0:
+            raise ValueError("precision_bits must be positive")
+        if self.threshold_layers not in ("all", "conv"):
+            raise ValueError("threshold_layers must be 'all' or 'conv'")
+
+    @property
+    def bytes_per_param(self) -> float:
+        return self.precision_bits / 8.0
+
+
+@dataclass
+class StorageBreakdown:
+    """Parameter counts and byte totals for one storage scenario."""
+
+    scenario: str
+    parent_params: int = 0
+    per_task_params: Dict[str, int] = field(default_factory=dict)
+    bytes_per_param: float = 2.0
+
+    @property
+    def total_params(self) -> int:
+        return self.parent_params + sum(self.per_task_params.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_params * self.bytes_per_param
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+# ---------------------------------------------------------------------------
+# Parameter counting from layer shapes
+# ---------------------------------------------------------------------------
+def count_weight_parameters(shapes: Sequence[LayerShape], include_bias: bool = True) -> int:
+    """Weights (and optionally biases) of a full model described by ``shapes``."""
+    total = 0
+    for shape in shapes:
+        total += shape.weight_count
+        if include_bias:
+            total += shape.bias_count
+    return total
+
+
+def count_threshold_parameters(
+    shapes: Sequence[LayerShape], threshold_layers: str = "all"
+) -> int:
+    """Threshold parameters stored per child task for a model described by ``shapes``.
+
+    One threshold per output neuron of every thresholded layer; the final
+    classification layer is never thresholded (its outputs are the logits).
+    """
+    if threshold_layers not in ("all", "conv"):
+        raise ValueError("threshold_layers must be 'all' or 'conv'")
+    if not shapes:
+        return 0
+    total = 0
+    for shape in shapes[:-1]:  # the last layer is the classifier output
+        if threshold_layers == "conv" and shape.kind != "conv":
+            continue
+        total += shape.output_neurons
+    return total
+
+
+def head_parameters(shapes: Sequence[LayerShape]) -> int:
+    """Parameters of the final classification layer (per-task head in MIME)."""
+    if not shapes:
+        return 0
+    final = shapes[-1]
+    return final.weight_count + final.bias_count
+
+
+# ---------------------------------------------------------------------------
+# Scenario builders
+# ---------------------------------------------------------------------------
+def conventional_storage(
+    parent_shapes: Sequence[LayerShape],
+    child_shapes: Dict[str, Sequence[LayerShape]],
+    model: StorageModel | None = None,
+) -> StorageBreakdown:
+    """DRAM storage of conventional multi-task inference.
+
+    Every child task keeps its own complete fine-tuned weight set; the parent's
+    weights are additionally stored when ``model.store_parent_conventional``.
+    """
+    model = model or StorageModel()
+    breakdown = StorageBreakdown("conventional", bytes_per_param=model.bytes_per_param)
+    if model.store_parent_conventional:
+        breakdown.parent_params = count_weight_parameters(parent_shapes)
+    for task, shapes in child_shapes.items():
+        breakdown.per_task_params[task] = count_weight_parameters(shapes)
+    return breakdown
+
+
+def mime_storage(
+    parent_shapes: Sequence[LayerShape],
+    child_shapes: Dict[str, Sequence[LayerShape]],
+    model: StorageModel | None = None,
+) -> StorageBreakdown:
+    """DRAM storage of MIME: shared parent weights + per-task thresholds (+ heads)."""
+    model = model or StorageModel()
+    breakdown = StorageBreakdown("mime", bytes_per_param=model.bytes_per_param)
+    breakdown.parent_params = count_weight_parameters(parent_shapes)
+    for task, shapes in child_shapes.items():
+        per_task = count_threshold_parameters(shapes, model.threshold_layers)
+        if model.include_task_heads:
+            per_task += head_parameters(shapes)
+        breakdown.per_task_params[task] = per_task
+    return breakdown
+
+
+def storage_saving_ratio(
+    conventional: StorageBreakdown, mime: StorageBreakdown
+) -> float:
+    """The memory-efficiency factor reported in Fig. 4 (~3.48x for 3 child tasks)."""
+    if mime.total_bytes <= 0:
+        raise ValueError("MIME storage must be positive")
+    return conventional.total_bytes / mime.total_bytes
+
+
+def storage_vs_num_tasks(
+    parent_shapes: Sequence[LayerShape],
+    child_shapes_template: Sequence[LayerShape],
+    max_tasks: int,
+    model: StorageModel | None = None,
+) -> Dict[str, List[float]]:
+    """Storage (in MB) as a function of the number of child tasks (Fig. 1 / Fig. 4).
+
+    Child tasks are assumed architecturally identical to ``child_shapes_template``
+    (the paper's children all reuse the VGG16 topology).  Returns the number of
+    tasks, both storage curves and the per-point saving ratio.
+    """
+    if max_tasks <= 0:
+        raise ValueError("max_tasks must be positive")
+    model = model or StorageModel()
+    num_tasks: List[float] = []
+    conventional_mb: List[float] = []
+    mime_mb: List[float] = []
+    ratios: List[float] = []
+    for n in range(1, max_tasks + 1):
+        children = {f"child{i}": child_shapes_template for i in range(n)}
+        conv = conventional_storage(parent_shapes, children, model)
+        mime = mime_storage(parent_shapes, children, model)
+        num_tasks.append(float(n))
+        conventional_mb.append(conv.total_megabytes)
+        mime_mb.append(mime.total_megabytes)
+        ratios.append(storage_saving_ratio(conv, mime))
+    return {
+        "num_tasks": num_tasks,
+        "conventional_mb": conventional_mb,
+        "mime_mb": mime_mb,
+        "saving_ratio": ratios,
+    }

@@ -1,0 +1,136 @@
+"""Per-task parameter bookkeeping for MIME.
+
+A :class:`MimeNetwork` owns exactly one set of frozen backbone weights
+(``W_parent``) and, for every registered child task, a
+:class:`TaskParameters` record holding that task's threshold tensors and its
+(small) classification head.  The :class:`TaskRegistry` stores these records,
+switches the active task, and serialises them so the artefacts the paper says
+must live in DRAM — ``{W_parent, T_child-1, ..., T_child-n}`` — can be
+checkpointed and re-loaded independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+@dataclass
+class TaskParameters:
+    """Everything MIME stores for one child task.
+
+    Attributes
+    ----------
+    name:
+        Task name.
+    num_classes:
+        Number of classes of the task head.
+    thresholds:
+        One :class:`Parameter` per masked layer, in network order.
+    head_weight, head_bias:
+        Parameters of the task-specific output layer.
+    """
+
+    name: str
+    num_classes: int
+    thresholds: List[Parameter] = field(default_factory=list)
+    head_weight: Parameter | None = None
+    head_bias: Parameter | None = None
+
+    def trainable_parameters(self) -> List[Parameter]:
+        """Parameters updated while training this task (thresholds + head)."""
+        params = list(self.thresholds)
+        if self.head_weight is not None:
+            params.append(self.head_weight)
+        if self.head_bias is not None:
+            params.append(self.head_bias)
+        return params
+
+    def num_threshold_values(self) -> int:
+        """Total number of threshold scalars stored for this task."""
+        return sum(int(np.prod(p.shape)) for p in self.thresholds)
+
+    def num_head_values(self) -> int:
+        """Total number of head parameters stored for this task."""
+        total = 0
+        if self.head_weight is not None:
+            total += self.head_weight.size
+        if self.head_bias is not None:
+            total += self.head_bias.size
+        return total
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat state for checkpointing this task's parameters."""
+        state: Dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.thresholds):
+            state[f"threshold.{index}"] = param.data.copy()
+        if self.head_weight is not None:
+            state["head.weight"] = self.head_weight.data.copy()
+        if self.head_bias is not None:
+            state["head.bias"] = self.head_bias.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore this task's parameters from :meth:`state_dict` output."""
+        for index, param in enumerate(self.thresholds):
+            key = f"threshold.{index}"
+            if key not in state:
+                raise KeyError(f"missing '{key}' in task state")
+            if state[key].shape != param.data.shape:
+                raise ValueError(f"shape mismatch for '{key}'")
+            param.data = state[key].copy()
+        if self.head_weight is not None:
+            self.head_weight.data = state["head.weight"].copy()
+        if self.head_bias is not None:
+            self.head_bias.data = state["head.bias"].copy()
+
+
+class TaskRegistry:
+    """Ordered registry of the child tasks known to a :class:`MimeNetwork`."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, TaskParameters] = {}
+        self._active: str | None = None
+
+    def register(self, task: TaskParameters) -> None:
+        if task.name in self._tasks:
+            raise ValueError(f"task '{task.name}' is already registered")
+        self._tasks[task.name] = task
+        if self._active is None:
+            self._active = task.name
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[TaskParameters]:
+        return iter(self._tasks.values())
+
+    def names(self) -> List[str]:
+        return list(self._tasks)
+
+    def get(self, name: str) -> TaskParameters:
+        if name not in self._tasks:
+            raise KeyError(f"unknown task '{name}'; registered: {self.names()}")
+        return self._tasks[name]
+
+    @property
+    def active_name(self) -> str:
+        if self._active is None:
+            raise RuntimeError("no task has been registered yet")
+        return self._active
+
+    def set_active(self, name: str) -> TaskParameters:
+        task = self.get(name)
+        self._active = name
+        return task
+
+    @property
+    def active(self) -> TaskParameters:
+        return self.get(self.active_name)

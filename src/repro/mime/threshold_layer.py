@@ -1,0 +1,120 @@
+"""The MIME threshold-mask layer.
+
+Implements equations (1) and (2) of the paper: each output neuron *i* of a
+layer owns a threshold ``t_i > 0``; the MAC output ``y_i`` is compared against
+it to form a binary mask ``m_i = 1[y_i - t_i >= 0]`` and the activation is
+``a_i = y_i * m_i``.  During training the step function's derivative is
+replaced by a piece-wise-linear surrogate (Fig. 3a of the paper, following
+Dynamic Sparse Training), so gradients flow both to the thresholds and to
+upstream layers through the masked path.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import functional as F
+
+
+class ThresholdMask(Module):
+    """Per-neuron threshold comparison and masking.
+
+    Parameters
+    ----------
+    neuron_shape:
+        Shape of one sample's pre-activation at this point of the network,
+        e.g. ``(C, H, W)`` after a convolution or ``(features,)`` after a
+        fully-connected layer.  One threshold is learned per entry.
+    init_threshold:
+        Initial threshold value.  The paper requires ``t_i > 0``; a small
+        positive constant starts training close to (but not identical to) the
+        behaviour of a linear layer with mild pruning.
+    surrogate_width:
+        Half-width of the piece-wise-linear surrogate gradient window.
+    name:
+        Optional label (usually the backbone layer it masks, e.g. ``conv5``).
+    """
+
+    def __init__(
+        self,
+        neuron_shape: Tuple[int, ...],
+        init_threshold: float = 0.05,
+        surrogate_width: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__()
+        if any(dim <= 0 for dim in neuron_shape):
+            raise ValueError(f"invalid neuron shape {neuron_shape}")
+        if init_threshold <= 0:
+            raise ValueError("the paper requires strictly positive thresholds")
+        if surrogate_width <= 0:
+            raise ValueError("surrogate_width must be positive")
+        self.neuron_shape = tuple(int(d) for d in neuron_shape)
+        self.surrogate_width = surrogate_width
+        self.layer_name = name
+
+        self.thresholds = Parameter(np.full(self.neuron_shape, float(init_threshold)))
+
+        self._pre_activation: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
+
+    # -- forward / backward -------------------------------------------------------
+    def forward(self, pre_activation: np.ndarray) -> np.ndarray:
+        if pre_activation.shape[1:] != self.neuron_shape:
+            raise ValueError(
+                f"pre-activation shape {pre_activation.shape[1:]} does not match the "
+                f"threshold shape {self.neuron_shape}"
+            )
+        thresholds = self.thresholds.data[None, ...]
+        mask = F.threshold_mask(pre_activation, thresholds)
+        self._pre_activation = pre_activation
+        self._mask = mask
+        return pre_activation * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._pre_activation is None or self._mask is None:
+            raise RuntimeError("backward called before forward")
+        y = self._pre_activation
+        mask = self._mask
+        diff = y - self.thresholds.data[None, ...]
+        surrogate = F.piecewise_linear_ste(diff, self.surrogate_width)
+
+        # a = y * step(y - t)
+        # da/dy = step(y - t) + y * step'(y - t)
+        # da/dt = -y * step'(y - t)
+        grad_input = grad_output * (mask + y * surrogate)
+        grad_thresholds = -(grad_output * y * surrogate).sum(axis=0)
+        self.thresholds.accumulate_grad(grad_thresholds)
+        return grad_input
+
+    # -- introspection -------------------------------------------------------------
+    def last_mask(self) -> np.ndarray:
+        """Binary mask produced by the most recent forward pass."""
+        if self._mask is None:
+            raise RuntimeError("no forward pass has been run yet")
+        return self._mask
+
+    def last_sparsity(self) -> float:
+        """Fraction of neurons pruned (mask == 0) in the most recent forward pass."""
+        if self._mask is None:
+            raise RuntimeError("no forward pass has been run yet")
+        return float(1.0 - self._mask.mean())
+
+    def num_thresholds(self) -> int:
+        """Number of threshold parameters (= number of output neurons masked)."""
+        return int(np.prod(self.neuron_shape))
+
+    def regularization_value(self) -> float:
+        """The layer's contribution to ``L_t = sum_i exp(t_i)`` (Eq. 4)."""
+        return float(np.exp(self.thresholds.data).sum())
+
+    def accumulate_regularization_grad(self, beta: float) -> None:
+        """Add ``beta * d/dt sum(exp(t)) = beta * exp(t)`` to the threshold gradient."""
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        if beta == 0.0:
+            return
+        self.thresholds.accumulate_grad(beta * np.exp(self.thresholds.data))

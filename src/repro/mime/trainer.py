@@ -1,0 +1,201 @@
+"""Threshold training (Section III-A of the paper).
+
+For each child task the trainer freezes ``W_parent`` (already enforced by
+:class:`repro.mime.masked_model.MimeNetwork`), and optimises only that task's
+threshold tensors and classification head with
+
+``L = L_CE + beta * sum_layers sum_i exp(t_i)``
+
+using Adam — the paper trains for 10 epochs with a learning rate of 1e-3 and
+``beta = 1e-6``, which are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.nn import Adam, CrossEntropyLoss, SGD, accuracy
+from repro.datasets.base import DataLoader
+from repro.mime.masked_model import MimeNetwork
+from repro.mime.regularization import ThresholdRegularizer
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("mime.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves for one child task."""
+
+    task: str
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    regularization: List[float] = field(default_factory=list)
+    mean_sparsity: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def final_train_accuracy(self) -> float:
+        if not self.train_accuracy:
+            raise RuntimeError("no epochs have been recorded")
+        return self.train_accuracy[-1]
+
+    def final_val_accuracy(self) -> float:
+        if not self.val_accuracy:
+            raise RuntimeError("no validation epochs have been recorded")
+        return self.val_accuracy[-1]
+
+
+class ThresholdTrainer:
+    """Trains MIME threshold parameters (and task heads) on child tasks.
+
+    Parameters
+    ----------
+    model:
+        The multi-task :class:`MimeNetwork`.
+    lr:
+        Learning rate (paper: 1e-3).
+    beta:
+        Threshold-regularisation strength (paper: 1e-6).
+    optimizer:
+        ``"adam"`` (paper default) or ``"sgd"``.
+    """
+
+    def __init__(
+        self,
+        model: MimeNetwork,
+        lr: float = 1e-3,
+        beta: float = 1e-6,
+        optimizer: str = "adam",
+    ) -> None:
+        if optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        self.model = model
+        self.lr = lr
+        self.optimizer_name = optimizer
+        self.regularizer = ThresholdRegularizer(beta)
+        self.criterion = CrossEntropyLoss()
+
+    # ------------------------------------------------------------------ public --
+    def train_task(
+        self,
+        task: str,
+        train_loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]],
+        epochs: int = 10,
+        val_loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]] | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train thresholds/head for ``task`` and return the training history."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.model.set_active_task(task)
+        parameters = self.model.trainable_parameters(task)
+        if self.optimizer_name == "adam":
+            optimizer = Adam(parameters, lr=self.lr)
+        else:
+            optimizer = SGD(parameters, lr=self.lr, momentum=0.9)
+
+        history = TrainingHistory(task=task)
+        for epoch in range(epochs):
+            epoch_loss, epoch_accuracy, epoch_reg, epoch_sparsity = self._run_epoch(
+                train_loader, optimizer
+            )
+            history.train_loss.append(epoch_loss)
+            history.train_accuracy.append(epoch_accuracy)
+            history.regularization.append(epoch_reg)
+            history.mean_sparsity.append(epoch_sparsity)
+            if val_loader is not None:
+                _, val_acc = self.evaluate(task, val_loader)
+                history.val_accuracy.append(val_acc)
+            if verbose:
+                _LOGGER.info(
+                    "task=%s epoch=%d loss=%.4f acc=%.3f sparsity=%.3f",
+                    task,
+                    epoch + 1,
+                    epoch_loss,
+                    epoch_accuracy,
+                    epoch_sparsity,
+                )
+        return history
+
+    def train_all(
+        self,
+        loaders: Dict[str, DataLoader],
+        epochs: int = 10,
+        val_loaders: Dict[str, DataLoader] | None = None,
+        verbose: bool = False,
+    ) -> Dict[str, TrainingHistory]:
+        """Train every registered task that has a loader, in registration order."""
+        histories: Dict[str, TrainingHistory] = {}
+        for task in self.model.task_names():
+            if task not in loaders:
+                continue
+            val_loader = val_loaders.get(task) if val_loaders else None
+            histories[task] = self.train_task(
+                task, loaders[task], epochs=epochs, val_loader=val_loader, verbose=verbose
+            )
+        return histories
+
+    def evaluate(
+        self,
+        task: str,
+        loader: DataLoader | Iterable[Tuple[np.ndarray, np.ndarray]],
+    ) -> Tuple[float, float]:
+        """Return ``(mean CE loss, accuracy)`` of ``task`` over ``loader``."""
+        self.model.set_active_task(task)
+        self.model.eval()
+        total_loss = 0.0
+        total_correct = 0.0
+        total = 0
+        for images, labels in loader:
+            logits = self.model.forward(images)
+            total_loss += self.criterion(logits, labels) * images.shape[0]
+            total_correct += accuracy(logits, labels) * images.shape[0]
+            total += images.shape[0]
+        if total == 0:
+            raise ValueError("the evaluation loader yielded no batches")
+        return total_loss / total, total_correct / total
+
+    # ----------------------------------------------------------------- private --
+    def _run_epoch(self, loader, optimizer) -> Tuple[float, float, float, float]:
+        self.model.train()
+        masks = self.model.masks()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_reg = 0.0
+        total_sparsity = 0.0
+        total = 0
+        num_batches = 0
+        for images, labels in loader:
+            optimizer.zero_grad()
+            logits = self.model.forward(images)
+            ce_loss = self.criterion(logits, labels)
+            reg_value = self.regularizer.value(masks)
+            loss = ce_loss + self.regularizer.beta * reg_value
+
+            grad_logits = self.criterion.backward()
+            self.model.backward(grad_logits)
+            self.regularizer.accumulate_gradients(masks)
+            optimizer.step()
+
+            batch = images.shape[0]
+            total_loss += loss * batch
+            total_correct += accuracy(logits, labels) * batch
+            total_reg += reg_value
+            total_sparsity += float(np.mean([mask.last_sparsity() for mask in masks]))
+            total += batch
+            num_batches += 1
+        if total == 0:
+            raise ValueError("the training loader yielded no batches")
+        return (
+            total_loss / total,
+            total_correct / total,
+            total_reg / num_batches,
+            total_sparsity / num_batches,
+        )

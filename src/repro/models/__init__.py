@@ -1,0 +1,26 @@
+"""Model zoo: VGG family plus small reference models, and layer-shape extraction."""
+
+from repro.models.vgg import VGG, vgg11, vgg13, vgg16, vgg19, vgg_tiny, vgg_small, VGG_CONFIGS
+from repro.models.lenet import LeNet
+from repro.models.mlp import MLP
+from repro.models.shapes import LayerShape, extract_layer_shapes, vgg16_layer_shapes
+from repro.models.registry import build_model, available_models, register_model
+
+__all__ = [
+    "VGG",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "vgg_tiny",
+    "vgg_small",
+    "VGG_CONFIGS",
+    "LeNet",
+    "MLP",
+    "LayerShape",
+    "extract_layer_shapes",
+    "vgg16_layer_shapes",
+    "build_model",
+    "available_models",
+    "register_model",
+]

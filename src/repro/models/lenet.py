@@ -1,0 +1,68 @@
+"""LeNet-5 style reference model, used for quick functional tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import new_rng
+
+
+class LeNet(Module):
+    """A small LeNet-style convolutional classifier.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes.
+    in_channels:
+        Input channels (1 for greyscale, 3 for RGB).
+    input_size:
+        Square input resolution; 28 or 32 are typical.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        input_size: int = 28,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else new_rng()
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.input_size = input_size
+
+        self.features = Sequential(
+            Conv2d(in_channels, 6, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2, 2),
+            Conv2d(6, 16, kernel_size=5, rng=rng),
+            ReLU(),
+            MaxPool2d(2, 2),
+        )
+        feature_shape = self.features.output_shape((in_channels, input_size, input_size))
+        flat = int(np.prod(feature_shape))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, 120, rng=rng),
+            ReLU(),
+            Linear(120, 84, rng=rng),
+            ReLU(),
+            Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))

@@ -1,0 +1,53 @@
+"""Multi-layer perceptron reference model."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn import Flatten, Linear, Module, ReLU, Sequential
+from repro.utils.rng import new_rng
+
+
+class MLP(Module):
+    """A fully-connected classifier over flattened inputs.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened input dimensionality (e.g. ``3*32*32`` for RGB 32x32 images).
+    hidden_sizes:
+        Sizes of the hidden layers.
+    num_classes:
+        Number of output classes.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: Sequence[int] = (128, 64),
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        rng = rng if rng is not None else new_rng()
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+
+        layers = [Flatten()]
+        previous = input_dim
+        for hidden in hidden_sizes:
+            layers.append(Linear(previous, hidden, rng=rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.network(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad_output)

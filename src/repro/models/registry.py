@@ -1,0 +1,53 @@
+"""A small name-based model registry used by the experiment harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.nn.module import Module
+from repro.models.vgg import vgg11, vgg13, vgg16, vgg19, vgg_small, vgg_tiny
+from repro.models.lenet import LeNet
+from repro.models.mlp import MLP
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Module] | None = None):
+    """Register ``factory`` under ``name``; usable as a decorator.
+
+    Raises ``ValueError`` when the name is already taken, so experiment configs
+    cannot silently shadow built-in architectures.
+    """
+
+    def _register(fn: Callable[..., Module]) -> Callable[..., Module]:
+        if name in _REGISTRY:
+            raise ValueError(f"model '{name}' is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def available_models() -> list[str]:
+    """Names of every registered architecture, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered architecture by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    return _REGISTRY[name](**kwargs)
+
+
+# Built-in architectures.
+register_model("vgg11", vgg11)
+register_model("vgg13", vgg13)
+register_model("vgg16", vgg16)
+register_model("vgg19", vgg19)
+register_model("vgg_small", vgg_small)
+register_model("vgg_tiny", vgg_tiny)
+register_model("lenet", LeNet)
+register_model("mlp", MLP)

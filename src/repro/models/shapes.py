@@ -1,0 +1,283 @@
+"""Layer-shape extraction for the hardware model.
+
+The systolic-array simulator in :mod:`repro.hardware` is analytical: it only
+needs, for every weight layer, the geometry of the computation (channels,
+kernel, spatial resolution) from which weight counts, threshold counts, MAC
+counts and activation volumes follow.  This module produces those records
+either from an instantiated model (``extract_layer_shapes``) or purely
+symbolically from a VGG configuration (``vgg_layer_shapes``), which avoids
+allocating hundreds of megabytes of VGG16/ImageNet weights just to reason
+about the dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nn import Conv2d, Linear, Sequential
+from repro.nn.functional import conv_output_size
+from repro.models.vgg import VGG, VGG_CONFIGS
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Geometry of one weight layer (convolution or fully-connected).
+
+    Attributes
+    ----------
+    name:
+        Layer label, ``conv1`` ... ``convN`` for convolutions followed by
+        ``fcN+1`` ... for fully-connected layers (paper convention).
+    kind:
+        Either ``"conv"`` or ``"linear"``.
+    in_channels, out_channels:
+        Channel counts (for linear layers these are the in/out feature counts).
+    kernel_size, stride, padding:
+        Convolution geometry; 1/1/0 for linear layers.
+    input_h, input_w, output_h, output_w:
+        Spatial resolutions; 1x1 for linear layers.
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    input_h: int
+    input_w: int
+    output_h: int
+    output_w: int
+
+    # -- derived quantities -----------------------------------------------------
+    @property
+    def weight_count(self) -> int:
+        """Number of weight parameters (excluding bias)."""
+        if self.kind == "conv":
+            return self.out_channels * self.in_channels * self.kernel_size**2
+        return self.out_channels * self.in_channels
+
+    @property
+    def bias_count(self) -> int:
+        return self.out_channels
+
+    @property
+    def output_neurons(self) -> int:
+        """Number of output neurons = number of MIME threshold parameters."""
+        return self.out_channels * self.output_h * self.output_w
+
+    # The paper associates one threshold with every output neuron of a layer.
+    threshold_count = output_neurons
+
+    @property
+    def input_activations(self) -> int:
+        """Number of input activation values consumed per image."""
+        return self.in_channels * self.input_h * self.input_w
+
+    @property
+    def output_activations(self) -> int:
+        """Number of output activation values produced per image."""
+        return self.output_neurons
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulate count per image."""
+        if self.kind == "conv":
+            return self.output_neurons * self.in_channels * self.kernel_size**2
+        return self.out_channels * self.in_channels
+
+    @property
+    def macs_per_output_neuron(self) -> int:
+        """MACs needed to produce one output neuron (the OS-dataflow inner loop)."""
+        if self.kind == "conv":
+            return self.in_channels * self.kernel_size**2
+        return self.in_channels
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{self.name}[{self.kind}] {self.in_channels}x{self.input_h}x{self.input_w}"
+            f" -> {self.out_channels}x{self.output_h}x{self.output_w}"
+        )
+
+
+def extract_layer_shapes(model, input_shape: Sequence[int] | None = None) -> List[LayerShape]:
+    """Extract :class:`LayerShape` records from an instantiated model.
+
+    Parameters
+    ----------
+    model:
+        Either a :class:`repro.models.vgg.VGG` instance (its ``features`` and
+        ``classifier`` are walked) or a :class:`repro.nn.Sequential`.
+    input_shape:
+        Per-sample input shape ``(C, H, W)``.  Mandatory for plain Sequentials;
+        inferred from the model attributes for VGG instances.
+    """
+    if isinstance(model, VGG):
+        if input_shape is None:
+            input_shape = (model.in_channels, model.input_size, model.input_size)
+        modules = list(model.features) + list(model.classifier)
+    elif isinstance(model, Sequential):
+        if input_shape is None:
+            raise ValueError("input_shape is required when extracting from a Sequential")
+        modules = list(model)
+    else:
+        raise TypeError(f"cannot extract layer shapes from {type(model).__name__}")
+
+    shapes: List[LayerShape] = []
+    current = tuple(int(v) for v in input_shape)
+    conv_index = 0
+    layer_index = 0
+    for module in modules:
+        if isinstance(module, Conv2d):
+            conv_index += 1
+            layer_index += 1
+            c, h, w = current
+            h_out = conv_output_size(h, module.kernel_size, module.stride, module.padding)
+            w_out = conv_output_size(w, module.kernel_size, module.stride, module.padding)
+            shapes.append(
+                LayerShape(
+                    name=f"conv{conv_index}",
+                    kind="conv",
+                    in_channels=module.in_channels,
+                    out_channels=module.out_channels,
+                    kernel_size=module.kernel_size,
+                    stride=module.stride,
+                    padding=module.padding,
+                    input_h=h,
+                    input_w=w,
+                    output_h=h_out,
+                    output_w=w_out,
+                )
+            )
+            current = (module.out_channels, h_out, w_out)
+        elif isinstance(module, Linear):
+            layer_index += 1
+            shapes.append(
+                LayerShape(
+                    name=f"fc{layer_index}",
+                    kind="linear",
+                    in_channels=module.in_features,
+                    out_channels=module.out_features,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    input_h=1,
+                    input_w=1,
+                    output_h=1,
+                    output_w=1,
+                )
+            )
+            current = (module.out_features,)
+        elif hasattr(module, "output_shape"):
+            current = tuple(int(v) for v in module.output_shape(current))
+        # Activation / normalisation layers leave the shape unchanged.
+    return shapes
+
+
+def vgg_layer_shapes(
+    config: str | Sequence[object] = "vgg16",
+    input_size: int = 32,
+    in_channels: int = 3,
+    num_classes: int = 10,
+    classifier_hidden: Sequence[int] = (512,),
+    width_multiplier: float = 1.0,
+) -> List[LayerShape]:
+    """Compute :class:`LayerShape` records for a VGG configuration symbolically.
+
+    This never allocates weights, so it is cheap even for the full ImageNet-scale
+    VGG16 (224x224 inputs, 4096-wide classifier).
+    """
+    if isinstance(config, str):
+        config = VGG_CONFIGS[config]
+    if input_size <= 0 or in_channels <= 0 or num_classes <= 0:
+        raise ValueError("input_size, in_channels and num_classes must be positive")
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+
+    def scaled(channels: int) -> int:
+        return max(1, int(round(channels * width_multiplier)))
+
+    shapes: List[LayerShape] = []
+    current_channels = in_channels
+    h = w = input_size
+    conv_index = 0
+    for item in config:
+        if item == "M":
+            h = conv_output_size(h, 2, 2, 0)
+            w = conv_output_size(w, 2, 2, 0)
+            continue
+        conv_index += 1
+        out_channels = scaled(int(item))
+        shapes.append(
+            LayerShape(
+                name=f"conv{conv_index}",
+                kind="conv",
+                in_channels=current_channels,
+                out_channels=out_channels,
+                kernel_size=3,
+                stride=1,
+                padding=1,
+                input_h=h,
+                input_w=w,
+                output_h=h,
+                output_w=w,
+            )
+        )
+        current_channels = out_channels
+
+    layer_index = conv_index
+    flat = current_channels * h * w
+    previous = flat
+    for hidden in classifier_hidden:
+        layer_index += 1
+        shapes.append(
+            LayerShape(
+                name=f"fc{layer_index}",
+                kind="linear",
+                in_channels=previous,
+                out_channels=int(hidden),
+                kernel_size=1,
+                stride=1,
+                padding=0,
+                input_h=1,
+                input_w=1,
+                output_h=1,
+                output_w=1,
+            )
+        )
+        previous = int(hidden)
+    layer_index += 1
+    shapes.append(
+        LayerShape(
+            name=f"fc{layer_index}",
+            kind="linear",
+            in_channels=previous,
+            out_channels=num_classes,
+            kernel_size=1,
+            stride=1,
+            padding=0,
+            input_h=1,
+            input_w=1,
+            output_h=1,
+            output_w=1,
+        )
+    )
+    return shapes
+
+
+def vgg16_layer_shapes(
+    input_size: int = 32,
+    in_channels: int = 3,
+    num_classes: int = 10,
+    classifier_hidden: Sequence[int] = (512,),
+) -> List[LayerShape]:
+    """Layer shapes of the paper's VGG16 backbone at child-task resolution."""
+    return vgg_layer_shapes(
+        "vgg16",
+        input_size=input_size,
+        in_channels=in_channels,
+        num_classes=num_classes,
+        classifier_hidden=classifier_hidden,
+    )

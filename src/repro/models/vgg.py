@@ -1,0 +1,211 @@
+"""VGG model family (Simonyan & Zisserman, 2014).
+
+The paper evaluates MIME on a VGG16 backbone trained on ImageNet and reused
+across CIFAR10 / CIFAR100 / Fashion-MNIST child tasks.  This module builds the
+same topology plus narrower ("width multiplier") variants used for the
+scaled-down surrogate experiments that actually train in seconds on CPU.
+
+The convolutional part is exposed as ``model.features`` (a Sequential) and the
+classifier as ``model.classifier``, mirroring torchvision so that the MIME
+wrapper and the layer-shape extraction can walk a familiar structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import new_rng
+
+# Channel configurations.  "M" denotes a 2x2 max-pool.  These are the standard
+# VGG configurations plus two reduced variants for CPU-scale experiments.
+VGG_CONFIGS: Dict[str, List[object]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+    "vgg19": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, 256, "M",
+        512, 512, 512, 512, "M",
+        512, 512, 512, 512, "M",
+    ],
+    # Reduced variants used by the runnable surrogate workloads and tests.
+    "vgg_small": [16, 16, "M", 32, 32, "M", 64, 64, "M"],
+    "vgg_tiny": [8, "M", 16, "M", 32, "M"],
+}
+
+
+class VGG(Module):
+    """A VGG-style convolutional classifier.
+
+    Parameters
+    ----------
+    config:
+        Channel configuration list (see :data:`VGG_CONFIGS`), where integers are
+        3x3 convolution output channel counts and ``"M"`` inserts a 2x2 max-pool.
+    num_classes:
+        Output classes of the classifier head.
+    in_channels:
+        Input image channels (3 for RGB surrogates, 1 for F-MNIST-style inputs
+        unless the transform pipeline broadcasts them to RGB).
+    input_size:
+        Input spatial resolution (images are assumed square).
+    width_multiplier:
+        Scales every convolutional channel count (minimum of 1 channel); used to
+        build narrow backbones that train quickly on CPU.
+    batch_norm:
+        Insert BatchNorm2d after every convolution.
+    classifier_hidden:
+        Sizes of the hidden fully-connected layers of the classifier head.
+    dropout:
+        Dropout probability in the classifier head (0 disables dropout).
+    """
+
+    def __init__(
+        self,
+        config: Sequence[object],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        input_size: int = 32,
+        width_multiplier: float = 1.0,
+        batch_norm: bool = True,
+        classifier_hidden: Sequence[int] = (512,),
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        if input_size <= 0:
+            raise ValueError("input_size must be positive")
+        if width_multiplier <= 0:
+            raise ValueError("width_multiplier must be positive")
+        rng = rng if rng is not None else new_rng()
+
+        self.config = list(config)
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.input_size = input_size
+        self.width_multiplier = width_multiplier
+        self.batch_norm = batch_norm
+
+        self.features = self._build_features(rng)
+
+        feature_shape = self.features.output_shape((in_channels, input_size, input_size))
+        flat_features = int(np.prod(feature_shape))
+
+        classifier_layers: List[Module] = [Flatten()]
+        previous = flat_features
+        for hidden in classifier_hidden:
+            classifier_layers.append(Linear(previous, hidden, rng=rng))
+            if batch_norm:
+                classifier_layers.append(BatchNorm1d(hidden))
+            classifier_layers.append(ReLU())
+            if dropout > 0:
+                classifier_layers.append(Dropout(dropout, rng=rng))
+            previous = hidden
+        classifier_layers.append(Linear(previous, num_classes, rng=rng))
+        self.classifier = Sequential(*classifier_layers)
+
+    def _scaled(self, channels: int) -> int:
+        return max(1, int(round(channels * self.width_multiplier)))
+
+    def _build_features(self, rng: np.random.Generator) -> Sequential:
+        layers: List[Module] = []
+        current_channels = self.in_channels
+        for item in self.config:
+            if item == "M":
+                layers.append(MaxPool2d(2, 2))
+                continue
+            out_channels = self._scaled(int(item))
+            layers.append(
+                Conv2d(current_channels, out_channels, kernel_size=3, padding=1, rng=rng)
+            )
+            if self.batch_norm:
+                layers.append(BatchNorm2d(out_channels))
+            layers.append(ReLU())
+            current_channels = out_channels
+        return Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))
+
+    def conv_layers(self) -> List[Conv2d]:
+        """Return the convolution layers in order (conv1, conv2, ...)."""
+        return [layer for layer in self.features if isinstance(layer, Conv2d)]
+
+    def replace_classifier_head(self, num_classes: int, rng: np.random.Generator | None = None) -> None:
+        """Swap the final Linear layer for a freshly-initialised one.
+
+        Conventional transfer learning (the paper's baseline) re-initialises the
+        classification head when moving from the parent to a child task with a
+        different number of classes.
+        """
+        rng = rng if rng is not None else new_rng()
+        final = self.classifier[len(self.classifier) - 1]
+        if not isinstance(final, Linear):
+            raise TypeError("expected the classifier to end in a Linear layer")
+        new_head = Linear(final.in_features, num_classes, rng=rng)
+        index = len(self.classifier) - 1
+        self.classifier._ordered[index] = new_head
+        setattr(self.classifier, str(index), new_head)
+        self.num_classes = num_classes
+
+
+def _build(name: str, **kwargs) -> VGG:
+    return VGG(VGG_CONFIGS[name], **kwargs)
+
+
+def vgg11(**kwargs) -> VGG:
+    """VGG-11 backbone."""
+    return _build("vgg11", **kwargs)
+
+
+def vgg13(**kwargs) -> VGG:
+    """VGG-13 backbone."""
+    return _build("vgg13", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    """VGG-16 backbone — the architecture evaluated in the paper."""
+    return _build("vgg16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    """VGG-19 backbone."""
+    return _build("vgg19", **kwargs)
+
+
+def vgg_small(**kwargs) -> VGG:
+    """A 6-convolution reduced VGG used by the runnable surrogate workloads."""
+    kwargs.setdefault("classifier_hidden", (128,))
+    return _build("vgg_small", **kwargs)
+
+
+def vgg_tiny(**kwargs) -> VGG:
+    """A 3-convolution miniature VGG used by fast unit tests."""
+    kwargs.setdefault("classifier_hidden", (64,))
+    return _build("vgg_tiny", **kwargs)

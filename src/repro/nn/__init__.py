@@ -1,0 +1,53 @@
+"""A compact NumPy neural-network framework.
+
+This package provides the training substrate the MIME reproduction is built on:
+modules with explicit forward/backward passes, convolution via im2col, losses,
+optimisers and weight initialisation.  It deliberately mirrors the subset of the
+PyTorch API that the original paper relies on (``Module``, ``Parameter``,
+``state_dict`` and so on) so that the MIME-specific code in :mod:`repro.mime`
+reads like the algorithm in the paper.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.layers.activation import ReLU, Sigmoid, Tanh, Identity
+from repro.nn.layers.normalization import BatchNorm1d, BatchNorm2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.container import Sequential
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+from repro.nn import functional
+from repro.nn.metrics import accuracy, topk_accuracy, confusion_matrix
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "init",
+    "functional",
+    "accuracy",
+    "topk_accuracy",
+    "confusion_matrix",
+]

@@ -1,0 +1,170 @@
+"""Stateless numerical primitives shared by the layers.
+
+The convolution layers use the standard im2col/col2im lowering: a convolution
+becomes one large matrix multiplication, which is the only way to get
+acceptable NumPy performance and also mirrors how the systolic-array hardware
+model in :mod:`repro.hardware` reasons about a layer (a VMM per output pixel).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Square-kernel convolution geometry.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * H_out * W_out, C * kernel * kernel)`` where each
+        row is one receptive field.
+    (H_out, W_out):
+        The output spatial dimensions.
+    """
+    n, c, h, w = x.shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+
+    # Gather patches with stride tricks: shape (N, C, H_out, W_out, K, K)
+    strides = x.strides
+    shape = (n, c, h_out, w_out, kernel, kernel)
+    patch_strides = (
+        strides[0],
+        strides[1],
+        strides[2] * stride,
+        strides[3] * stride,
+        strides[2],
+        strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=patch_strides)
+    # -> (N, H_out, W_out, C, K, K) -> (N*H_out*W_out, C*K*K)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image tensor.
+
+    Used by the convolution backward pass to accumulate the gradient with
+    respect to the layer input (overlapping receptive fields sum).
+    """
+    n, c, h, w = input_shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+
+    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    cols_reshaped = cols.reshape(n, h_out, w_out, c, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )  # (N, C, H_out, W_out, K, K)
+
+    for ky in range(kernel):
+        y_max = ky + stride * h_out
+        for kx in range(kernel):
+            x_max = kx + stride * w_out
+            x_pad[:, :, ky:y_max:stride, kx:x_max:stride] += cols_reshaped[:, :, :, :, ky, kx]
+
+    if padding > 0:
+        return x_pad[:, :, padding : padding + h, padding : padding + w]
+    return x_pad
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer class labels of shape ``(N,)`` to one-hot ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("label out of range for one_hot encoding")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def threshold_mask(pre_activation: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """MIME binary mask (Eq. 1): ``m_i = 1`` when ``y_i - t_i >= 0`` else ``0``.
+
+    ``thresholds`` is broadcast against ``pre_activation``; the usual case is a
+    per-neuron threshold tensor of shape ``(C, H, W)`` or ``(features,)``
+    broadcast over the batch dimension.
+    """
+    return (pre_activation - thresholds >= 0.0).astype(pre_activation.dtype)
+
+
+def piecewise_linear_ste(diff: np.ndarray, width: float = 1.0) -> np.ndarray:
+    """Surrogate derivative of the step function used during MIME training.
+
+    The paper (Fig. 3a, citing Dynamic Sparse Training) replaces the
+    non-differentiable mask-generation step with a piece-wise linear "hat"
+    estimator.  We use the symmetric triangular profile
+
+    ``d(step)/d(diff) ~= max(0, 1 - |diff| / width) / width``
+
+    which integrates to 1, is zero outside ``[-width, width]`` and peaks at the
+    threshold crossing ``diff = 0`` where the mask actually flips.
+    """
+    if width <= 0:
+        raise ValueError("surrogate width must be positive")
+    return np.maximum(0.0, 1.0 - np.abs(diff) / width) / width

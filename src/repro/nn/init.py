@@ -1,0 +1,72 @@
+"""Weight-initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    low: float,
+    high: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample a tensor uniformly from ``[low, high)``."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    rng = rng if rng is not None else new_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    mean: float = 0.0,
+    std: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample a tensor from a normal distribution."""
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    rng = rng if rng is not None else new_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU-family networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform(shape, -bound, bound, rng=rng)
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """He/Kaiming normal initialisation."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    std = np.sqrt(2.0 / fan_in)
+    return normal(shape, 0.0, std, rng=rng)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, rng=rng)

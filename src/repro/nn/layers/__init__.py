@@ -1,0 +1,27 @@
+"""Layer implementations for the NumPy neural-network framework."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.layers.activation import ReLU, Sigmoid, Tanh, Identity
+from repro.nn.layers.normalization import BatchNorm1d, BatchNorm2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.container import Sequential
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "Flatten",
+    "Sequential",
+]

@@ -1,0 +1,58 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run modules in order; backward traverses them in reverse.
+
+    Sub-modules are registered under their positional index, so parameter
+    names look like ``"3.weight"`` — the same convention PyTorch uses.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        if not isinstance(module, Module):
+            raise TypeError(f"expected Module, got {type(module).__name__}")
+        index = len(self._ordered)
+        self._ordered.append(module)
+        setattr(self, str(index), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for module in reversed(self._ordered):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+    def output_shape(self, input_shape):
+        """Propagate a per-sample shape through every layer that reports one."""
+        shape = input_shape
+        for module in self._ordered:
+            if hasattr(module, "output_shape"):
+                shape = module.output_shape(shape)
+        return shape

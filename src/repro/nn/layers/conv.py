@@ -1,0 +1,100 @@
+"""2-D convolution implemented with im2col lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import functional as F
+from repro.nn import init as nn_init
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution over ``(N, C, H, W)`` inputs.
+
+    The forward pass lowers the input with :func:`repro.nn.functional.im2col`
+    and performs a single matrix multiplication per batch, exactly the
+    vector-matrix-multiplication (VMM) view of a convolution that the MIME
+    paper (and the systolic-array hardware model) uses.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+        fan_in = in_channels * kernel_size * kernel_size
+        weight = nn_init.kaiming_uniform(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, rng=rng
+        )
+        self.weight = Parameter(weight)
+        if bias:
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(nn_init.uniform((out_channels,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+        self._cols_cache: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+        self._output_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        cols, (h_out, w_out) = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols_cache = cols
+        self._input_shape = x.shape
+        self._output_hw = (h_out, w_out)
+
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ weight_matrix.T  # (N*H_out*W_out, C_out)
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols_cache is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, h, w = self._input_shape
+        h_out, w_out = self._output_hw
+
+        # (N, C_out, H_out, W_out) -> (N*H_out*W_out, C_out)
+        grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+
+        if self.weight.requires_grad:
+            grad_weight = grad_mat.T @ self._cols_cache
+            self.weight.accumulate_grad(grad_weight.reshape(self.weight.data.shape))
+        if self.bias is not None and self.bias.requires_grad:
+            self.bias.accumulate_grad(grad_mat.sum(axis=0))
+
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = grad_mat @ weight_matrix  # (N*H_out*W_out, C_in*K*K)
+        grad_input = F.col2im(
+            grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
+        )
+        return grad_input
+
+    def output_shape(self, input_shape):
+        """Output shape (C_out, H_out, W_out) for an input shape (C_in, H, W)."""
+        _, h, w = input_shape
+        h_out = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        w_out = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, h_out, w_out)

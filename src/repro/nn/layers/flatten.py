@@ -1,0 +1,30 @@
+"""Flatten layer bridging convolutional feature maps and fully-connected heads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Reshape ``(N, C, H, W)`` (or any N-D) inputs to ``(N, features)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape):
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        return (total,)

@@ -1,0 +1,71 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init as nn_init
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator used for Kaiming-uniform weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+
+        weight = nn_init.kaiming_uniform((out_features, in_features), fan_in=in_features, rng=rng)
+        self.weight = Parameter(weight)
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            bias_init = nn_init.uniform((out_features,), -bound, bound, rng=rng)
+            self.bias = Parameter(bias_init)
+        else:
+            self.bias = None
+
+        self._input_cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._input_cache = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input_cache
+        if self.weight.requires_grad:
+            self.weight.accumulate_grad(grad_output.T @ x)
+        if self.bias is not None and self.bias.requires_grad:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return grad_output @ self.weight.data
+
+    def output_shape(self, input_shape):
+        """Shape of the output (excluding batch) given the input shape."""
+        return (self.out_features,)

@@ -1,0 +1,150 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn import functional as F
+
+
+class MaxPool2d(Module):
+    """Non-overlapping (or strided) max pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: tuple[int, ...] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        h_out = F.conv_output_size(h, k, s, 0)
+        w_out = F.conv_output_size(w, k, s, 0)
+        strides = x.strides
+        shape = (n, c, h_out, w_out, k, k)
+        window_strides = (
+            strides[0],
+            strides[1],
+            strides[2] * s,
+            strides[3] * s,
+            strides[2],
+            strides[3],
+        )
+        return np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        windows = self._windows(x)
+        n, c, h_out, w_out, k, _ = windows.shape
+        flat = windows.reshape(n, c, h_out, w_out, k * k)
+        self._argmax = np.argmax(flat, axis=-1)
+        self._input_shape = x.shape
+        return np.max(flat, axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        k, s = self.kernel_size, self.stride
+        h_out, w_out = grad_output.shape[2], grad_output.shape[3]
+
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        rows, cols = np.divmod(self._argmax, k)
+        # Build absolute coordinates of each window's max element.
+        base_y = (np.arange(h_out) * s)[None, None, :, None]
+        base_x = (np.arange(w_out) * s)[None, None, None, :]
+        abs_y = base_y + rows
+        abs_x = base_x + cols
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad_input, (n_idx, c_idx, abs_y, abs_x), grad_output)
+        return grad_input
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        h_out = F.conv_output_size(h, self.kernel_size, self.stride, 0)
+        w_out = F.conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, h_out, w_out)
+
+
+class AvgPool2d(Module):
+    """Average pooling over ``(N, C, H, W)`` inputs."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        h_out = F.conv_output_size(h, k, s, 0)
+        w_out = F.conv_output_size(w, k, s, 0)
+        strides = x.strides
+        shape = (n, c, h_out, w_out, k, k)
+        window_strides = (
+            strides[0],
+            strides[1],
+            strides[2] * s,
+            strides[3] * s,
+            strides[2],
+            strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+        self._input_shape = x.shape
+        return windows.mean(axis=(-1, -2))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        k, s = self.kernel_size, self.stride
+        h_out, w_out = grad_output.shape[2], grad_output.shape[3]
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        share = grad_output / (k * k)
+        for ky in range(k):
+            for kx in range(k):
+                grad_input[:, :, ky : ky + s * h_out : s, kx : kx + s * w_out : s] += share
+        return grad_input
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        h_out = F.conv_output_size(h, self.kernel_size, self.stride, 0)
+        w_out = F.conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, h_out, w_out)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing ``(N, C)`` features."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        grad = grad_output[:, :, None, None] / (h * w)
+        return np.broadcast_to(grad, self._input_shape).copy()
+
+    def output_shape(self, input_shape):
+        c, _, _ = input_shape
+        return (c,)

@@ -1,0 +1,76 @@
+"""Loss functions.
+
+Losses follow the same module-local backward convention as layers: calling a
+loss returns a scalar, and :meth:`backward` returns the gradient with respect
+to the model output (logits / predictions) that is then fed into the model's
+``backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Matches ``torch.nn.CrossEntropyLoss``: takes raw logits of shape
+    ``(N, num_classes)`` and integer labels of shape ``(N,)`` and averages over
+    the batch.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, classes), got shape {logits.shape}")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        self._probs = np.exp(log_probs)
+        self._labels = labels
+        picked = log_probs[np.arange(labels.shape[0]), labels]
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        n = self._labels.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+
+class MSELoss:
+    """Mean squared error between predictions and targets."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} != target shape {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

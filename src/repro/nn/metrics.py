@@ -1,0 +1,41 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy given logits ``(N, C)`` and labels ``(N,)``."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"incompatible shapes: logits {logits.shape}, labels {labels.shape}"
+        )
+    if logits.shape[0] == 0:
+        raise ValueError("cannot compute accuracy over an empty batch")
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-``k`` classification accuracy."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"incompatible shapes: logits {logits.shape}, labels {labels.shape}"
+        )
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(np.mean(hits))
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return an ``(num_classes, num_classes)`` matrix of ``counts[true, pred]``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    predictions = np.argmax(logits, axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

@@ -1,0 +1,238 @@
+"""Base classes for the NumPy neural-network framework.
+
+The framework uses *module-local* backpropagation: each :class:`Module` caches
+whatever it needs during ``forward`` and implements ``backward(grad_output)``
+returning the gradient with respect to its input while accumulating gradients
+into its :class:`Parameter` objects.  A container such as
+:class:`repro.nn.layers.container.Sequential` chains these calls.  This is the
+classic Caffe-style design; it avoids a full autograd tape while being exactly
+as expressive as the MIME training procedure requires.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable (or frozen) tensor with an associated gradient buffer.
+
+    Attributes
+    ----------
+    data:
+        The parameter values, a ``float64``/``float32`` NumPy array.
+    grad:
+        Accumulated gradient of the loss with respect to ``data``; ``None``
+        until the first backward pass touches the parameter.
+    requires_grad:
+        When ``False`` the owning layer skips gradient accumulation and
+        optimisers skip the update.  MIME freezes ``W_parent`` this way.
+    """
+
+    def __init__(self, data: np.ndarray, requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None`` (lazily re-allocated)."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this parameter's gradient buffer.
+
+        Gradient accumulation is skipped entirely when ``requires_grad`` is
+        ``False`` which keeps frozen-backbone training cheap.
+        """
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = "" if self.requires_grad else ", frozen"
+        return f"Parameter(shape={self.shape}{flag})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward` and, if they participate in training,
+    :meth:`backward`.  Parameters and sub-modules assigned as attributes are
+    registered automatically, which gives ``named_parameters`` /
+    ``state_dict`` semantics equivalent to PyTorch's.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute registration -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            if not hasattr(self, "_parameters"):
+                raise AttributeError("call Module.__init__() before assigning parameters")
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            if not hasattr(self, "_modules"):
+                raise AttributeError("call Module.__init__() before assigning sub-modules")
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- forward / backward ------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement backward()"
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter / module iteration --------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including ``self`` (empty name)."""
+        yield prefix.rstrip("."), self
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- training state -----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Switch this module and all sub-modules to training (or eval) mode."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Mark every parameter of this module tree as non-trainable."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Mark every parameter of this module tree as trainable."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # -- state dict ----------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat copy of every parameter and registered buffer."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, module in self.named_modules():
+            for buf_name, buf in getattr(module, "_buffers", {}).items():
+                key = f"{name}.{buf_name}" if name else buf_name
+                state[key] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Copy values from ``state`` into this module's parameters and buffers."""
+        own_params = dict(self.named_parameters())
+        own_buffers: Dict[str, Tuple[Module, str]] = {}
+        for name, module in self.named_modules():
+            for buf_name in getattr(module, "_buffers", {}):
+                key = f"{name}.{buf_name}" if name else buf_name
+                own_buffers[key] = (module, buf_name)
+
+        missing = [k for k in list(own_params) + list(own_buffers) if k not in state]
+        unexpected = [k for k in state if k not in own_params and k not in own_buffers]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for key, value in state.items():
+            if key in own_params:
+                param = own_params[key]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for '{key}': {param.data.shape} vs {value.shape}"
+                    )
+                param.data = np.asarray(value, dtype=param.data.dtype).copy()
+            elif key in own_buffers:
+                module, buf_name = own_buffers[key]
+                module._buffers[buf_name] = np.asarray(value).copy()
+                object.__setattr__(module, buf_name, module._buffers[buf_name])
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in this module tree."""
+        total = 0
+        for param in self.parameters():
+            if trainable_only and not param.requires_grad:
+                continue
+            total += param.size
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        child_repr = ", ".join(
+            f"{name}={type(mod).__name__}" for name, mod in self._modules.items()
+        )
+        return f"{type(self).__name__}({child_repr})"
+
+
+class Buffered(Module):
+    """A module that owns non-trainable persistent buffers (e.g. BatchNorm stats)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace the contents of an existing buffer."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named '{name}'")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])

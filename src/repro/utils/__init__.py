@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG management, lightweight logging and serialization."""
+
+from repro.utils.rng import new_rng, set_global_seed, global_rng
+from repro.utils.logging import get_logger
+from repro.utils.serialization import save_state_dict, load_state_dict
+
+__all__ = [
+    "new_rng",
+    "set_global_seed",
+    "global_rng",
+    "get_logger",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,24 @@
+"""Minimal logging helper.
+
+The library never configures the root logger; it only creates namespaced child
+loggers so that applications embedding ``repro`` stay in control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_BASE_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional sub-name, e.g. ``"mime.trainer"`` yields ``repro.mime.trainer``.
+    """
+    if name:
+        return logging.getLogger(f"{_BASE_NAME}.{name}")
+    return logging.getLogger(_BASE_NAME)

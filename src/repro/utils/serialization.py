@@ -1,0 +1,26 @@
+"""Parameter serialisation helpers.
+
+State dicts in this library are flat ``{name: np.ndarray}`` mappings (the same
+convention PyTorch uses).  They are stored as compressed ``.npz`` archives so a
+trained parent model or a set of per-task thresholds can be checkpointed and
+re-loaded without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+def save_state_dict(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a flat ``{name: array}`` mapping to ``path`` as a compressed npz."""
+    arrays = {key: np.asarray(value) for key, value in state.items()}
+    np.savez_compressed(path, **arrays)
+
+
+def load_state_dict(path: str | os.PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key].copy() for key in archive.files}

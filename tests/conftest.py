@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately tiny (a handful of classes, 16x16 images, a
+three-convolution backbone) so the full suite runs in well under a minute on
+CPU while still exercising every code path of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import ArrayDataset, DataLoader, cifar10_surrogate, fmnist_surrogate
+from repro.models import vgg_tiny
+from repro.mime import MimeNetwork
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    """A small 3-class RGB child-task surrogate at 16x16."""
+    return cifar10_surrogate(scale=0.3, backbone_size=16, samples_per_class=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_grey_task():
+    """A small greyscale child-task surrogate adapted to the RGB backbone."""
+    return fmnist_surrogate(scale=0.3, backbone_size=16, samples_per_class=20, seed=12)
+
+
+@pytest.fixture()
+def tiny_backbone():
+    """A freshly initialised miniature VGG backbone for 16x16 RGB inputs."""
+    return vgg_tiny(num_classes=6, input_size=16, in_channels=3, rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def tiny_mime(tiny_backbone, tiny_task):
+    """A MimeNetwork with one registered task, ready for training/inference."""
+    network = MimeNetwork(tiny_backbone)
+    network.add_task(tiny_task.name, tiny_task.num_classes, rng=np.random.default_rng(3))
+    return network
+
+
+@pytest.fixture()
+def tiny_loader(tiny_task):
+    return DataLoader(tiny_task.train, batch_size=16, shuffle=True, rng=np.random.default_rng(5))
+
+
+@pytest.fixture()
+def small_dataset(rng):
+    """A raw ArrayDataset for loader/split tests."""
+    images = rng.normal(size=(40, 3, 8, 8))
+    labels = rng.integers(0, 4, size=40)
+    return ArrayDataset(images, labels, name="unit", num_classes=4)
+
+
+def numeric_gradient(fn, array: np.ndarray, epsilon: float = 1e-5) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = fn()
+        flat[index] = original - epsilon
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return grad

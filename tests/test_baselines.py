@@ -1,0 +1,168 @@
+"""Tests for conventional fine-tuning, from-scratch training and pruning at init."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SupervisedTrainer,
+    clone_vgg,
+    finetune_child,
+    magnitude_prune,
+    measure_weight_sparsity,
+    prune_at_init,
+    snip_prune,
+    train_from_scratch,
+    train_parent,
+)
+from repro.baselines.prune_at_init import apply_masks
+from repro.datasets import DataLoader
+from repro.models import vgg_tiny
+
+RNG = np.random.default_rng(17)
+
+
+class TestSupervisedTrainer:
+    def test_training_reduces_loss(self, tiny_backbone, tiny_task, tiny_loader):
+        tiny_backbone.replace_classifier_head(tiny_task.num_classes)
+        trainer = SupervisedTrainer(tiny_backbone, lr=2e-3)
+        history = trainer.fit(tiny_loader, epochs=4)
+        assert history.epochs == 4
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_evaluate(self, tiny_backbone, tiny_task):
+        tiny_backbone.replace_classifier_head(tiny_task.num_classes)
+        trainer = SupervisedTrainer(tiny_backbone)
+        loss, acc = trainer.evaluate(DataLoader(tiny_task.test, batch_size=8))
+        assert loss > 0 and 0.0 <= acc <= 1.0
+
+    def test_weight_masks_enforced_after_steps(self, tiny_task, tiny_loader):
+        model = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=RNG)
+        masks = magnitude_prune(model, sparsity=0.8)
+        apply_masks(model, masks)
+        trainer = SupervisedTrainer(model, lr=1e-3, weight_masks=masks)
+        trainer.fit(tiny_loader, epochs=2)
+        sparsity = measure_weight_sparsity(model)
+        assert all(value >= 0.79 for value in sparsity.values())
+
+    def test_unknown_mask_name_raises(self, tiny_backbone):
+        with pytest.raises(KeyError):
+            SupervisedTrainer(tiny_backbone, weight_masks={"nope": np.ones(1)})
+
+    def test_invalid_optimizer_raises(self, tiny_backbone):
+        with pytest.raises(ValueError):
+            SupervisedTrainer(tiny_backbone, optimizer="adagrad")
+
+    def test_invalid_epochs_raise(self, tiny_backbone, tiny_loader):
+        with pytest.raises(ValueError):
+            SupervisedTrainer(tiny_backbone).fit(tiny_loader, epochs=0)
+
+
+class TestCloneAndFinetune:
+    def test_clone_copies_weights(self, tiny_backbone):
+        clone = clone_vgg(tiny_backbone)
+        for (name_a, a), (name_b, b) in zip(
+            tiny_backbone.named_parameters(), clone.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.allclose(a.data, b.data)
+
+    def test_clone_is_independent(self, tiny_backbone):
+        clone = clone_vgg(tiny_backbone)
+        first = next(iter(clone.parameters()))
+        first.data += 1.0
+        original_first = next(iter(tiny_backbone.parameters()))
+        assert not np.allclose(first.data, original_first.data)
+
+    def test_clone_with_new_head(self, tiny_backbone):
+        clone = clone_vgg(tiny_backbone, num_classes=9)
+        out = clone(RNG.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 9)
+
+    def test_clone_is_trainable(self, tiny_backbone):
+        tiny_backbone.freeze()
+        clone = clone_vgg(tiny_backbone)
+        assert all(p.requires_grad for p in clone.parameters())
+
+    def test_train_parent_returns_accuracy(self, tiny_backbone, tiny_task):
+        tiny_backbone.replace_classifier_head(tiny_task.num_classes)
+        _, accuracy = train_parent(tiny_backbone, tiny_task, epochs=2, batch_size=16)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_finetune_child_learns(self, tiny_task):
+        parent = vgg_tiny(num_classes=6, input_size=16, rng=np.random.default_rng(0))
+        child, history, accuracy = finetune_child(
+            parent, tiny_task, epochs=6, batch_size=16, lr=2e-3
+        )
+        assert child.num_classes == tiny_task.num_classes
+        assert history.train_accuracy[-1] > 1.0 / tiny_task.num_classes
+        assert 0.0 <= accuracy <= 1.0
+        # Fine-tuning must not modify the parent model itself.
+        assert parent.num_classes == 6
+
+    def test_train_from_scratch(self, tiny_task):
+        model = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=RNG)
+        history, accuracy = train_from_scratch(model, tiny_task, epochs=2, batch_size=16)
+        assert history.epochs == 2
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestPruning:
+    def test_magnitude_prune_hits_target_layerwise(self):
+        model = vgg_tiny(num_classes=4, input_size=16, rng=RNG)
+        masks = magnitude_prune(model, sparsity=0.9)
+        apply_masks(model, masks)
+        for name, value in measure_weight_sparsity(model).items():
+            assert value == pytest.approx(0.9, abs=0.02), name
+
+    def test_snip_prune_hits_target(self, tiny_task, tiny_loader):
+        model = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=RNG)
+        masks = snip_prune(model, iter(tiny_loader), sparsity=0.9)
+        apply_masks(model, masks)
+        for value in measure_weight_sparsity(model).values():
+            assert value == pytest.approx(0.9, abs=0.02)
+
+    def test_prune_only_touches_weight_tensors(self):
+        model = vgg_tiny(num_classes=4, input_size=16, rng=RNG)
+        masks = magnitude_prune(model, sparsity=0.5)
+        assert all(name.endswith("weight") for name in masks)
+        assert not any("bias" in name for name in masks)
+
+    def test_prune_at_init_dispatches_methods(self, tiny_task, tiny_loader):
+        model = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=RNG)
+        masks = prune_at_init(model, sparsity=0.8, method="magnitude")
+        assert masks
+        model2 = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=RNG)
+        masks2 = prune_at_init(model2, sparsity=0.8, method="snip", batches=iter(tiny_loader))
+        assert masks2
+
+    def test_snip_requires_batches(self):
+        model = vgg_tiny(num_classes=4, input_size=16, rng=RNG)
+        with pytest.raises(ValueError):
+            prune_at_init(model, method="snip", batches=None)
+
+    def test_invalid_sparsity_raises(self):
+        model = vgg_tiny(num_classes=4, input_size=16, rng=RNG)
+        with pytest.raises(ValueError):
+            magnitude_prune(model, sparsity=1.0)
+
+    def test_unknown_method_raises(self):
+        model = vgg_tiny(num_classes=4, input_size=16, rng=RNG)
+        with pytest.raises(ValueError):
+            prune_at_init(model, method="random")
+
+    def test_pruned_training_keeps_sparsity_and_learns(self, tiny_task):
+        model = vgg_tiny(num_classes=tiny_task.num_classes, input_size=16, rng=np.random.default_rng(4))
+        loader = DataLoader(tiny_task.train, batch_size=16, shuffle=True, rng=np.random.default_rng(5))
+        masks = prune_at_init(model, sparsity=0.7, method="magnitude")
+        trainer = SupervisedTrainer(model, lr=3e-3, weight_masks=masks)
+        history = trainer.fit(loader, epochs=5)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert all(v >= 0.69 for v in measure_weight_sparsity(model).values())
+
+    def test_never_prunes_every_weight(self):
+        model = vgg_tiny(num_classes=2, input_size=16, rng=RNG)
+        masks = magnitude_prune(model, sparsity=0.999)
+        for mask in masks.values():
+            assert mask.sum() >= 1

@@ -1,0 +1,100 @@
+"""End-to-end checkpointing tests.
+
+The artefact MIME deploys is exactly ``{W_parent, T_child-1, ..., T_child-n}``
+(plus the tiny task heads).  These tests save that artefact set to disk with
+the library's serialisation helpers, rebuild a fresh network from the files,
+and verify the reloaded system is bit-for-bit equivalent (same predictions,
+same masks, same sparsity) — i.e. the reproduction supports the deployment
+workflow the paper assumes, not just in-memory experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import clone_vgg
+from repro.mime import MimeNetwork
+from repro.models import vgg_tiny
+from repro.utils import load_state_dict, save_state_dict
+
+RNG = np.random.default_rng(31)
+
+
+@pytest.fixture()
+def trained_like_network(tiny_task, tiny_grey_task):
+    """A two-task MimeNetwork with perturbed (as-if-trained) thresholds and heads."""
+    backbone = vgg_tiny(num_classes=6, input_size=16, rng=np.random.default_rng(0))
+    network = MimeNetwork(backbone)
+    for task in (tiny_task, tiny_grey_task):
+        network.add_task(task.name, task.num_classes, rng=RNG)
+        record = network.registry.get(task.name)
+        for threshold in record.thresholds:
+            threshold.data += RNG.uniform(0.0, 0.3, size=threshold.data.shape)
+        record.head_weight.data += RNG.normal(0, 0.1, size=record.head_weight.data.shape)
+    return network
+
+
+class TestMimeArtefactRoundTrip:
+    def test_parent_and_thresholds_round_trip(self, tmp_path, trained_like_network, tiny_task, tiny_grey_task):
+        network = trained_like_network
+        images = RNG.normal(size=(5, 3, 16, 16))
+
+        # Save the deployable artefact set: one parent file + one file per task.
+        save_state_dict(network.backbone.state_dict(), tmp_path / "w_parent.npz")
+        for name in network.task_names():
+            save_state_dict(network.registry.get(name).state_dict(), tmp_path / f"t_{name}.npz")
+
+        # Rebuild from files on a fresh network.
+        fresh_backbone = vgg_tiny(num_classes=6, input_size=16, rng=np.random.default_rng(99))
+        fresh_backbone.load_state_dict(load_state_dict(tmp_path / "w_parent.npz"))
+        restored = MimeNetwork(fresh_backbone)
+        for task in (tiny_task, tiny_grey_task):
+            restored.add_task(task.name, task.num_classes, rng=np.random.default_rng(100))
+            restored.registry.get(task.name).load_state_dict(
+                load_state_dict(tmp_path / f"t_{task.name}.npz")
+            )
+
+        for name in network.task_names():
+            expected = network.forward(images, task=name)
+            actual = restored.forward(images, task=name)
+            assert np.allclose(expected, actual), f"predictions diverged for task '{name}'"
+            assert network.sparsity_by_layer() == pytest.approx(restored.sparsity_by_layer())
+
+    def test_artefact_files_reflect_storage_asymmetry(self, tmp_path, trained_like_network):
+        """The on-disk artefacts show the paper's storage story: the parent file
+        dominates and each per-task file is a small fraction of it."""
+        network = trained_like_network
+        parent_path = tmp_path / "w_parent.npz"
+        save_state_dict(network.backbone.state_dict(), parent_path)
+        task_sizes = []
+        for name in network.task_names():
+            path = tmp_path / f"t_{name}.npz"
+            save_state_dict(network.registry.get(name).state_dict(), path)
+            task_sizes.append(path.stat().st_size)
+        assert all(size < parent_path.stat().st_size for size in task_sizes)
+
+    def test_threshold_state_rejects_wrong_architecture(self, tmp_path, trained_like_network, tiny_task):
+        network = trained_like_network
+        path = tmp_path / "t.npz"
+        save_state_dict(network.registry.get(tiny_task.name).state_dict(), path)
+
+        other_backbone = vgg_tiny(num_classes=6, input_size=8, rng=RNG)  # different input size
+        other = MimeNetwork(other_backbone)
+        other.add_task(tiny_task.name, tiny_task.num_classes, rng=RNG)
+        with pytest.raises((ValueError, KeyError)):
+            other.registry.get(tiny_task.name).load_state_dict(load_state_dict(path))
+
+
+class TestBaselineCheckpointRoundTrip:
+    def test_finetuned_child_round_trip(self, tmp_path, tiny_backbone, tiny_task):
+        child = clone_vgg(tiny_backbone, num_classes=tiny_task.num_classes)
+        path = tmp_path / "child.npz"
+        save_state_dict(child.state_dict(), path)
+
+        restored = clone_vgg(tiny_backbone, num_classes=tiny_task.num_classes, rng=np.random.default_rng(55))
+        restored.load_state_dict(load_state_dict(path))
+        images = RNG.normal(size=(3, 3, 16, 16))
+        child.eval()
+        restored.eval()
+        assert np.allclose(child(images), restored(images))

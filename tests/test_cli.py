@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("storage", "energy", "pruned", "ablation", "train", "all"):
+            args = parser.parse_args([command] if command != "train" else [command, "--fast"])
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_storage_max_tasks_argument(self):
+        args = build_parser().parse_args(["storage", "--max-tasks", "4"])
+        assert args.max_tasks == 4
+
+
+class TestCommands:
+    def test_storage_command_prints_table(self, capsys):
+        assert main(["storage", "--max-tasks", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "DRAM storage" in output
+        assert "saving" in output
+
+    def test_pruned_command_prints_crossover(self, capsys):
+        assert main(["pruned"]) == 0
+        output = capsys.readouterr().out
+        assert "conv13" in output
+        assert "MIME wins" in output
+
+    def test_ablation_command_prints_ratios(self, capsys):
+        assert main(["ablation"]) == 0
+        output = capsys.readouterr().out
+        assert "PE 256" in output
+        assert "middle-layer mean" in output
+
+    def test_energy_command_prints_all_three_figures(self, capsys):
+        assert main(["energy"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 5" in output and "Fig. 6" in output and "Fig. 7" in output

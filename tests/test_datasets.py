@@ -1,0 +1,236 @@
+"""Tests for the dataset substrate: containers, synthesis, transforms, streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    ArrayDataset,
+    DataLoader,
+    GrayscaleToRGB,
+    Normalize,
+    PipelinedTaskStream,
+    Resize,
+    SingularTaskStream,
+    SyntheticTaskConfig,
+    ToFloat,
+    build_child_tasks,
+    cifar10_surrogate,
+    cifar100_surrogate,
+    fmnist_surrogate,
+    imagenet_surrogate,
+    make_synthetic_task,
+    train_test_split,
+)
+from repro.datasets.transforms import Compose
+
+
+class TestArrayDataset:
+    def test_length_and_shapes(self, small_dataset):
+        assert len(small_dataset) == 40
+        assert small_dataset.sample_shape == (3, 8, 8)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4, dtype=int))
+
+    def test_label_exceeding_num_classes_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((2, 1, 2, 2)), np.array([0, 5]), num_classes=3)
+
+    def test_subset(self, small_dataset):
+        subset = small_dataset.subset(np.arange(5))
+        assert len(subset) == 5
+        assert subset.num_classes == small_dataset.num_classes
+
+    def test_map_images(self, small_dataset):
+        doubled = small_dataset.map_images(lambda x: x * 2)
+        assert np.allclose(doubled.images, small_dataset.images * 2)
+
+    def test_train_test_split_partitions(self, small_dataset):
+        train, test = train_test_split(small_dataset, test_fraction=0.25, rng=np.random.default_rng(0))
+        assert len(train) + len(test) == len(small_dataset)
+        assert len(test) == 10
+
+    def test_split_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, test_fraction=1.5)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=7)
+        seen = sum(images.shape[0] for images, _ in loader)
+        assert seen == len(small_dataset)
+        assert len(loader) == 6
+
+    def test_drop_last(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=7, drop_last=True)
+        sizes = [images.shape[0] for images, _ in loader]
+        assert all(size == 7 for size in sizes)
+        assert len(loader) == 5
+
+    def test_shuffle_changes_order(self, small_dataset):
+        loader = DataLoader(small_dataset, batch_size=40, shuffle=True, rng=np.random.default_rng(1))
+        first_epoch, _ = next(iter(loader))
+        second_epoch, _ = next(iter(loader))
+        assert not np.allclose(first_epoch, second_epoch)
+
+    def test_invalid_batch_size(self, small_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset, batch_size=0)
+
+
+class TestSyntheticGeneration:
+    def test_shapes_and_label_range(self):
+        config = SyntheticTaskConfig(num_classes=5, image_size=12, channels=3, samples_per_class=8)
+        dataset = make_synthetic_task(config)
+        assert dataset.images.shape == (40, 3, 12, 12)
+        assert set(np.unique(dataset.labels)) == set(range(5))
+
+    def test_determinism(self):
+        config = SyntheticTaskConfig(seed=3, samples_per_class=4, num_classes=3, image_size=8)
+        a = make_synthetic_task(config)
+        b = make_synthetic_task(config)
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        base = dict(samples_per_class=4, num_classes=3, image_size=8)
+        a = make_synthetic_task(SyntheticTaskConfig(seed=1, **base))
+        b = make_synthetic_task(SyntheticTaskConfig(seed=2, **base))
+        assert not np.allclose(a.images, b.images)
+
+    def test_classes_are_separable(self):
+        """Within-class distance should be smaller than between-class distance."""
+        config = SyntheticTaskConfig(num_classes=4, image_size=10, samples_per_class=10, noise_std=0.2)
+        dataset = make_synthetic_task(config)
+        means = np.stack(
+            [dataset.images[dataset.labels == c].mean(axis=0) for c in range(4)]
+        )
+        within = np.mean(
+            [
+                np.linalg.norm(img - means[label])
+                for img, label in zip(dataset.images, dataset.labels)
+            ]
+        )
+        between = np.mean(
+            [np.linalg.norm(means[i] - means[j]) for i in range(4) for j in range(i + 1, 4)]
+        )
+        assert between > within * 0.5
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            make_synthetic_task(SyntheticTaskConfig(num_classes=1))
+        with pytest.raises(ValueError):
+            make_synthetic_task(SyntheticTaskConfig(noise_std=-0.1))
+
+    @given(st.integers(2, 6), st.integers(2, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_sample_count_property(self, num_classes, samples_per_class):
+        config = SyntheticTaskConfig(
+            num_classes=num_classes, samples_per_class=samples_per_class, image_size=6
+        )
+        dataset = make_synthetic_task(config)
+        assert len(dataset) == num_classes * samples_per_class
+        counts = np.bincount(dataset.labels, minlength=num_classes)
+        assert np.all(counts == samples_per_class)
+
+
+class TestTransforms:
+    def test_grayscale_to_rgb(self):
+        images = np.random.default_rng(0).normal(size=(4, 1, 8, 8))
+        rgb = GrayscaleToRGB(3)(images)
+        assert rgb.shape == (4, 3, 8, 8)
+        assert np.allclose(rgb[:, 0], rgb[:, 2])
+
+    def test_grayscale_rejects_rgb_input(self):
+        with pytest.raises(ValueError):
+            GrayscaleToRGB()(np.zeros((2, 3, 4, 4)))
+
+    def test_resize_up_and_down(self):
+        images = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        up = Resize(16)(images)
+        down = Resize(4)(images)
+        assert up.shape == (2, 3, 16, 16)
+        assert down.shape == (2, 3, 4, 4)
+
+    def test_resize_identity(self):
+        images = np.zeros((1, 3, 8, 8))
+        assert Resize(8)(images) is images
+
+    def test_normalize(self):
+        images = np.ones((2, 3, 4, 4))
+        out = Normalize([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])(images)
+        assert np.allclose(out, 0.0)
+
+    def test_normalize_invalid_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_to_float_rescales(self):
+        images = np.full((1, 1, 2, 2), 255, dtype=np.uint8)
+        assert np.allclose(ToFloat(rescale=True)(images), 1.0)
+
+    def test_compose_order(self):
+        images = np.random.default_rng(0).normal(size=(2, 1, 8, 8))
+        pipeline = Compose([GrayscaleToRGB(3), Resize(4)])
+        assert pipeline(images).shape == (2, 3, 4, 4)
+
+
+class TestTaskFactories:
+    def test_child_tasks_shapes(self):
+        tasks = build_child_tasks(scale=0.3, backbone_size=16, samples_per_class=8)
+        assert [t.name for t in tasks] == ["cifar10", "cifar100", "fmnist"]
+        for task in tasks:
+            assert task.train.sample_shape == (3, 16, 16)
+            assert task.test.sample_shape == (3, 16, 16)
+
+    def test_fmnist_native_shape_is_grayscale(self):
+        task = fmnist_surrogate(scale=0.3, backbone_size=16, samples_per_class=6)
+        assert task.native_shape == (1, 28, 28)
+        assert task.backbone_shape == (3, 16, 16)
+
+    def test_cifar100_has_more_classes_than_cifar10(self):
+        c10 = cifar10_surrogate(scale=1.0, samples_per_class=2)
+        c100 = cifar100_surrogate(scale=1.0, samples_per_class=2)
+        assert c100.num_classes > c10.num_classes
+
+    def test_imagenet_surrogate_is_widest(self):
+        parent = imagenet_surrogate(scale=1.0, samples_per_class=2)
+        child = cifar10_surrogate(scale=1.0, samples_per_class=2)
+        assert parent.num_classes > child.num_classes
+
+    def test_unknown_child_task_raises(self):
+        with pytest.raises(KeyError):
+            build_child_tasks(names=("unknown",), samples_per_class=2)
+
+
+class TestTaskStreams:
+    def test_singular_stream_groups_by_task(self, tiny_task, tiny_grey_task):
+        stream = SingularTaskStream([tiny_task, tiny_grey_task], batch_size=3, rng=np.random.default_rng(0))
+        batches = list(stream)
+        assert [batch.task_name for batch in batches] == [tiny_task.name, tiny_grey_task.name]
+        assert all(len(batch) == 3 for batch in batches)
+        assert stream.task_sequence() == [tiny_task.name] * 3 + [tiny_grey_task.name] * 3
+
+    def test_pipelined_stream_interleaves(self, tiny_task, tiny_grey_task):
+        stream = PipelinedTaskStream([tiny_task, tiny_grey_task], rounds=2, rng=np.random.default_rng(0))
+        sequence = stream.task_sequence()
+        assert sequence == [tiny_task.name, tiny_grey_task.name] * 2
+        assert stream.num_task_switches() == 3
+
+    def test_pipelined_batches_have_one_image(self, tiny_task, tiny_grey_task):
+        stream = PipelinedTaskStream([tiny_task, tiny_grey_task], rng=np.random.default_rng(0))
+        for batch in stream:
+            assert len(batch) == 1
+
+    def test_invalid_arguments_raise(self, tiny_task):
+        with pytest.raises(ValueError):
+            SingularTaskStream([tiny_task], batch_size=0)
+        with pytest.raises(ValueError):
+            PipelinedTaskStream([], rounds=1)
+        with pytest.raises(ValueError):
+            PipelinedTaskStream([tiny_task], split="validation")

@@ -1,0 +1,234 @@
+"""Tests for the experiment harness: paper data, figure generators, reporting.
+
+The figure generators are analytical, so these tests double as the assertions
+that the reproduced trends match the paper's headline claims (the benchmark
+harness prints the same quantities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.config import ExperimentConfig, fast_config, full_config
+from repro.experiments.figures import (
+    figure4_dram_storage,
+    figure5_singular_energy,
+    figure6_pipelined_energy,
+    figure7_pipelined_throughput,
+    figure8_vs_pruned,
+    figure9_ablation,
+    paper_sparsity_profiles,
+    paper_vgg16_shapes,
+)
+from repro.experiments.report import (
+    render_energy_report,
+    render_ratio_table,
+    render_sparsity_table,
+    render_table,
+)
+from repro.experiments.tables import paper_table2_reference, paper_table3_reference, compare_sparsity_ordering
+
+
+class TestPaperData:
+    def test_tables_cover_three_child_tasks(self):
+        assert set(paper_data.MIME_SPARSITY) == {"cifar10", "cifar100", "fmnist"}
+        assert set(paper_data.BASELINE_SPARSITY) == {"cifar10", "cifar100", "fmnist"}
+
+    def test_mime_sparsity_exceeds_baseline_everywhere(self):
+        """The paper's Tables II/III: thresholds prune more than ReLU, per layer."""
+        for task in paper_data.MIME_SPARSITY:
+            for layer, value in paper_data.MIME_SPARSITY[task].items():
+                assert value > paper_data.BASELINE_SPARSITY[task][layer]
+
+    def test_mime_accuracy_slightly_below_baseline(self):
+        for task in paper_data.MIME_ACCURACY:
+            assert paper_data.MIME_ACCURACY[task] < paper_data.BASELINE_ACCURACY[task]
+            assert paper_data.MIME_ACCURACY[task] > paper_data.BASELINE_ACCURACY[task] - 5.0
+
+    def test_complete_profile_fills_missing_layers(self):
+        completed = paper_data.complete_sparsity_profile(paper_data.MIME_SPARSITY["cifar10"])
+        assert set(completed) == set(paper_data.VGG16_CONV_LAYERS + ["fc14", "fc15"])
+        assert all(0.0 < value < 1.0 for value in completed.values())
+        # Listed layers keep their exact values.
+        assert completed["conv2"] == paper_data.MIME_SPARSITY["cifar10"]["conv2"]
+
+    def test_complete_profile_rejects_unknown_layers(self):
+        with pytest.raises(ValueError):
+            paper_data.complete_sparsity_profile({"convX": 0.5})
+
+    def test_reference_table_helpers(self):
+        table2 = paper_table2_reference()
+        table3 = paper_table3_reference()
+        assert compare_sparsity_ordering(table2, table3) == list(table2)
+
+
+class TestConfig:
+    def test_fast_config_is_smaller(self):
+        fast, full = fast_config(), full_config()
+        assert fast.mime_epochs <= full.mime_epochs
+        assert fast.backbone == "vgg_tiny"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(task_scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(pruned_sparsity=1.0)
+
+
+class TestSharedInputs:
+    def test_paper_shapes_are_full_vgg16(self):
+        shapes = paper_vgg16_shapes()
+        assert sum(1 for s in shapes if s.kind == "conv") == 13
+        assert shapes[-1].out_channels == 10
+
+    def test_paper_profiles_have_all_layers(self):
+        mime_profile, baseline_profile = paper_sparsity_profiles()
+        for task in ("cifar10", "cifar100", "fmnist"):
+            assert mime_profile.output_sparsity(task, "conv7") > 0
+            assert baseline_profile.output_sparsity(task, "conv7") > 0
+            assert mime_profile.output_sparsity(task, "conv7") > baseline_profile.output_sparsity(task, "conv7")
+
+
+class TestFigure4:
+    def test_storage_saving_matches_paper_band(self):
+        result = figure4_dram_storage()
+        # Paper: ~3.48x for 3 child tasks.  The reproduction lands around 3x;
+        # anything between 2.5x and 4.5x preserves the claim "> n x is saved".
+        assert 2.5 < result["saving_ratio_3_tasks"] < 4.5
+        assert result["mime_mb"] < result["conventional_mb"]
+
+    def test_curve_monotone_in_tasks(self):
+        curve = figure4_dram_storage(max_tasks=5)["curve"]
+        assert curve["conventional_mb"] == sorted(curve["conventional_mb"])
+        assert all(r2 >= r1 for r1, r2 in zip(curve["saving_ratio"], curve["saving_ratio"][1:]))
+
+
+class TestFigure5and6:
+    def test_singular_mode_bands(self):
+        result = figure5_singular_energy()
+        ratios1 = [v for k, v in result["mime_vs_case1"].items() if k != "conv1"]
+        ratios2 = [v for k, v in result["mime_vs_case2"].items() if k != "conv1"]
+        # Paper: 1.8-2.5x vs Case-1 and 1.07-1.30x vs Case-2.
+        assert 1.6 < min(ratios1) and max(ratios1) < 3.2
+        assert 1.0 < min(ratios2) and max(ratios2) < 1.6
+
+    def test_singular_mime_dram_not_better_than_case2(self):
+        result = figure5_singular_energy()
+        reports = result["reports"]
+        case2 = reports["case2-baseline-zeroskip"]
+        mime = reports["mime"]
+        higher = sum(
+            1
+            for layer in result["layer_names"]
+            if mime.per_layer[layer].e_dram >= case2.per_layer[layer].e_dram
+        )
+        assert higher >= len(result["layer_names"]) // 2
+
+    def test_pipelined_mode_bands(self):
+        result = figure6_pipelined_energy()
+        ratios1 = [v for k, v in result["mime_vs_case1"].items() if k != "conv1"]
+        ratios2 = [v for k, v in result["mime_vs_case2"].items() if k != "conv1"]
+        # Paper: 2.4-3.1x vs Case-1 and 1.3-2.4x vs Case-2.
+        assert 2.2 < min(ratios1) and max(ratios1) < 3.3
+        assert 1.15 < min(ratios2) and max(ratios2) < 2.5
+
+    def test_pipelined_beats_singular(self):
+        singular = figure5_singular_energy()
+        pipelined = figure6_pipelined_energy()
+        mean_singular = np.mean(list(singular["mime_vs_case2"].values()))
+        mean_pipelined = np.mean(list(pipelined["mime_vs_case2"].values()))
+        assert mean_pipelined > mean_singular
+
+
+class TestFigure7:
+    def test_throughput_band(self):
+        result = figure7_pipelined_throughput()
+        values = [v for k, v in result["mime_vs_case1"].items() if k != "conv1"]
+        # Paper: 2.8-3.0x; the reproduction spans ~2.4-2.9x.
+        assert min(values) > 2.0
+        assert max(values) < 3.2
+        assert result["mean_mime_vs_case1"] > 2.3
+
+    def test_case2_throughput_lower_than_mime(self):
+        result = figure7_pipelined_throughput()
+        for layer in result["layer_names"]:
+            if layer == "conv1":
+                continue
+            assert result["mime_vs_case1"][layer] >= result["case2_vs_case1"][layer]
+
+
+class TestFigure8:
+    def test_parameter_dram_crossover(self):
+        """Thresholds dominate the earliest layers, weights the later ones."""
+        result = figure8_vs_pruned()
+        param_ratio = result["param_dram_pruned_over_mime"]
+        assert param_ratio["conv2"] < 1.0  # pruned wins on parameter traffic early
+        assert param_ratio["conv8"] > 1.2  # MIME wins once weights dominate
+        assert param_ratio["conv13"] > 1.5
+        # Ratios grow (weakly) towards the deeper layers.
+        assert param_ratio["conv13"] >= param_ratio["conv5"]
+
+    def test_total_energy_late_layer_band(self):
+        result = figure8_vs_pruned()
+        late = [result["pruned_over_mime"][f"conv{i}"] for i in range(8, 14)]
+        # Paper: 1.36-2.0x savings in the latter convolutional layers.
+        assert min(late) > 1.2
+        assert max(late) < 2.2
+
+    def test_compressed_storage_ablation_flips_result(self):
+        dense = figure8_vs_pruned()
+        from repro.experiments.figures import paper_sparsity_profiles
+        from repro.hardware import SystolicArraySimulator, pipelined_task_schedule, pruned_config, mime_config
+        from repro.experiments.figures import paper_vgg16_shapes
+
+        mime_profile, baseline_profile = paper_sparsity_profiles()
+        shapes = paper_vgg16_shapes()
+        schedule = pipelined_task_schedule(["cifar10", "cifar100", "fmnist"])
+        sim = SystolicArraySimulator()
+        compressed = sim.run(
+            shapes, schedule, baseline_profile,
+            pruned_config(compressed_weight_storage=True, weight_zero_skipping=True),
+            conv_only=True,
+        )
+        mime = sim.run(shapes, schedule, mime_profile, mime_config(), conv_only=True)
+        # With idealised sparse-weight hardware the pruned models win everywhere —
+        # the paper's comparison depends on the array lacking that support.
+        assert compressed.total_energy().total < mime.total_energy().total
+        assert np.mean(list(dense["pruned_over_mime"].values())) > 1.0
+
+
+class TestFigure9:
+    def test_reduced_pe_penalises_middle_layers_only(self):
+        result = figure9_ablation()
+        ratio_b = result["case_b_over_a"]
+        assert result["case_b_middle_mean"] > 1.02
+        assert ratio_b["conv1"] == pytest.approx(1.0, abs=1e-6)
+        assert ratio_b["conv13"] == pytest.approx(1.0, abs=1e-6)
+        assert max(ratio_b.values()) == max(ratio_b[l] for l in ("conv4", "conv5", "conv6", "conv7", "conv8", "conv9", "conv10"))
+
+    def test_reduced_cache_much_milder_than_reduced_pe(self):
+        result = figure9_ablation()
+        assert result["case_c_middle_mean"] < result["case_b_middle_mean"]
+        assert result["case_c_middle_mean"] < 1.05
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in text and "a" in text and "bb" in text
+        assert len(text.splitlines()) == 5
+
+    def test_render_ratio_table(self):
+        text = render_ratio_table({"conv2": 2.5}, title="ratios")
+        assert "conv2" in text and "2.5" in text
+
+    def test_render_energy_report(self):
+        result = figure6_pipelined_energy()
+        text = render_energy_report(result["reports"], result["layer_names"][:4])
+        assert "mime" in text and "conv2" in text
+
+    def test_render_sparsity_table(self):
+        text = render_sparsity_table(paper_table2_reference(), layer_names=["conv2", "conv5"])
+        assert "cifar100" in text and "conv5" in text

@@ -1,0 +1,245 @@
+"""Tests for the hardware spec, cost model, schedules and energy bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import (
+    AccessCounts,
+    EnergyBreakdown,
+    LayerCostModel,
+    LayerSparsityProfile,
+    ParameterSharing,
+    case1_config,
+    case2_config,
+    default_spec,
+    mime_config,
+    parameter_load_events,
+    pipelined_task_schedule,
+    pruned_config,
+    reduced_cache_spec,
+    reduced_pe_spec,
+    singular_task_schedule,
+    threshold_load_events,
+)
+from repro.hardware.energy import LayerEnergyReport, energy_saving_ratio
+from repro.hardware.spec import SystolicArraySpec
+from repro.models import vgg16_layer_shapes
+
+
+SHAPES = vgg16_layer_shapes(input_size=32)
+BY_NAME = {s.name: s for s in SHAPES}
+
+
+class TestSpec:
+    def test_table_iv_defaults(self):
+        spec = default_spec()
+        assert spec.pe_array_size == 1024
+        assert spec.weight_cache_bytes == 156 * 1024
+        assert spec.spad_bytes == 512
+        assert (spec.e_dram, spec.e_cache, spec.e_reg, spec.e_mac) == (200.0, 6.0, 2.0, 1.0)
+        assert spec.precision_bits == 16
+
+    def test_reduced_specs(self):
+        assert reduced_pe_spec().pe_array_size == 256
+        assert reduced_cache_spec().weight_cache_bytes == 128 * 1024
+
+    def test_word_capacity(self):
+        assert default_spec().weight_cache_words() == 156 * 1024 // 2
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicArraySpec(pe_array_size=0)
+        with pytest.raises(ValueError):
+            SystolicArraySpec(spad_reuse=0.5)
+
+
+class TestEnergyBreakdown:
+    def test_total_and_addition(self):
+        a = EnergyBreakdown(1, 2, 3, 4)
+        b = EnergyBreakdown(10, 20, 30, 40)
+        combined = a + b
+        assert combined.total == 110
+        assert combined.e_dram == 11
+
+    def test_scaled(self):
+        assert EnergyBreakdown(1, 1, 1, 1).scaled(2.0).total == 8
+
+    def test_report_accumulates_layers(self):
+        report = LayerEnergyReport("test")
+        report.add_layer("conv1", EnergyBreakdown(1, 0, 0, 0))
+        report.add_layer("conv1", EnergyBreakdown(2, 0, 0, 0))
+        assert report.per_layer["conv1"].e_dram == 3
+        assert report.total().e_dram == 3
+
+    def test_saving_ratio(self):
+        reference = LayerEnergyReport("ref")
+        improved = LayerEnergyReport("new")
+        reference.add_layer("conv1", EnergyBreakdown(10, 0, 0, 0))
+        improved.add_layer("conv1", EnergyBreakdown(5, 0, 0, 0))
+        assert energy_saving_ratio(reference, improved)["conv1"] == pytest.approx(2.0)
+
+
+class TestSchedules:
+    def test_singular_schedule(self):
+        schedule = singular_task_schedule(["cifar10"], images_per_task=3)
+        assert [p.task for p in schedule] == ["cifar10"] * 3
+
+    def test_pipelined_schedule(self):
+        schedule = pipelined_task_schedule(["a", "b", "c"], rounds=2)
+        assert [p.task for p in schedule] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_weight_load_events_conventional_vs_shared(self):
+        pipelined = pipelined_task_schedule(["a", "b", "c"])
+        singular = singular_task_schedule(["a"], images_per_task=3)
+        assert parameter_load_events(pipelined, ParameterSharing.PER_TASK) == 3
+        assert parameter_load_events(pipelined, ParameterSharing.SHARED) == 1
+        assert parameter_load_events(singular, ParameterSharing.PER_TASK) == 1
+
+    def test_threshold_load_events_follow_task_switches(self):
+        pipelined = pipelined_task_schedule(["a", "b", "c"], rounds=2)
+        assert threshold_load_events(pipelined) == 6
+        singular = singular_task_schedule(["a", "b"], images_per_task=2)
+        assert threshold_load_events(singular) == 2
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_load_events([], ParameterSharing.SHARED)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            singular_task_schedule([], images_per_task=3)
+        with pytest.raises(ValueError):
+            pipelined_task_schedule(["a"], rounds=0)
+
+
+class TestExecutionConfigs:
+    def test_case_configs(self):
+        assert case1_config().zero_skip is False
+        assert case2_config().zero_skip is True
+        assert mime_config().use_thresholds is True
+        assert mime_config().sharing is ParameterSharing.SHARED
+        assert pruned_config().weight_density == pytest.approx(0.1)
+
+    def test_thresholds_require_shared_weights(self):
+        from repro.hardware.scenario import ExecutionConfig
+
+        with pytest.raises(ValueError):
+            ExecutionConfig("bad", True, True, ParameterSharing.PER_TASK)
+
+    def test_invalid_weight_density(self):
+        with pytest.raises(ValueError):
+            pruned_config(weight_density=0.0)
+
+
+class TestSparsityProfile:
+    def test_lookup_and_default(self):
+        profile = LayerSparsityProfile(per_task={"a": {"conv2": 0.6}}, default_sparsity=0.1)
+        assert profile.output_sparsity("a", "conv2") == 0.6
+        assert profile.output_sparsity("a", "conv3") == 0.1
+        assert profile.output_density("a", "conv2") == pytest.approx(0.4)
+
+    def test_input_density_uses_previous_layer(self):
+        profile = LayerSparsityProfile(per_task={"a": {"conv1": 0.5}})
+        assert profile.input_density("a", 0, SHAPES) == 1.0
+        assert profile.input_density("a", 1, SHAPES) == pytest.approx(0.5)
+
+    def test_uniform_profile(self):
+        profile = LayerSparsityProfile.uniform(["a", "b"], 0.3)
+        assert profile.output_sparsity("b", "anything") == 0.3
+
+    def test_invalid_sparsity_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSparsityProfile(per_task={"a": {"conv1": 1.5}})
+
+
+class TestLayerCostModel:
+    def setup_method(self):
+        self.model = LayerCostModel(default_spec())
+
+    def test_dense_mac_count(self):
+        counts = self.model.layer_access_counts(BY_NAME["conv2"], zero_skip=False)
+        assert counts.macs == BY_NAME["conv2"].macs
+
+    def test_zero_skip_scales_macs_with_input_density(self):
+        layer = BY_NAME["conv2"]
+        counts = self.model.layer_access_counts(layer, input_density=0.4, zero_skip=True)
+        assert counts.macs == pytest.approx(layer.macs * 0.4)
+
+    def test_first_layer_input_always_dense(self):
+        layer = BY_NAME["conv1"]
+        counts = self.model.layer_access_counts(layer, input_density=0.3, zero_skip=True, first_layer=True)
+        assert counts.macs == pytest.approx(layer.macs)
+
+    def test_thresholds_add_dram_and_comparisons(self):
+        layer = BY_NAME["conv5"]
+        with_thr = self.model.layer_access_counts(layer, use_thresholds=True)
+        without = self.model.layer_access_counts(layer, use_thresholds=False)
+        assert with_thr.dram_threshold_words == layer.output_neurons
+        assert without.dram_threshold_words == 0
+        assert with_thr.comparisons == layer.output_neurons
+        assert with_thr.reg_accesses > without.reg_accesses
+
+    def test_weight_zero_skipping_flag(self):
+        layer = BY_NAME["conv8"]
+        gated = self.model.layer_access_counts(layer, weight_density=0.1, weight_zero_skipping=True)
+        dense = self.model.layer_access_counts(layer, weight_density=0.1, weight_zero_skipping=False)
+        assert gated.macs == pytest.approx(0.1 * dense.macs)
+        assert dense.dram_weight_words == gated.dram_weight_words
+
+    def test_compressed_weight_storage_flag(self):
+        layer = BY_NAME["conv8"]
+        compressed = self.model.layer_access_counts(
+            layer, weight_density=0.1, compressed_weight_storage=True
+        )
+        dense = self.model.layer_access_counts(layer, weight_density=0.1)
+        assert compressed.dram_weight_words == pytest.approx(0.1 * dense.dram_weight_words)
+
+    def test_refetch_factor_when_weights_exceed_cache(self):
+        # conv8 at 32x32 input: 1.18 M weights (2.3 MB) > 156 KB cache, P = 16.
+        layer = BY_NAME["conv8"]
+        small_pe = LayerCostModel(reduced_pe_spec(8))
+        factor_default = self.model.weight_refetch_factor(layer, layer.weight_count)
+        factor_small = small_pe.weight_refetch_factor(layer, layer.weight_count)
+        assert factor_default == 1.0
+        assert factor_small == pytest.approx(np.ceil(16 / 8))
+
+    def test_refetch_factor_is_one_when_weights_fit(self):
+        layer = BY_NAME["conv2"]  # 36 K weights, 72 KB < 156 KB
+        model = LayerCostModel(reduced_pe_spec(8))
+        assert model.weight_refetch_factor(layer, layer.weight_count) == 1.0
+
+    def test_output_passes(self):
+        layer = BY_NAME["conv2"]  # 64 x 32 x 32 = 65536 output neurons
+        assert self.model.output_passes(layer) == 64
+        assert LayerCostModel(reduced_pe_spec(256)).output_passes(layer) == 256
+
+    def test_cycles_scale_with_sparsity(self):
+        layer = BY_NAME["conv5"]
+        dense = self.model.layer_access_counts(layer, zero_skip=False)
+        sparse = self.model.layer_access_counts(layer, input_density=0.35, zero_skip=True)
+        assert sparse.cycles < dense.cycles
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.layer_access_counts(BY_NAME["conv2"], input_density=1.5)
+
+    @given(st.floats(0.05, 1.0), st.floats(0.05, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_monotone_in_densities(self, d_in, d_out):
+        """More zeros can never increase any access count (zero-skipping)."""
+        layer = BY_NAME["conv5"]
+        base = self.model.layer_access_counts(layer, input_density=d_in, output_density=d_out)
+        denser = self.model.layer_access_counts(
+            layer, input_density=min(1.0, d_in + 0.1), output_density=min(1.0, d_out + 0.1)
+        )
+        assert base.macs <= denser.macs + 1e-9
+        assert base.dram_activation_words <= denser.dram_activation_words + 1e-9
+        assert base.cache_accesses <= denser.cache_accesses + 1e-9
+
+    def test_access_counts_dataclass_helpers(self):
+        counts = AccessCounts(dram_weight_words=5, dram_threshold_words=3, dram_act_in_words=2, dram_act_out_words=1)
+        assert counts.dram_parameter_words == 8
+        assert counts.dram_activation_words == 3

@@ -1,0 +1,231 @@
+"""Tests for the batch simulator, task modes and throughput model.
+
+These encode the paper's qualitative hardware claims: MIME's advantage appears
+in Pipelined task mode (weight re-fetch elimination), zero-skipping tracks the
+activation sparsity, throughput scales with dynamic sparsity, and the
+PE-array/cache ablation penalises the middle layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LayerSparsityProfile,
+    SystolicArraySimulator,
+    case1_config,
+    case2_config,
+    default_spec,
+    mime_config,
+    pipelined_task_schedule,
+    pruned_config,
+    reduced_pe_spec,
+    relative_throughput,
+    singular_task_schedule,
+)
+from repro.models import vgg16_layer_shapes
+
+SHAPES = vgg16_layer_shapes(input_size=32)
+TASKS = ["cifar10", "cifar100", "fmnist"]
+MIME_PROFILE = LayerSparsityProfile.uniform(TASKS, 0.65)
+BASE_PROFILE = LayerSparsityProfile.uniform(TASKS, 0.50)
+
+
+def _run(config, schedule, profile, spec=None, conv_only=True):
+    simulator = SystolicArraySimulator(spec or default_spec())
+    return simulator.run(SHAPES, schedule, profile, config, conv_only=conv_only)
+
+
+class TestBatchResult:
+    def test_layer_names_are_convs_only(self):
+        result = _run(case1_config(), singular_task_schedule(["cifar10"]), BASE_PROFILE)
+        assert result.layer_names() == [f"conv{i}" for i in range(1, 14)]
+
+    def test_full_network_includes_fc(self):
+        result = _run(case1_config(), singular_task_schedule(["cifar10"]), BASE_PROFILE, conv_only=False)
+        assert "fc14" in result.layer_names()
+
+    def test_layer_lookup_and_total(self):
+        result = _run(case1_config(), singular_task_schedule(["cifar10"]), BASE_PROFILE)
+        layer = result.layer("conv2")
+        assert layer.energy.total > 0
+        assert result.total_energy().total == pytest.approx(
+            sum(l.energy.total for l in result.layers)
+        )
+        with pytest.raises(KeyError):
+            result.layer("conv99")
+
+    def test_energy_report_round_trip(self):
+        result = _run(case2_config(), singular_task_schedule(["cifar10"]), BASE_PROFILE)
+        report = result.energy_report()
+        assert report.scenario == result.scenario
+        assert set(report.layer_names()) == set(result.layer_names())
+
+    def test_empty_inputs_rejected(self):
+        simulator = SystolicArraySimulator()
+        with pytest.raises(ValueError):
+            simulator.run([], singular_task_schedule(["a"]), BASE_PROFILE, case1_config())
+        with pytest.raises(ValueError):
+            simulator.run(SHAPES, [], BASE_PROFILE, case1_config())
+
+
+class TestSingularMode:
+    def test_zero_skipping_saves_energy(self):
+        schedule = singular_task_schedule(["cifar10"], images_per_task=3)
+        dense = _run(case1_config(), schedule, BASE_PROFILE)
+        skipped = _run(case2_config(), schedule, BASE_PROFILE)
+        assert skipped.total_energy().total < dense.total_energy().total
+
+    def test_mime_beats_baselines_on_total(self):
+        schedule = singular_task_schedule(["cifar10"], images_per_task=3)
+        case1 = _run(case1_config(), schedule, BASE_PROFILE)
+        case2 = _run(case2_config(), schedule, BASE_PROFILE)
+        mime = _run(mime_config(), schedule, MIME_PROFILE)
+        assert mime.total_energy().total < case2.total_energy().total < case1.total_energy().total
+
+    def test_mime_dram_not_lower_than_case2_in_singular_mode(self):
+        """Paper, Section V-B: in Singular mode MIME's E_DRAM is slightly higher
+        than Case-2 because thresholds must also be fetched."""
+        schedule = singular_task_schedule(["cifar10"], images_per_task=3)
+        case2 = _run(case2_config(), schedule, BASE_PROFILE)
+        mime = _run(mime_config(), schedule, MIME_PROFILE)
+        for layer in ("conv2", "conv5", "conv8"):
+            assert mime.layer(layer).energy.e_dram >= case2.layer(layer).energy.e_dram * 0.95
+
+
+class TestPipelinedMode:
+    def test_conventional_reloads_weights_per_task(self):
+        schedule = pipelined_task_schedule(TASKS)
+        case2 = _run(case2_config(), schedule, BASE_PROFILE)
+        mime = _run(mime_config(), schedule, MIME_PROFILE)
+        assert case2.layer("conv8").weight_load_events == 3
+        assert mime.layer("conv8").weight_load_events == 1
+        assert mime.layer("conv8").threshold_load_events == 3
+
+    def test_pipelined_savings_exceed_singular_savings(self):
+        """The whole point of the paper: MIME's advantage grows in Pipelined mode."""
+        singular = singular_task_schedule(["cifar10"], images_per_task=3)
+        pipelined = pipelined_task_schedule(TASKS)
+
+        def saving(schedule):
+            baseline = _run(case2_config(), schedule, BASE_PROFILE)
+            mime = _run(mime_config(), schedule, MIME_PROFILE)
+            return baseline.total_energy().total / mime.total_energy().total
+
+        assert saving(pipelined) > saving(singular)
+
+    def test_mime_dram_advantage_in_deep_layers(self):
+        """In deep layers (weights >> thresholds) MIME's DRAM energy is far lower."""
+        schedule = pipelined_task_schedule(TASKS)
+        case2 = _run(case2_config(), schedule, BASE_PROFILE)
+        mime = _run(mime_config(), schedule, MIME_PROFILE)
+        assert mime.layer("conv13").energy.e_dram < 0.6 * case2.layer("conv13").energy.e_dram
+
+    def test_energy_scales_with_rounds(self):
+        one = _run(mime_config(), pipelined_task_schedule(TASKS, rounds=1), MIME_PROFILE)
+        two = _run(mime_config(), pipelined_task_schedule(TASKS, rounds=2), MIME_PROFILE)
+        assert two.total_energy().total > 1.5 * one.total_energy().total
+
+    def test_per_task_sparsity_differences_matter(self):
+        profile = LayerSparsityProfile(
+            per_task={
+                "cifar10": {name: 0.8 for name in (s.name for s in SHAPES)},
+                "cifar100": {name: 0.2 for name in (s.name for s in SHAPES)},
+            }
+        )
+        sched_sparse = pipelined_task_schedule(["cifar10"])
+        sched_dense = pipelined_task_schedule(["cifar100"])
+        sparse = _run(mime_config(), sched_sparse, profile)
+        dense = _run(mime_config(), sched_dense, profile)
+        assert sparse.total_energy().total < dense.total_energy().total
+
+
+class TestPrunedComparison:
+    def test_pruned_models_do_not_save_weight_dram_by_default(self):
+        schedule = pipelined_task_schedule(TASKS)
+        pruned = _run(pruned_config(), schedule, BASE_PROFILE)
+        case2 = _run(case2_config(), schedule, BASE_PROFILE)
+        assert pruned.layer("conv8").param_dram_words == pytest.approx(
+            case2.layer("conv8").param_dram_words
+        )
+
+    def test_compressed_storage_reduces_weight_dram(self):
+        schedule = pipelined_task_schedule(TASKS)
+        dense = _run(pruned_config(), schedule, BASE_PROFILE)
+        compressed = _run(pruned_config(compressed_weight_storage=True), schedule, BASE_PROFILE)
+        assert compressed.layer("conv8").param_dram_words < 0.2 * dense.layer("conv8").param_dram_words
+
+    def test_weight_zero_skipping_reduces_macs(self):
+        schedule = pipelined_task_schedule(TASKS)
+        gated = _run(pruned_config(weight_zero_skipping=True), schedule, BASE_PROFILE)
+        dense = _run(pruned_config(), schedule, BASE_PROFILE)
+        assert gated.layer("conv8").macs == pytest.approx(0.1 * dense.layer("conv8").macs)
+
+
+class TestThroughput:
+    def test_mime_throughput_tracks_sparsity(self):
+        schedule = pipelined_task_schedule(TASKS)
+        case1 = _run(case1_config(), schedule, BASE_PROFILE)
+        mime = _run(mime_config(), schedule, MIME_PROFILE)
+        report = relative_throughput(case1, mime)
+        # With 65 % dynamic sparsity the MAC count drops ~2.9x; allow the pass
+        # overhead to shave a little off.
+        for layer in ("conv5", "conv8", "conv12"):
+            assert 2.0 < report.per_layer[layer] < 3.2
+        assert report.min >= 1.0
+        assert report.mean > 2.0
+
+    def test_reference_against_itself_is_unity(self):
+        schedule = pipelined_task_schedule(TASKS)
+        case1 = _run(case1_config(), schedule, BASE_PROFILE)
+        report = relative_throughput(case1, case1)
+        assert all(value == pytest.approx(1.0) for value in report.per_layer.values())
+
+    def test_zero_cycles_rejected(self):
+        schedule = pipelined_task_schedule(TASKS)
+        case1 = _run(case1_config(), schedule, BASE_PROFILE)
+        broken = _run(case1_config(), schedule, BASE_PROFILE)
+        broken.layers[0].cycles = 0.0
+        with pytest.raises(ValueError):
+            relative_throughput(case1, broken)
+
+
+class TestAblation:
+    def test_smaller_pe_array_costs_more_in_middle_layers(self):
+        """Fig. 9 Case-B: fewer PEs force extra parameter re-fetches for the
+        layers whose weights exceed the cache and whose spatial maps exceed the
+        PE count; early small layers are unaffected."""
+        shapes = vgg16_layer_shapes(input_size=112)
+        schedule = pipelined_task_schedule(TASKS)
+        simulator_a = SystolicArraySimulator(default_spec())
+        simulator_b = SystolicArraySimulator(reduced_pe_spec(256))
+        result_a = simulator_a.run(shapes, schedule, MIME_PROFILE, mime_config(), conv_only=True)
+        result_b = simulator_b.run(shapes, schedule, MIME_PROFILE, mime_config(), conv_only=True)
+        ratio = {
+            name: result_b.layer(name).energy.total / result_a.layer(name).energy.total
+            for name in result_a.layer_names()
+        }
+        assert ratio["conv5"] > 1.01
+        assert ratio["conv2"] == pytest.approx(1.0, abs=1e-6)
+        assert max(ratio.values()) > 1.03
+
+    def test_reduced_cache_has_smaller_effect_than_reduced_pe(self):
+        """Fig. 9: shrinking the cache is much cheaper than shrinking the PE array."""
+        from repro.hardware import reduced_cache_spec
+
+        shapes = vgg16_layer_shapes(input_size=112)
+        schedule = pipelined_task_schedule(TASKS)
+        base = SystolicArraySimulator(default_spec()).run(
+            shapes, schedule, MIME_PROFILE, mime_config(), conv_only=True
+        )
+        small_pe = SystolicArraySimulator(reduced_pe_spec(256)).run(
+            shapes, schedule, MIME_PROFILE, mime_config(), conv_only=True
+        )
+        small_cache = SystolicArraySimulator(reduced_cache_spec()).run(
+            shapes, schedule, MIME_PROFILE, mime_config(), conv_only=True
+        )
+        pe_penalty = small_pe.total_energy().total / base.total_energy().total
+        cache_penalty = small_cache.total_energy().total / base.total_energy().total
+        assert pe_penalty > cache_penalty
+        assert cache_penalty < 1.05

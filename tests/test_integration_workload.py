@@ -1,0 +1,86 @@
+"""End-to-end integration tests: the full surrogate workload and the tables built from it.
+
+These exercise the entire pipeline the paper describes — parent training,
+MIME threshold training for three child tasks, conventional fine-tuning — on
+the ``fast_config`` scale, and then feed the *measured* sparsity profiles into
+the hardware model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import fast_config
+from repro.experiments.workloads import build_workload
+from repro.experiments.tables import (
+    compare_sparsity_ordering,
+    table2_mime_accuracy_and_sparsity,
+    table3_baseline_accuracy_and_sparsity,
+)
+from repro.hardware import (
+    SystolicArraySimulator,
+    case2_config,
+    mime_config,
+    pipelined_task_schedule,
+)
+from repro.models import extract_layer_shapes
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(fast_config(), include_mime=True, include_baselines=True)
+
+
+class TestWorkloadTraining:
+    def test_all_three_child_tasks_trained(self, workload):
+        assert set(workload.mime_accuracy) == {"cifar10", "cifar100", "fmnist"}
+        assert set(workload.baseline_accuracy) == {"cifar10", "cifar100", "fmnist"}
+
+    def test_models_learn_above_chance(self, workload):
+        for task in workload.child_tasks:
+            chance = 1.0 / task.num_classes
+            assert workload.mime_accuracy[task.name] > chance
+            assert workload.baseline_accuracy[task.name] > chance
+
+    def test_parent_accuracy_above_chance(self, workload):
+        assert workload.parent_accuracy > 1.0 / workload.parent_task.num_classes
+
+    def test_mime_sparsity_reports_cover_all_masked_layers(self, workload):
+        masked = workload.mime_network.masked_layer_names()
+        for report in workload.mime_sparsity.values():
+            assert set(report.layer_names()) == set(masked)
+            assert 0.0 < report.mean < 1.0
+
+    def test_mime_mean_sparsity_exceeds_baseline(self, workload):
+        """The reproduced analogue of Tables II vs III."""
+        table2 = table2_mime_accuracy_and_sparsity(workload)
+        table3 = table3_baseline_accuracy_and_sparsity(workload)
+        holds_for = compare_sparsity_ordering(table2, table3)
+        assert len(holds_for) >= 2  # at least two of the three tasks
+
+    def test_mime_stores_far_fewer_per_task_parameters(self, workload):
+        network = workload.mime_network
+        per_task = network.num_threshold_parameters()
+        parent = network.parent_parameter_count()
+        assert per_task < 0.25 * parent
+
+
+class TestWorkloadToHardware:
+    def test_measured_profiles_drive_simulator(self, workload):
+        """Use the measured (not paper) sparsities for a pipelined-mode comparison."""
+        shapes = extract_layer_shapes(workload.parent_model)
+        schedule = pipelined_task_schedule(workload.child_names())
+        simulator = SystolicArraySimulator()
+        baseline = simulator.run(
+            shapes, schedule, workload.baseline_sparsity_profile(), case2_config(), conv_only=True
+        )
+        mime = simulator.run(
+            shapes, schedule, workload.mime_sparsity_profile(), mime_config(), conv_only=True
+        )
+        assert mime.total_energy().total < baseline.total_energy().total
+
+    def test_profiles_contain_measured_values(self, workload):
+        profile = workload.mime_sparsity_profile()
+        for task in workload.child_names():
+            assert 0.0 < profile.output_sparsity(task, "conv2") < 1.0

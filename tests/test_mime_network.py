@@ -1,0 +1,180 @@
+"""Tests for the MimeNetwork multi-task model and its trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataLoader
+from repro.mime import MimeNetwork, ThresholdTrainer
+from repro.models import vgg_tiny
+
+RNG = np.random.default_rng(9)
+
+
+class TestConstruction:
+    def test_backbone_is_frozen(self, tiny_mime):
+        assert all(not p.requires_grad for p in tiny_mime.backbone.parameters())
+
+    def test_masks_cover_convs_and_hidden_fc(self, tiny_mime):
+        names = tiny_mime.masked_layer_names()
+        assert names == ["conv1", "conv2", "conv3", "fc4"]
+
+    def test_threshold_counts_match_layer_outputs(self, tiny_mime):
+        counts = tiny_mime.threshold_counts()
+        # vgg_tiny at 16x16: conv1 8x16x16, conv2 16x8x8, conv3 32x4x4, fc 64.
+        assert counts == {"conv1": 8 * 16 * 16, "conv2": 16 * 8 * 8, "conv3": 32 * 4 * 4, "fc4": 64}
+
+    def test_mask_classifier_hidden_flag(self, tiny_backbone):
+        network = MimeNetwork(tiny_backbone, mask_classifier_hidden=False)
+        network.add_task("t", 3)
+        assert network.masked_layer_names() == ["conv1", "conv2", "conv3"]
+
+    def test_requires_vgg_backbone(self):
+        from repro.models import MLP
+
+        with pytest.raises(TypeError):
+            MimeNetwork(MLP(input_dim=12, num_classes=2))
+
+    def test_forward_requires_registered_task(self, tiny_backbone):
+        network = MimeNetwork(tiny_backbone)
+        with pytest.raises(RuntimeError):
+            network.forward(RNG.normal(size=(1, 3, 16, 16)))
+
+
+class TestMultiTask:
+    def test_add_and_switch_tasks(self, tiny_backbone):
+        network = MimeNetwork(tiny_backbone)
+        network.add_task("a", 3, rng=RNG)
+        network.add_task("b", 7, rng=RNG)
+        x = RNG.normal(size=(2, 3, 16, 16))
+        out_a = network.forward(x, task="a")
+        out_b = network.forward(x, task="b")
+        assert out_a.shape == (2, 3)
+        assert out_b.shape == (2, 7)
+        assert network.active_task == "b"
+        assert network.task_names() == ["a", "b"]
+
+    def test_duplicate_task_rejected(self, tiny_mime, tiny_task):
+        with pytest.raises(ValueError):
+            tiny_mime.add_task(tiny_task.name, 3)
+
+    def test_unknown_task_rejected(self, tiny_mime):
+        with pytest.raises(KeyError):
+            tiny_mime.set_active_task("nope")
+
+    def test_tasks_share_backbone_weights(self, tiny_backbone):
+        """W_parent is literally the same array object for every task."""
+        network = MimeNetwork(tiny_backbone)
+        network.add_task("a", 3, rng=RNG)
+        network.add_task("b", 4, rng=RNG)
+        x = RNG.normal(size=(1, 3, 16, 16))
+        weights_before = [p.data.copy() for p in network.backbone.parameters()]
+        network.forward(x, task="a")
+        network.forward(x, task="b")
+        for before, param in zip(weights_before, network.backbone.parameters()):
+            assert np.allclose(before, param.data)
+
+    def test_per_task_thresholds_are_independent(self, tiny_backbone):
+        network = MimeNetwork(tiny_backbone)
+        network.add_task("a", 3, rng=RNG)
+        network.add_task("b", 3, rng=RNG)
+        task_a = network.registry.get("a")
+        task_a.thresholds[0].data += 1.0
+        task_b = network.registry.get("b")
+        assert not np.allclose(task_a.thresholds[0].data, task_b.thresholds[0].data)
+
+    def test_trainable_parameters_are_thresholds_and_head(self, tiny_mime, tiny_task):
+        params = tiny_mime.trainable_parameters(tiny_task.name)
+        # 4 masks + head weight + head bias
+        assert len(params) == 6
+        assert all(p.requires_grad for p in params)
+
+    def test_threshold_parameter_total(self, tiny_mime):
+        assert tiny_mime.num_threshold_parameters() == sum(tiny_mime.threshold_counts().values())
+
+    def test_parent_parameter_count_positive(self, tiny_mime):
+        assert tiny_mime.parent_parameter_count() > tiny_mime.num_threshold_parameters()
+
+    def test_sparsity_by_layer_after_forward(self, tiny_mime):
+        tiny_mime.forward(RNG.normal(size=(4, 3, 16, 16)))
+        sparsity = tiny_mime.sparsity_by_layer()
+        assert set(sparsity) == set(tiny_mime.masked_layer_names())
+        assert all(0.0 <= value <= 1.0 for value in sparsity.values())
+
+    def test_task_state_round_trip(self, tiny_backbone):
+        network = MimeNetwork(tiny_backbone)
+        network.add_task("a", 3, rng=RNG)
+        record = network.registry.get("a")
+        record.thresholds[0].data += 0.7
+        state = record.state_dict()
+
+        other = MimeNetwork(tiny_backbone)
+        other.add_task("a", 3, rng=np.random.default_rng(99))
+        other.registry.get("a").load_state_dict(state)
+        assert np.allclose(other.registry.get("a").thresholds[0].data, record.thresholds[0].data)
+        assert np.allclose(other.registry.get("a").head_weight.data, record.head_weight.data)
+
+
+class TestThresholdTraining:
+    def test_training_improves_accuracy_and_freezes_backbone(self, tiny_backbone, tiny_task):
+        network = MimeNetwork(tiny_backbone)
+        network.add_task(tiny_task.name, tiny_task.num_classes, rng=RNG)
+        backbone_before = {
+            name: param.data.copy() for name, param in network.backbone.named_parameters()
+        }
+        trainer = ThresholdTrainer(network, lr=1e-2, beta=1e-6)
+        loader = DataLoader(tiny_task.train, batch_size=16, shuffle=True, rng=np.random.default_rng(0))
+        history = trainer.train_task(tiny_task.name, loader, epochs=12)
+
+        assert history.epochs == 12
+        assert history.train_accuracy[-1] > history.train_accuracy[0]
+        chance = 1.0 / tiny_task.num_classes
+        assert history.train_accuracy[-1] > chance + 0.1
+        # The parent weights must not have moved.
+        for name, param in network.backbone.named_parameters():
+            assert np.allclose(backbone_before[name], param.data), name
+
+    def test_thresholds_change_during_training(self, tiny_mime, tiny_task, tiny_loader):
+        before = tiny_mime.registry.get(tiny_task.name).thresholds[0].data.copy()
+        trainer = ThresholdTrainer(tiny_mime, lr=5e-3)
+        trainer.train_task(tiny_task.name, tiny_loader, epochs=2)
+        after = tiny_mime.registry.get(tiny_task.name).thresholds[0].data
+        assert not np.allclose(before, after)
+
+    def test_evaluate_returns_loss_and_accuracy(self, tiny_mime, tiny_task):
+        trainer = ThresholdTrainer(tiny_mime)
+        loss, acc = trainer.evaluate(tiny_task.name, DataLoader(tiny_task.test, batch_size=8))
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+    def test_train_all_covers_registered_tasks(self, tiny_backbone, tiny_task, tiny_grey_task):
+        network = MimeNetwork(tiny_backbone)
+        network.add_task(tiny_task.name, tiny_task.num_classes, rng=RNG)
+        network.add_task(tiny_grey_task.name, tiny_grey_task.num_classes, rng=RNG)
+        trainer = ThresholdTrainer(network, lr=5e-3)
+        loaders = {
+            tiny_task.name: DataLoader(tiny_task.train, batch_size=16, shuffle=True, rng=RNG),
+            tiny_grey_task.name: DataLoader(tiny_grey_task.train, batch_size=16, shuffle=True, rng=RNG),
+        }
+        histories = trainer.train_all(loaders, epochs=2)
+        assert set(histories) == {tiny_task.name, tiny_grey_task.name}
+
+    def test_invalid_epochs_raise(self, tiny_mime, tiny_task, tiny_loader):
+        trainer = ThresholdTrainer(tiny_mime)
+        with pytest.raises(ValueError):
+            trainer.train_task(tiny_task.name, tiny_loader, epochs=0)
+
+    def test_invalid_optimizer_raises(self, tiny_mime):
+        with pytest.raises(ValueError):
+            ThresholdTrainer(tiny_mime, optimizer="rmsprop")
+
+    def test_regularisation_keeps_thresholds_bounded(self, tiny_backbone, tiny_task, tiny_loader):
+        """With a large beta the exp(t) penalty pushes thresholds down."""
+        network = MimeNetwork(tiny_backbone, init_threshold=0.5)
+        network.add_task(tiny_task.name, tiny_task.num_classes, rng=RNG)
+        trainer = ThresholdTrainer(network, lr=5e-3, beta=1e-2)
+        trainer.train_task(tiny_task.name, tiny_loader, epochs=3)
+        thresholds = network.registry.get(tiny_task.name).thresholds
+        max_threshold = max(float(t.data.max()) for t in thresholds)
+        assert max_threshold < 5.0

@@ -1,0 +1,144 @@
+"""Tests for the ThresholdMask layer and the threshold regulariser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mime import ThresholdMask, ThresholdRegularizer
+from tests.conftest import numeric_gradient
+
+RNG = np.random.default_rng(3)
+
+
+class TestThresholdMaskForward:
+    def test_masking_follows_equation_1_and_2(self):
+        mask = ThresholdMask((4,), init_threshold=0.5)
+        y = np.array([[0.4, 0.5, 0.6, -1.0]])
+        out = mask(y)
+        # m_i = 1 iff y_i - t_i >= 0; a_i = y_i * m_i
+        assert np.allclose(out, [[0.0, 0.5, 0.6, 0.0]])
+
+    def test_sparsity_measurement(self):
+        mask = ThresholdMask((4,), init_threshold=0.5)
+        mask(np.array([[1.0, 0.0, 1.0, 0.0]]))
+        assert mask.last_sparsity() == pytest.approx(0.5)
+        assert mask.last_mask().shape == (1, 4)
+
+    def test_conv_shaped_thresholds(self):
+        mask = ThresholdMask((2, 3, 3), init_threshold=0.1)
+        y = RNG.normal(size=(5, 2, 3, 3))
+        out = mask(y)
+        assert out.shape == y.shape
+        assert mask.num_thresholds() == 18
+
+    def test_shape_mismatch_raises(self):
+        mask = ThresholdMask((4,))
+        with pytest.raises(ValueError):
+            mask(np.zeros((2, 5)))
+
+    def test_nonpositive_threshold_init_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdMask((3,), init_threshold=0.0)
+
+    def test_higher_threshold_prunes_more(self):
+        y = RNG.normal(size=(20, 10))
+        low = ThresholdMask((10,), init_threshold=0.01)
+        high = ThresholdMask((10,), init_threshold=1.5)
+        low(y)
+        high(y)
+        assert high.last_sparsity() >= low.last_sparsity()
+
+    def test_mime_sparsity_exceeds_relu_sparsity(self):
+        """Positive thresholds prune at least everything ReLU would prune."""
+        y = RNG.normal(size=(50, 16))
+        mask = ThresholdMask((16,), init_threshold=0.3)
+        mask(y)
+        relu_sparsity = float(np.mean(y <= 0))
+        assert mask.last_sparsity() >= relu_sparsity
+
+
+class TestThresholdMaskBackward:
+    def test_threshold_gradient_matches_numeric_surrogate(self):
+        """The analytic threshold gradient matches the surrogate-loss numeric gradient."""
+        mask = ThresholdMask((6,), init_threshold=0.2, surrogate_width=1.0)
+        y = RNG.normal(size=(4, 6))
+        upstream = RNG.normal(size=(4, 6))
+
+        mask(y)
+        mask.backward(upstream)
+        analytic = mask.thresholds.grad.copy()
+
+        def surrogate_loss():
+            # The smoothed forward implied by the piecewise-linear surrogate:
+            # a_i = y_i * clip-integral of the triangular derivative.  For a
+            # numerical check we integrate the surrogate: step(d) is replaced by
+            # S(d) with S'(d) = max(0, 1-|d|)/1, S(-1)=0, S(1)=1.
+            diff = y - mask.thresholds.data[None, :]
+            d = np.clip(diff, -1.0, 1.0)
+            smooth_step = np.where(
+                d >= 0, 0.5 + d - 0.5 * d**2, 0.5 + d + 0.5 * d**2
+            )
+            return float(np.sum(upstream * y * smooth_step))
+
+        numeric = numeric_gradient(surrogate_loss, mask.thresholds.data)
+        mask(y)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_gradient_direction_increases_sparsity_penalty(self):
+        """Raising a threshold can only switch neurons off, never on."""
+        mask = ThresholdMask((8,), init_threshold=0.5)
+        y = RNG.normal(size=(16, 8))
+        before = mask(y)
+        mask.thresholds.data += 10.0
+        after = mask(y)
+        assert np.count_nonzero(after) <= np.count_nonzero(before)
+
+    def test_backward_before_forward_raises(self):
+        mask = ThresholdMask((3,))
+        with pytest.raises(RuntimeError):
+            mask.backward(np.zeros((1, 3)))
+
+    def test_input_gradient_outside_surrogate_window(self):
+        """Far from the threshold the gradient reduces to the plain mask."""
+        mask = ThresholdMask((2,), init_threshold=0.1, surrogate_width=0.5)
+        y = np.array([[5.0, -5.0]])
+        mask(y)
+        grad_in = mask.backward(np.ones((1, 2)))
+        assert np.allclose(grad_in, [[1.0, 0.0]])
+
+
+class TestRegularizer:
+    def test_value_is_sum_of_exponentials(self):
+        mask = ThresholdMask((3,), init_threshold=0.5)
+        regularizer = ThresholdRegularizer(beta=1e-6)
+        assert regularizer.value([mask]) == pytest.approx(3 * np.exp(0.5))
+
+    def test_penalty_scaling(self):
+        mask = ThresholdMask((2,), init_threshold=1.0)
+        regularizer = ThresholdRegularizer(beta=0.5)
+        assert regularizer.penalty([mask]) == pytest.approx(0.5 * 2 * np.e)
+
+    def test_gradient_accumulation(self):
+        mask = ThresholdMask((4,), init_threshold=0.3)
+        ThresholdRegularizer(beta=0.01).accumulate_gradients([mask])
+        assert np.allclose(mask.thresholds.grad, 0.01 * np.exp(0.3))
+
+    def test_zero_beta_is_noop(self):
+        mask = ThresholdMask((4,), init_threshold=0.3)
+        ThresholdRegularizer(beta=0.0).accumulate_gradients([mask])
+        assert mask.thresholds.grad is None
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdRegularizer(beta=-1.0)
+
+    @given(st.floats(0.05, 2.0), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_regulariser_monotone_in_threshold(self, t, n):
+        """L_t grows with the threshold values, which is what keeps them bounded."""
+        small = ThresholdMask((n,), init_threshold=t)
+        large = ThresholdMask((n,), init_threshold=t + 0.5)
+        regularizer = ThresholdRegularizer(beta=1.0)
+        assert regularizer.value([large]) > regularizer.value([small])

@@ -1,0 +1,193 @@
+"""Tests for the model zoo and layer-shape extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LeNet,
+    MLP,
+    available_models,
+    build_model,
+    extract_layer_shapes,
+    register_model,
+    vgg16_layer_shapes,
+    vgg_tiny,
+    vgg_small,
+)
+from repro.models.vgg import VGG, VGG_CONFIGS, vgg16
+from repro.models.shapes import vgg_layer_shapes
+from repro.nn import Conv2d, CrossEntropyLoss
+
+RNG = np.random.default_rng(0)
+
+
+class TestVGG:
+    def test_vgg_tiny_forward_shape(self):
+        model = vgg_tiny(num_classes=7, input_size=16, rng=RNG)
+        out = model(RNG.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 7)
+
+    def test_vgg_small_forward_shape(self):
+        model = vgg_small(num_classes=4, input_size=32, rng=RNG)
+        out = model(RNG.normal(size=(1, 3, 32, 32)))
+        assert out.shape == (1, 4)
+
+    def test_backward_shapes(self):
+        model = vgg_tiny(num_classes=5, input_size=16, rng=RNG)
+        x = RNG.normal(size=(2, 3, 16, 16))
+        out = model(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_vgg16_conv_layer_count(self):
+        convs = [c for c in VGG_CONFIGS["vgg16"] if c != "M"]
+        assert len(convs) == 13
+
+    def test_width_multiplier_scales_channels(self):
+        model = VGG(VGG_CONFIGS["vgg_tiny"], width_multiplier=0.5, input_size=16, rng=RNG)
+        first_conv = model.conv_layers()[0]
+        assert first_conv.out_channels == 4
+
+    def test_conv_layers_in_order(self):
+        model = vgg_small(input_size=32, rng=RNG)
+        convs = model.conv_layers()
+        assert all(isinstance(layer, Conv2d) for layer in convs)
+        assert len(convs) == 6
+
+    def test_replace_classifier_head(self):
+        model = vgg_tiny(num_classes=5, input_size=16, rng=RNG)
+        model.replace_classifier_head(11)
+        out = model(RNG.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 11)
+        assert model.num_classes == 11
+
+    def test_grayscale_input_channels(self):
+        model = vgg_tiny(num_classes=3, input_size=16, in_channels=1, rng=RNG)
+        out = model(RNG.normal(size=(2, 1, 16, 16)))
+        assert out.shape == (2, 3)
+
+    def test_training_reduces_loss(self):
+        from repro.nn import Adam
+
+        model = vgg_tiny(num_classes=3, input_size=8, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 3, 8, 8))
+        labels = rng.integers(0, 3, size=30)
+        # Give each class a strong constant offset so the task is learnable.
+        for cls in range(3):
+            x[labels == cls, cls] += 2.0
+        criterion = CrossEntropyLoss()
+        optimizer = Adam([p for p in model.parameters() if p.requires_grad], lr=5e-3)
+        first_loss = None
+        for _ in range(15):
+            optimizer.zero_grad()
+            loss = criterion(model(x), labels)
+            model.backward(criterion.backward())
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss
+        assert loss < first_loss
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            vgg_tiny(num_classes=0)
+        with pytest.raises(ValueError):
+            VGG(VGG_CONFIGS["vgg_tiny"], width_multiplier=0.0)
+
+
+class TestReferenceModels:
+    def test_lenet_forward(self):
+        model = LeNet(num_classes=10, in_channels=1, input_size=28, rng=RNG)
+        out = model(RNG.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_mlp_forward_and_backward(self):
+        model = MLP(input_dim=3 * 8 * 8, hidden_sizes=(16,), num_classes=5, rng=RNG)
+        x = RNG.normal(size=(4, 3, 8, 8))
+        out = model(x)
+        assert out.shape == (4, 5)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestRegistry:
+    def test_builtin_models_available(self):
+        names = available_models()
+        for expected in ("vgg16", "vgg_tiny", "lenet", "mlp"):
+            assert expected in names
+
+    def test_build_model(self):
+        model = build_model("vgg_tiny", num_classes=4, input_size=16)
+        assert isinstance(model, VGG)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("not-a-model")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError):
+            register_model("vgg16", vgg16)
+
+
+class TestLayerShapes:
+    def test_vgg16_has_13_convs_and_fcs(self):
+        shapes = vgg16_layer_shapes(input_size=32)
+        convs = [s for s in shapes if s.kind == "conv"]
+        linears = [s for s in shapes if s.kind == "linear"]
+        assert len(convs) == 13
+        assert len(linears) == 2  # one hidden layer + the classifier by default
+        assert convs[0].name == "conv1" and convs[-1].name == "conv13"
+
+    def test_threshold_vs_weight_crossover(self):
+        """Thresholds outnumber weights only in the earliest layers (paper Fig. 8)."""
+        shapes = vgg16_layer_shapes(input_size=112)
+        by_name = {s.name: s for s in shapes}
+        assert by_name["conv2"].output_neurons > by_name["conv2"].weight_count
+        assert by_name["conv4"].output_neurons > by_name["conv4"].weight_count
+        assert by_name["conv5"].output_neurons < by_name["conv5"].weight_count
+        assert by_name["conv13"].output_neurons < by_name["conv13"].weight_count
+
+    def test_mac_count_formula(self):
+        shapes = vgg16_layer_shapes(input_size=32)
+        conv2 = next(s for s in shapes if s.name == "conv2")
+        assert conv2.macs == 64 * 32 * 32 * 64 * 9
+
+    def test_extract_matches_symbolic(self):
+        model = vgg_small(num_classes=10, input_size=32, rng=RNG)
+        extracted = extract_layer_shapes(model)
+        symbolic = vgg_layer_shapes(
+            "vgg_small", input_size=32, num_classes=10, classifier_hidden=(128,)
+        )
+        assert [s.name for s in extracted] == [s.name for s in symbolic]
+        for a, b in zip(extracted, symbolic):
+            assert a.weight_count == b.weight_count
+            assert a.output_neurons == b.output_neurons
+
+    def test_imagenet_scale_parameter_count(self):
+        """The symbolic VGG16/ImageNet model has the canonical ~138 M parameters."""
+        shapes = vgg_layer_shapes(
+            "vgg16", input_size=224, num_classes=1000, classifier_hidden=(4096, 4096)
+        )
+        total = sum(s.weight_count + s.bias_count for s in shapes)
+        assert 135e6 < total < 140e6
+
+    def test_spatial_halving_through_pools(self):
+        shapes = vgg16_layer_shapes(input_size=64)
+        by_name = {s.name: s for s in shapes}
+        assert by_name["conv1"].output_h == 64
+        assert by_name["conv3"].output_h == 32
+        assert by_name["conv5"].output_h == 16
+        assert by_name["conv8"].output_h == 8
+        assert by_name["conv11"].output_h == 4
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            vgg_layer_shapes("vgg16", input_size=0)
+
+    def test_sequential_requires_input_shape(self):
+        from repro.nn import Sequential, Linear
+
+        with pytest.raises(ValueError):
+            extract_layer_shapes(Sequential(Linear(4, 2)))

@@ -1,0 +1,299 @@
+"""Tests for the layer implementations, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from tests.conftest import numeric_gradient
+
+RNG = np.random.default_rng(42)
+
+
+def _check_input_gradient(layer, x, tolerance=1e-5):
+    """Compare analytical input gradients against central differences."""
+    out = layer(x)
+    upstream = RNG.normal(size=out.shape)
+    grad_input = layer.backward(upstream)
+
+    def loss():
+        return float(np.sum(layer.forward(x) * upstream))
+
+    numeric = numeric_gradient(loss, x)
+    # Re-run forward once more so the layer cache corresponds to x again.
+    layer.forward(x)
+    assert np.allclose(grad_input, numeric, atol=tolerance), (
+        f"gradient mismatch for {type(layer).__name__}"
+    )
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(6, 4, rng=RNG)
+        out = layer(RNG.normal(size=(5, 6)))
+        assert out.shape == (5, 4)
+
+    def test_forward_matches_manual(self):
+        layer = Linear(3, 2, rng=RNG)
+        x = RNG.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x), expected)
+
+    def test_input_gradient(self):
+        layer = Linear(5, 3, rng=RNG)
+        _check_input_gradient(layer, RNG.normal(size=(3, 5)))
+
+    def test_weight_gradient(self):
+        layer = Linear(4, 2, rng=RNG)
+        x = RNG.normal(size=(6, 4))
+        out = layer(x)
+        upstream = RNG.normal(size=out.shape)
+        layer.backward(upstream)
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        numeric = numeric_gradient(loss, layer.weight.data)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert layer(RNG.normal(size=(2, 3))).shape == (2, 2)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_wrong_input_shape_raises(self):
+        layer = Linear(3, 2, rng=RNG)
+        with pytest.raises(ValueError):
+            layer(RNG.normal(size=(2, 4)))
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, padding=1, rng=RNG)
+        out = layer(RNG.normal(size=(2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_stride_and_no_padding_shape(self):
+        layer = Conv2d(2, 4, kernel_size=3, stride=2, rng=RNG)
+        out = layer(RNG.normal(size=(1, 2, 9, 9)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_matches_direct_convolution(self):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=RNG)
+        x = RNG.normal(size=(1, 2, 5, 5))
+        out = layer(x)
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for oc in range(3):
+            for i in range(5):
+                for j in range(5):
+                    patch = padded[0, :, i : i + 3, j : j + 3]
+                    expected = np.sum(patch * layer.weight.data[oc]) + layer.bias.data[oc]
+                    assert np.isclose(out[0, oc, i, j], expected)
+
+    def test_input_gradient(self):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=RNG)
+        _check_input_gradient(layer, RNG.normal(size=(2, 2, 5, 5)))
+
+    def test_weight_gradient(self):
+        layer = Conv2d(1, 2, kernel_size=3, rng=RNG)
+        x = RNG.normal(size=(2, 1, 5, 5))
+        out = layer(x)
+        upstream = RNG.normal(size=out.shape)
+        layer.backward(upstream)
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        numeric = numeric_gradient(loss, layer.weight.data)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-5)
+
+    def test_frozen_weights_skip_grad(self):
+        layer = Conv2d(1, 2, kernel_size=3, rng=RNG)
+        layer.weight.requires_grad = False
+        out = layer(RNG.normal(size=(1, 1, 5, 5)))
+        layer.backward(np.ones_like(out))
+        assert layer.weight.grad is None
+
+    def test_output_shape_helper(self):
+        layer = Conv2d(3, 16, kernel_size=3, padding=1, rng=RNG)
+        assert layer.output_shape((3, 32, 32)) == (16, 32, 32)
+
+    def test_wrong_channel_count_raises(self):
+        layer = Conv2d(3, 4, kernel_size=3, rng=RNG)
+        with pytest.raises(ValueError):
+            layer(RNG.normal(size=(1, 2, 8, 8)))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer(x)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = 1
+        expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1
+        assert np.allclose(grad, expected)
+
+    def test_maxpool_input_gradient(self):
+        layer = MaxPool2d(2)
+        _check_input_gradient(layer, RNG.normal(size=(2, 3, 6, 6)))
+
+    def test_avgpool_values(self):
+        layer = AvgPool2d(2)
+        x = np.ones((1, 2, 4, 4))
+        assert np.allclose(layer(x), np.ones((1, 2, 2, 2)))
+
+    def test_avgpool_input_gradient(self):
+        layer = AvgPool2d(2)
+        _check_input_gradient(layer, RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_global_avgpool(self):
+        layer = GlobalAvgPool2d()
+        x = RNG.normal(size=(3, 4, 5, 5))
+        assert np.allclose(layer(x), x.mean(axis=(2, 3)))
+
+    def test_global_avgpool_gradient(self):
+        layer = GlobalAvgPool2d()
+        _check_input_gradient(layer, RNG.normal(size=(2, 3, 4, 4)))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0], [0.5, -3.0]])
+        assert np.allclose(layer(x), [[0, 2], [0.5, 0]])
+
+    def test_relu_sparsity(self):
+        layer = ReLU()
+        layer(np.array([[-1.0, 2.0, -0.5, 4.0]]))
+        assert layer.last_sparsity() == pytest.approx(0.5)
+
+    def test_relu_gradient(self):
+        layer = ReLU()
+        x = RNG.normal(size=(4, 7)) + 0.1  # avoid values exactly at the kink
+        _check_input_gradient(layer, x)
+
+    def test_sigmoid_gradient(self):
+        _check_input_gradient(Sigmoid(), RNG.normal(size=(3, 5)))
+
+    def test_tanh_gradient(self):
+        _check_input_gradient(Tanh(), RNG.normal(size=(3, 5)))
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = RNG.normal(size=(2, 2))
+        assert np.allclose(layer(x), x)
+        assert np.allclose(layer.backward(x), x)
+
+
+class TestBatchNorm:
+    def test_batchnorm2d_normalises(self):
+        layer = BatchNorm2d(3)
+        x = RNG.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4))
+        out = layer(x)
+        assert abs(out.mean()) < 1e-6
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_batchnorm1d_normalises(self):
+        layer = BatchNorm1d(6)
+        x = RNG.normal(loc=-2.0, scale=3.0, size=(64, 6))
+        out = layer(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_running_stats_used_in_eval(self):
+        layer = BatchNorm1d(2, momentum=1.0)
+        x = RNG.normal(loc=4.0, size=(32, 2))
+        layer(x)
+        layer.eval()
+        out = layer(np.full((4, 2), 4.0))
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_batchnorm2d_gradient(self):
+        layer = BatchNorm2d(2)
+        _check_input_gradient(layer, RNG.normal(size=(4, 2, 3, 3)), tolerance=1e-4)
+
+    def test_state_dict_includes_running_stats(self):
+        layer = BatchNorm2d(3)
+        state = layer.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_invalid_features_raise(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+
+
+class TestDropoutFlatten:
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5, rng=RNG)
+        layer.eval()
+        x = RNG.normal(size=(10, 10))
+        assert np.allclose(layer(x), x)
+
+    def test_dropout_zeroes_roughly_p_fraction(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer(x)
+        zero_fraction = np.mean(out == 0)
+        assert 0.25 < zero_fraction < 0.35
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_flatten_round_trip(self):
+        layer = Flatten()
+        x = RNG.normal(size=(2, 3, 4, 5))
+        out = layer(x)
+        assert out.shape == (2, 60)
+        grad = layer.backward(out)
+        assert grad.shape == x.shape
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        model = Sequential(Linear(6, 5, rng=RNG), ReLU(), Linear(5, 2, rng=RNG))
+        x = RNG.normal(size=(3, 6))
+        out = model(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_indexing_and_len(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_output_shape_propagation(self):
+        model = Sequential(Conv2d(3, 8, 3, padding=1, rng=RNG), ReLU(), MaxPool2d(2), Flatten())
+        assert model.output_shape((3, 8, 8)) == (8 * 4 * 4,)
+
+    def test_append_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential().append("not a module")

@@ -1,0 +1,234 @@
+"""Tests for losses, optimisers, initialisation and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Adam, CrossEntropyLoss, Linear, MSELoss, SGD, accuracy, confusion_matrix, topk_accuracy
+from repro.nn import init as nn_init
+from repro.nn import functional as F
+from repro.nn.module import Parameter
+
+RNG = np.random.default_rng(7)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert loss(logits, labels) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((3, 5), -50.0)
+        labels = np.array([0, 2, 4])
+        logits[np.arange(3), labels] = 50.0
+        assert loss(logits, labels) < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.normal(size=(5, 4))
+        labels = RNG.integers(0, 4, size=5)
+        loss(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus, minus = logits.copy(), logits.copy()
+                plus[i, j] += eps
+                minus[i, j] -= eps
+                numeric[i, j] = (loss(plus, labels) - loss(minus, labels)) / (2 * eps)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_label_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        assert loss(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_gradient(self):
+        loss = MSELoss()
+        pred = RNG.normal(size=(3, 2))
+        target = RNG.normal(size=(3, 2))
+        loss(pred, target)
+        assert np.allclose(loss.backward(), 2 * (pred - target) / pred.size)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_reduces_quadratic(self):
+        param = self._quadratic_param()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            param.accumulate_grad(2 * param.data)
+            optimizer.step()
+        assert np.all(np.abs(param.data) < 1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param = self._quadratic_param()
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            param.accumulate_grad(2 * param.data)
+            optimizer.step()
+        assert np.all(np.abs(param.data) < 1e-2)
+
+    def test_adam_converges(self):
+        param = self._quadratic_param()
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            param.accumulate_grad(2 * param.data)
+            optimizer.step()
+        assert np.all(np.abs(param.data) < 1e-2)
+
+    def test_weight_decay_shrinks_parameter(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        param.accumulate_grad(np.array([0.0]))
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_frozen_parameters_not_updated(self):
+        param = Parameter(np.array([1.0]), requires_grad=False)
+        trainable = Parameter(np.array([1.0]))
+        optimizer = SGD([param, trainable], lr=0.1)
+        trainable.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        assert param.data[0] == 1.0
+        assert trainable.data[0] < 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_optimizer_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0, -1.0]])
+        x = rng.normal(size=(128, 2))
+        y = x @ true_w.T
+        layer = Linear(2, 1, rng=rng)
+        loss = MSELoss()
+        optimizer = Adam(list(layer.parameters()), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            value = loss(layer(x), y)
+            layer.backward(loss.backward())
+            optimizer.step()
+        assert value < 1e-3
+        assert np.allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestInit:
+    def test_kaiming_uniform_bound(self):
+        weights = nn_init.kaiming_uniform((1000,), fan_in=100, rng=RNG)
+        bound = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(weights) <= bound)
+
+    def test_kaiming_normal_std(self):
+        weights = nn_init.kaiming_normal((20000,), fan_in=50, rng=RNG)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 50), rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        weights = nn_init.xavier_uniform((500,), fan_in=30, fan_out=20, rng=RNG)
+        assert np.all(np.abs(weights) <= np.sqrt(6.0 / 50))
+
+    def test_invalid_fan_raises(self):
+        with pytest.raises(ValueError):
+            nn_init.kaiming_uniform((3,), fan_in=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 1.0], [3.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_topk_accuracy(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0], [0.0, 1.0, 2.0, 3.0]])
+        labels = np.array([1, 0])
+        assert topk_accuracy(logits, labels, k=2) == pytest.approx(0.5)
+        assert topk_accuracy(logits, labels, k=4) == pytest.approx(1.0)
+
+    def test_confusion_matrix(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1, 1])
+        matrix = confusion_matrix(logits, labels, num_classes=2)
+        assert matrix[0, 0] == 1 and matrix[1, 0] == 1 and matrix[1, 1] == 1
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self):
+        probs = F.softmax(RNG.normal(size=(6, 9)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = RNG.normal(size=(4, 5))
+        assert np.allclose(np.exp(F.log_softmax(logits)), F.softmax(logits))
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_im2col_col2im_adjoint(self):
+        # col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>
+        x = RNG.normal(size=(2, 3, 6, 6))
+        cols, _ = F.im2col(x, kernel=3, stride=1, padding=1)
+        y = RNG.normal(size=cols.shape)
+        back = F.col2im(y, x.shape, kernel=3, stride=1, padding=1)
+        assert np.isclose(np.sum(cols * y), np.sum(x * back))
+
+    def test_conv_output_size_invalid_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+    @given(st.floats(-3, 3), st.floats(0.1, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_piecewise_linear_ste_properties(self, diff, width):
+        value = F.piecewise_linear_ste(np.array([diff]), width)[0]
+        assert value >= 0
+        if abs(diff) > width:
+            assert value == 0
+        assert F.piecewise_linear_ste(np.array([0.0]), width)[0] == pytest.approx(1.0 / width)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_mask_is_binary(self, n):
+        rng = np.random.default_rng(n)
+        y = rng.normal(size=(2, n))
+        t = rng.uniform(0.01, 1.0, size=(n,))
+        mask = F.threshold_mask(y, t)
+        assert set(np.unique(mask)).issubset({0.0, 1.0})
+        assert np.all((y - t >= 0) == (mask == 1.0))

@@ -1,0 +1,115 @@
+"""Tests for the Module/Parameter machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class _TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 3, rng=np.random.default_rng(0))
+        self.second = Linear(3, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+    def backward(self, grad):
+        return self.first.backward(self.second.backward(grad))
+
+
+class TestParameter:
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((3, 4)))
+        assert param.shape == (3, 4)
+        assert param.size == 12
+
+    def test_accumulate_grad_adds(self):
+        param = Parameter(np.zeros((2, 2)))
+        param.accumulate_grad(np.ones((2, 2)))
+        param.accumulate_grad(np.ones((2, 2)))
+        assert np.allclose(param.grad, 2 * np.ones((2, 2)))
+
+    def test_accumulate_grad_shape_mismatch_raises(self):
+        param = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            param.accumulate_grad(np.ones((3, 2)))
+
+    def test_frozen_parameter_skips_gradient(self):
+        param = Parameter(np.zeros((2, 2)), requires_grad=False)
+        param.accumulate_grad(np.ones((2, 2)))
+        assert param.grad is None
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.zeros(3))
+        param.accumulate_grad(np.ones(3))
+        param.zero_grad()
+        assert param.grad is None
+
+
+class TestModuleRegistration:
+    def test_named_parameters_cover_submodules(self):
+        model = _TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"first.weight", "first.bias", "second.weight", "second.bias"}
+
+    def test_num_parameters(self):
+        model = _TwoLayer()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_freeze_and_trainable_count(self):
+        model = _TwoLayer()
+        model.freeze()
+        assert model.num_parameters(trainable_only=True) == 0
+        model.unfreeze()
+        assert model.num_parameters(trainable_only=True) == model.num_parameters()
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_children_iteration(self):
+        model = _TwoLayer()
+        assert len(list(model.children())) == 2
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model = _TwoLayer()
+        other = _TwoLayer()
+        other.load_state_dict(model.state_dict())
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.allclose(param_a.data, param_b.data)
+
+    def test_strict_missing_key_raises(self):
+        model = _TwoLayer()
+        state = model.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = _TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        model = _TwoLayer()
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        out = model(x)
+        model.backward(np.ones_like(out))
+        assert any(param.grad is not None for param in model.parameters())
+        model.zero_grad()
+        assert all(param.grad is None for param in model.parameters())

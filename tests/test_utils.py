@@ -1,0 +1,60 @@
+"""Tests for RNG, logging and serialization utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    get_logger,
+    global_rng,
+    load_state_dict,
+    new_rng,
+    save_state_dict,
+    set_global_seed,
+)
+
+
+class TestRNG:
+    def test_seeded_generators_are_reproducible(self):
+        a = new_rng(5).normal(size=4)
+        b = new_rng(5).normal(size=4)
+        assert np.allclose(a, b)
+
+    def test_global_seed_controls_derived_streams(self):
+        set_global_seed(3)
+        first = new_rng().normal(size=3)
+        set_global_seed(3)
+        second = new_rng().normal(size=3)
+        assert np.allclose(first, second)
+
+    def test_unseeded_generators_differ(self):
+        set_global_seed(0)
+        assert not np.allclose(new_rng().normal(size=4), new_rng().normal(size=4))
+
+    def test_global_rng_is_generator(self):
+        assert isinstance(global_rng(), np.random.Generator)
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        assert get_logger("mime").name == "repro.mime"
+        assert get_logger().name == "repro"
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = tmp_path / "ckpt.npz"
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"w", "b"}
+        assert np.allclose(loaded["w"], state["w"])
+
+    def test_model_state_round_trip(self, tmp_path, tiny_backbone):
+        path = tmp_path / "model.npz"
+        save_state_dict(tiny_backbone.state_dict(), path)
+        loaded = load_state_dict(path)
+        clone_state = tiny_backbone.state_dict()
+        for key in clone_state:
+            assert np.allclose(loaded[key], clone_state[key])
