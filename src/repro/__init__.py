@@ -8,6 +8,7 @@ The package is organised as follows:
 * :mod:`repro.mime` — the paper's contribution: per-task threshold masks, the
   threshold trainer, multi-task network and DRAM storage accounting.
 * :mod:`repro.baselines` — conventional fine-tuning and pruning-at-init baselines.
+* :mod:`repro.engine` — compiled multi-task inference engine (train/infer path split).
 * :mod:`repro.hardware` — Eyeriss-style systolic-array energy/throughput simulator.
 * :mod:`repro.experiments` — harness reproducing every table and figure of the paper.
 """
@@ -20,6 +21,7 @@ __all__ = [
     "datasets",
     "mime",
     "baselines",
+    "engine",
     "hardware",
     "experiments",
     "utils",

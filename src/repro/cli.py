@@ -8,6 +8,7 @@ can regenerate the paper's artefacts without writing Python:
 ``python -m repro pruned``       — Fig. 8 comparison against 90 %-pruned models
 ``python -m repro ablation``     — Fig. 9 PE-array / cache ablation
 ``python -m repro train``        — train the surrogate workload and print Tables II/III
+``python -m repro serve-bench``  — compiled multi-task engine vs training-path throughput
 ``python -m repro all``          — everything above (training uses the fast configuration)
 """
 
@@ -120,6 +121,79 @@ def _cmd_train(args: argparse.Namespace) -> None:
     ))
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> None:
+    import time
+
+    import numpy as np
+
+    from repro.engine import MultiTaskEngine, compile_network
+    from repro.mime import MimeNetwork
+    from repro.models import extract_layer_shapes, vgg_small, vgg_tiny
+
+    rng = np.random.default_rng(args.seed)
+    builder = {"vgg_tiny": vgg_tiny, "vgg_small": vgg_small}[args.model]
+    backbone = builder(num_classes=8, input_size=args.input_size, in_channels=3, rng=rng)
+    network = MimeNetwork(backbone)
+    network.eval()
+    print(
+        f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
+        f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch} "
+        "(randomly initialised backbone — this benchmarks the serving path, not accuracy)"
+    )
+    for index in range(args.tasks):
+        task = network.add_task(f"task{index}", num_classes=10, rng=rng)
+        # Spread the thresholds so each task produces a distinct sparsity level.
+        for param in task.thresholds:
+            param.data += rng.uniform(0.0, 0.2, size=param.data.shape)
+
+    plan = compile_network(network, dtype=np.dtype(args.dtype))
+    shape = (args.requests, 3, args.input_size, args.input_size)
+    images = rng.normal(size=shape)
+    tasks = [f"task{i % args.tasks}" for i in range(args.requests)]
+
+    def run_training_path() -> float:
+        start = time.perf_counter()
+        for begin in range(0, args.requests, args.micro_batch):
+            batch_tasks = tasks[begin : begin + args.micro_batch]
+            for task_name in sorted(set(batch_tasks)):
+                rows = [begin + i for i, t in enumerate(batch_tasks) if t == task_name]
+                network.forward(images[rows], task=task_name)
+        return args.requests / (time.perf_counter() - start)
+
+    results = [["training forward", "-", run_training_path(), 1.0]]
+    engines = {}
+    for mode in ("singular", "pipelined"):
+        engine = MultiTaskEngine(plan, micro_batch=args.micro_batch)
+        for index, task_name in enumerate(tasks):
+            engine.submit(task_name, images[index])
+        start = time.perf_counter()
+        _, stats = engine.run_pending(mode=mode)
+        throughput = args.requests / (time.perf_counter() - start)
+        results.append([f"engine ({mode})", stats.task_switches, throughput,
+                        throughput / results[0][2]])
+        engines[mode] = engine
+
+    print(render_table(
+        ["path", "task switches", "images/sec", "speedup"],
+        [[name, switches, f"{tput:.1f}", f"{speed:.2f}x"]
+         for name, switches, tput, speed in results],
+        title=f"Serving throughput ({args.dtype} engine vs float64 training path)",
+    ))
+
+    engine = engines["pipelined"]
+    print("\nmeasured mean dynamic sparsity per task (pipelined run):")
+    for task_name in engine.recorder.tasks():  # only tasks that received traffic
+        print(f"  {task_name}: {engine.recorder.mean_sparsity(task_name):.3f}")
+
+    report = engine.hardware_report(extract_layer_shapes(backbone), conv_only=True)
+    energy = report.total_energy()
+    print(
+        f"\nsystolic-array estimate from the measured run ({len(engine.recorder.schedule())} "
+        f"images, MIME config): total energy {energy.total:,.0f} units, "
+        f"{report.total_cycles():,.0f} cycles"
+    )
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     args.fast = True
     _cmd_storage(args)
@@ -139,6 +213,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "pruned": _cmd_pruned,
     "ablation": _cmd_ablation,
     "train": _cmd_train,
+    "serve-bench": _cmd_serve_bench,
     "all": _cmd_all,
 }
 
@@ -159,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = subparsers.add_parser("train", help="train the surrogate workload (Tables II/III)")
     train.add_argument("--fast", action="store_true", help="use the seconds-scale fast configuration")
+
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed <= 0:
+            raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+        return parsed
+
+    serve = subparsers.add_parser(
+        "serve-bench", help="benchmark the compiled multi-task inference engine"
+    )
+    serve.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
+    serve.add_argument("--input-size", type=positive_int, default=16, help="square input resolution")
+    serve.add_argument("--tasks", type=positive_int, default=3, help="number of child tasks to register")
+    serve.add_argument("--requests", type=positive_int, default=48,
+                       help="total images in the request stream")
+    serve.add_argument("--micro-batch", type=positive_int, default=8, help="engine micro-batch size")
+    serve.add_argument("--dtype", choices=["float32", "float64"], default="float32",
+                       help="engine compute dtype (training path is always float64)")
+    serve.add_argument("--seed", type=int, default=7)
 
     subparsers.add_parser("all", help="run every artefact (training uses the fast configuration)")
     return parser

@@ -1,0 +1,52 @@
+"""Compiled multi-task inference engine (the serving-side counterpart of
+:mod:`repro.mime`).
+
+Training code (``MimeNetwork.forward``) keeps per-layer activation caches for
+backpropagation, runs in float64 and rebinds task parameters in place.  This
+package provides the dedicated inference path:
+
+* :func:`compile_network` snapshots a trained :class:`~repro.mime.MimeNetwork`
+  into an immutable :class:`EnginePlan` — BatchNorm folded into the GEMMs,
+  conv → im2col-GEMM → threshold-mask fused into single kernels, workspaces
+  preallocated, per-task thresholds/heads pre-cast and pre-transposed so task
+  switching is an O(1) dictionary lookup.
+* :class:`MultiTaskEngine` accepts ``(task, image)`` requests, micro-batches
+  them per task, and executes them in ``"singular"`` or ``"pipelined"``
+  scheduling mode — the paper's two hardware scenarios.
+* :class:`SparsityRecorder` captures achieved per-layer sparsity from real
+  runs and exports a :class:`~repro.hardware.LayerSparsityProfile` plus the
+  processed schedule, so the systolic-array simulator can estimate energy and
+  throughput from measured traffic.
+"""
+
+from repro.engine.plan import (
+    CompileError,
+    ConvGemmMaskKernel,
+    EnginePlan,
+    LinearMaskKernel,
+    MaskSpec,
+    TaskPlan,
+    compile_network,
+)
+from repro.engine.engine import (
+    SCHEDULING_MODES,
+    EngineRunStats,
+    InferenceRequest,
+    MultiTaskEngine,
+)
+from repro.engine.stats import SparsityRecorder
+
+__all__ = [
+    "CompileError",
+    "ConvGemmMaskKernel",
+    "EnginePlan",
+    "LinearMaskKernel",
+    "MaskSpec",
+    "TaskPlan",
+    "compile_network",
+    "SCHEDULING_MODES",
+    "EngineRunStats",
+    "InferenceRequest",
+    "MultiTaskEngine",
+    "SparsityRecorder",
+]

@@ -1,0 +1,185 @@
+"""The multi-task serving engine: request intake, micro-batching, scheduling.
+
+A :class:`MultiTaskEngine` wraps a compiled :class:`~repro.engine.plan.EnginePlan`
+and accepts ``(task, image)`` requests from any mix of tasks.  Requests are
+grouped into per-task micro-batches and executed in one of the paper's two
+hardware scenarios:
+
+* ``"singular"`` — all requests of one task are drained before the next task
+  starts (Singular task mode: task switches are rare, parameter reloads
+  amortise over the whole per-task queue);
+* ``"pipelined"`` — micro-batches round-robin across the active tasks
+  (Pipelined task mode: consecutive batches belong to different tasks, the
+  scenario where MIME's O(1) threshold-only switch pays off most).
+
+Results always come back in submission order regardless of the execution
+order, and every run records achieved per-layer sparsity into a
+:class:`~repro.engine.stats.SparsityRecorder` so the hardware simulator can be
+driven by measured numbers (:meth:`MultiTaskEngine.hardware_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.plan import EnginePlan
+from repro.engine.stats import SparsityRecorder
+from repro.hardware.scenario import ExecutionConfig, mime_config
+from repro.hardware.simulator import BatchResult, SystolicArraySimulator
+from repro.models.shapes import LayerShape
+
+SCHEDULING_MODES = ("singular", "pipelined")
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One image of one task, tagged with its submission index."""
+
+    index: int
+    task: str
+    image: np.ndarray
+
+
+@dataclass
+class EngineRunStats:
+    """Operational counters for one :meth:`MultiTaskEngine.process` call."""
+
+    mode: str
+    num_images: int = 0
+    num_batches: int = 0
+    task_switches: int = 0
+    batch_tasks: List[str] = field(default_factory=list)
+
+
+class MultiTaskEngine:
+    """Micro-batching multi-task scheduler over a compiled engine plan."""
+
+    def __init__(self, plan: EnginePlan, micro_batch: int = 8) -> None:
+        if micro_batch <= 0:
+            raise ValueError("micro_batch must be positive")
+        self.plan = plan
+        self.micro_batch = micro_batch
+        self.recorder = SparsityRecorder()
+        self._queue: List[InferenceRequest] = []
+        self._submitted = 0
+
+    # ---------------------------------------------------------------- intake --
+    def submit(self, task: str, images: np.ndarray) -> List[int]:
+        """Enqueue one image ``(C, H, W)`` or a stack ``(N, C, H, W)``.
+
+        Returns the request indices, which identify each image's slot in the
+        output of the next :meth:`run_pending` call.
+        """
+        if task not in self.plan.tasks:
+            raise KeyError(f"unknown task '{task}'; compiled: {self.plan.task_names()}")
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None, ...]
+        if images.ndim != 4 or images.shape[1:] != self.plan.input_shape:
+            raise ValueError(
+                f"expected images of per-sample shape {self.plan.input_shape}, "
+                f"got {images.shape}"
+            )
+        indices = []
+        for image in images:
+            # Copy at enqueue time so callers may reuse their staging buffer
+            # between submit() and run_pending().
+            self._queue.append(InferenceRequest(self._submitted, task, image.copy()))
+            indices.append(self._submitted)
+            self._submitted += 1
+        return indices
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run_pending(self, mode: str = "pipelined") -> Tuple[List[np.ndarray], EngineRunStats]:
+        """Drain the queue; returns per-request logits in submission order."""
+        requests, self._queue = self._queue, []
+        return self.process(requests, mode=mode)
+
+    # ------------------------------------------------------------- execution --
+    def process(
+        self, requests: Sequence[InferenceRequest], mode: str = "pipelined"
+    ) -> Tuple[List[np.ndarray], EngineRunStats]:
+        """Execute ``requests`` under ``mode`` scheduling.
+
+        The returned list is aligned with ``requests`` (first-submitted first),
+        each entry a ``(num_classes,)`` logits vector.
+        """
+        if mode not in SCHEDULING_MODES:
+            raise ValueError(f"unknown mode '{mode}'; choose from {SCHEDULING_MODES}")
+        stats = EngineRunStats(mode=mode)
+        position = {request.index: slot for slot, request in enumerate(requests)}
+        outputs: List[Optional[np.ndarray]] = [None] * len(requests)
+        previous_task: Optional[str] = None
+        for task, batch in self._schedule(requests, mode):
+            images = np.stack([request.image for request in batch])
+            logits = self.plan.run(images, task, recorder=self.recorder)
+            self.recorder.record_pass(task, len(batch))
+            for request, row in zip(batch, logits):
+                outputs[position[request.index]] = row
+            stats.num_images += len(batch)
+            stats.num_batches += 1
+            stats.batch_tasks.append(task)
+            if previous_task is not None and previous_task != task:
+                stats.task_switches += 1
+            previous_task = task
+        assert all(output is not None for output in outputs), "scheduler dropped a request"
+        return outputs, stats
+
+    def _schedule(
+        self, requests: Sequence[InferenceRequest], mode: str
+    ) -> List[Tuple[str, List[InferenceRequest]]]:
+        """Group requests into (task, micro-batch) units in execution order."""
+        per_task: Dict[str, List[InferenceRequest]] = {}
+        for request in requests:
+            per_task.setdefault(request.task, []).append(request)
+
+        chunks: Dict[str, List[List[InferenceRequest]]] = {
+            task: [
+                queue[start : start + self.micro_batch]
+                for start in range(0, len(queue), self.micro_batch)
+            ]
+            for task, queue in per_task.items()
+        }
+        batches: List[Tuple[str, List[InferenceRequest]]] = []
+        if mode == "singular":
+            for task, task_chunks in chunks.items():
+                batches.extend((task, chunk) for chunk in task_chunks)
+        else:  # pipelined: round-robin one micro-batch per task
+            rounds = max((len(task_chunks) for task_chunks in chunks.values()), default=0)
+            for round_index in range(rounds):
+                for task, task_chunks in chunks.items():
+                    if round_index < len(task_chunks):
+                        batches.append((task, task_chunks[round_index]))
+        return batches
+
+    # --------------------------------------------------------- hardware glue --
+    def sparsity_profile(self, default_sparsity: float = 0.0):
+        """Measured per-task, per-layer sparsity as a simulator-ready profile."""
+        return self.recorder.to_profile(default_sparsity=default_sparsity)
+
+    def hardware_report(
+        self,
+        shapes: Sequence[LayerShape],
+        config: ExecutionConfig | None = None,
+        simulator: SystolicArraySimulator | None = None,
+        conv_only: bool = False,
+    ) -> BatchResult:
+        """Drive the systolic-array simulator with this engine's *measured* run.
+
+        Uses the recorded processing order as the schedule and the measured
+        sparsity as the profile, so the energy/cycle estimate reflects what the
+        engine actually executed rather than a static table.
+        """
+        schedule = self.recorder.schedule()
+        if not schedule:
+            raise RuntimeError("no requests processed yet; nothing to simulate")
+        simulator = simulator if simulator is not None else SystolicArraySimulator()
+        config = config if config is not None else mime_config()
+        return simulator.run(
+            shapes, schedule, self.sparsity_profile(), config, conv_only=conv_only
+        )

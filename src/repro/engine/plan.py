@@ -1,0 +1,541 @@
+"""Ahead-of-time compilation of a :class:`~repro.mime.masked_model.MimeNetwork`.
+
+``compile_network`` walks the training network once and materialises an
+:class:`EnginePlan`: a flat list of fused inference kernels over a *snapshot*
+of the frozen backbone, plus one pre-bound :class:`TaskPlan` per registered
+child task.  The training network is never touched again — compilation copies
+every tensor it needs, so serving traffic cannot perturb training state and
+vice versa.
+
+The fusions mirror what a deployment compiler would do for this topology:
+
+* **BatchNorm folding** — the backbone is frozen and its normalisation layers
+  permanently run on running statistics, so every Conv→BatchNorm (and
+  Linear→BatchNorm) pair collapses exactly into a rescaled weight and bias.
+* **conv → im2col-GEMM → threshold-mask fusion** — a convolution lowers to one
+  GEMM whose output stays in ``(N·H·W, C)`` layout; the task's thresholds are
+  pre-transposed into that same layout at task-plan build time, so masking is
+  a single broadcast compare directly on the GEMM output.
+* **NHWC activation layout** — the GEMM naturally produces channels-last
+  activations, so the whole compiled feature stack keeps them that way:
+  convolution weights are pre-reordered to ``(K·K·C_in, C_out)`` and the first
+  classifier Linear's columns are permuted at compile time to consume NHWC
+  features.  Only the entry batch is transposed at run time; no intermediate
+  layout round-trips remain.
+* **workspace reuse** — the im2col column matrix, the padded-input buffer and
+  the GEMM output are preallocated per (kernel, batch-size) and reused across
+  calls, so steady-state serving does no large allocations.
+
+Task switching is O(1): a :class:`TaskPlan` is a dictionary entry holding the
+pre-cast thresholds and head, and selecting it binds nothing into the shared
+kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.functional import conv_output_size
+from repro.mime.masked_model import MimeNetwork
+from repro.mime.task_manager import TaskParameters
+from repro.mime.threshold_layer import ThresholdMask
+
+
+class CompileError(RuntimeError):
+    """Raised when a network contains a layer the engine cannot compile."""
+
+
+# ---------------------------------------------------------------------------
+# Mask geometry: how a task's threshold tensor maps onto a kernel's output.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MaskSpec:
+    """Layout of one threshold mask inside the compiled plan.
+
+    ``slot`` indexes into ``TaskParameters.thresholds`` (network order);
+    ``gemm_shape`` is the broadcastable shape of the thresholds against the
+    owning kernel's GEMM-layout output.
+    """
+
+    slot: int
+    layer_name: str
+    kind: str  # "conv" (thresholds (C, H, W) -> (1, H*W, C)) or "linear" ((F,) -> (1, F))
+    gemm_shape: Tuple[int, ...]
+
+
+class _Workspaces:
+    """Per-plan buffer pool keyed by (kernel id, batch size)."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[int, str, int], np.ndarray] = {}
+
+    def get(self, owner: int, label: str, batch: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (owner, label, batch)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+# ---------------------------------------------------------------------------
+# Fused kernels.
+# ---------------------------------------------------------------------------
+class ConvGemmMaskKernel:
+    """Fused convolution: im2col → GEMM → (optional) threshold mask.
+
+    Activations flow through in contiguous channels-last NHWC layout: the
+    weight matrix is pre-reordered to ``(K·K·C_in, C_out)`` so the GEMM output
+    ``(N·H_out·W_out, C_out)`` *is* the NHWC feature map, and the per-task
+    thresholds are pre-transposed into the same layout.  BatchNorm, when
+    present in the source network, is already folded into
+    ``weight_t``/``bias``; im2col gathers rows as runs of ``C_in`` contiguous
+    values, so no strided element-wise copies remain.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        weight_t: np.ndarray,  # (K*K*C_in, C_out), BN-folded, (ky, kx, c) row order
+        bias: np.ndarray,  # (C_out,)
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        in_shape: Tuple[int, int, int],
+        out_shape: Tuple[int, int, int],
+        mask: Optional[MaskSpec],
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.weight_t = weight_t
+        self.bias = bias
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.in_shape = in_shape  # (C_in, H, W) — per-sample, paper convention
+        self.out_shape = out_shape  # (C_out, H_out, W_out)
+        self.mask = mask
+
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+        n = x.shape[0]
+        c_in, h, w = self.in_shape
+        c_out, h_out, w_out = self.out_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        dtype = self.weight_t.dtype
+
+        if p > 0:
+            # The border stays zero from allocation time; only the interior is
+            # rewritten, so padding costs one dense copy and no memset.
+            padded = ws.get(self.index, "pad", n, (n, h + 2 * p, w + 2 * p, c_in), dtype)
+            padded[:, p : p + h, p : p + w, :] = x
+            src = padded
+        else:
+            src = x
+
+        cols = ws.get(self.index, "cols", n, (n * h_out * w_out, k * k * c_in), dtype)
+        cols_view = cols.reshape(n, h_out, w_out, k, k, c_in)
+        for ky in range(k):
+            for kx in range(k):
+                cols_view[:, :, :, ky, kx, :] = src[
+                    :, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :
+                ]
+
+        out = ws.get(self.index, "out", n, (n * h_out * w_out, c_out), dtype)
+        np.matmul(cols, self.weight_t, out=out)
+        out += self.bias
+
+        if self.mask is not None:
+            gemm = out.reshape(n, h_out * w_out, c_out)
+            mask = gemm >= task.thresholds[self.mask.slot]
+            gemm *= mask
+            if recorder is not None:
+                recorder.record(task.name, self.mask.layer_name, 1.0 - float(mask.mean()), n)
+        return out.reshape(n, h_out, w_out, c_out)
+
+
+class MaxPoolKernel:
+    """Stateless max pooling over contiguous NHWC inputs."""
+
+    def __init__(self, index: int, kernel_size: int, stride: int, out_shape: Tuple[int, int, int]) -> None:
+        self.index = index
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.out_shape = out_shape  # (C, H_out, W_out) — per-sample, paper convention
+
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+        n, h, w, c = x.shape
+        k, s = self.kernel_size, self.stride
+        h_out = conv_output_size(h, k, s, 0)
+        w_out = conv_output_size(w, k, s, 0)
+        out = ws.get(self.index, "pool", n, (n, h_out, w_out, c), x.dtype)
+        if s == k and h % k == 0 and w % k == 0:
+            # Non-overlapping pooling (the VGG case): a reshape view keeps the
+            # reduction reading contiguous channel runs.
+            np.max(x.reshape(n, h_out, k, w_out, k, c), axis=(2, 4), out=out)
+            return out
+        first = True
+        for ky in range(k):
+            for kx in range(k):
+                window = x[:, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :]
+                if first:
+                    np.copyto(out, window)
+                    first = False
+                else:
+                    np.maximum(out, window, out=out)
+        return out
+
+
+class FlattenKernel:
+    """Feature/classifier boundary: collapse per-sample dims to one axis.
+
+    The incoming NHWC feature map is contiguous (conv/pool workspaces), so
+    this is a zero-copy reshape; the following Linear's columns were permuted
+    at compile time to consume NHWC ordering.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+
+class LinearMaskKernel:
+    """Fused fully-connected layer: GEMM → (optional) threshold mask / ReLU.
+
+    ``activation`` distinguishes masked layers (thresholds come from the task
+    plan) from plain ReLU trunks (``mask_classifier_hidden=False``).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        weight_t: np.ndarray,  # (in, out), BN-folded
+        bias: np.ndarray,
+        mask: Optional[MaskSpec],
+        relu: bool = False,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.weight_t = weight_t
+        self.bias = bias
+        self.mask = mask
+        self.relu = relu
+
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+        out = ws.get(self.index, "fc", x.shape[0], (x.shape[0], self.weight_t.shape[1]), x.dtype)
+        np.matmul(x, self.weight_t, out=out)
+        out += self.bias
+        if self.mask is not None:
+            mask = out >= task.thresholds[self.mask.slot]
+            out *= mask
+            if recorder is not None:
+                recorder.record(
+                    task.name, self.mask.layer_name, 1.0 - float(mask.mean()), x.shape[0]
+                )
+        elif self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Per-task execution state.
+# ---------------------------------------------------------------------------
+@dataclass
+class TaskPlan:
+    """Pre-bound per-task tensors: thresholds in kernel layout plus the head.
+
+    Everything is cast to the plan dtype and laid out for direct broadcasting
+    against the fused kernels' GEMM outputs, so using a task at request time
+    is a dictionary lookup — no transposes, casts or rebinds.
+    """
+
+    name: str
+    num_classes: int
+    thresholds: List[np.ndarray]  # indexed by MaskSpec.slot
+    head_weight_t: np.ndarray  # (in_features, num_classes)
+    head_bias: np.ndarray  # (num_classes,)
+
+
+def _build_task_plan(
+    task: TaskParameters,
+    specs: List[MaskSpec],
+    dtype,
+    head_permutation: Optional[np.ndarray] = None,
+) -> TaskPlan:
+    if task.head_weight is None or task.head_bias is None:
+        raise CompileError(f"task '{task.name}' has no classification head")
+    thresholds: List[np.ndarray] = []
+    for spec, param in zip(specs, task.thresholds):
+        data = param.data
+        if spec.kind == "conv":
+            laid_out = data.transpose(1, 2, 0).reshape(spec.gemm_shape)
+        else:
+            laid_out = data.reshape(spec.gemm_shape)
+        # np.array (not ascontiguousarray) so the plan never aliases training
+        # parameters, even when the layout transform degenerates to a view.
+        thresholds.append(np.array(laid_out, dtype=dtype, order="C"))
+    head_weight = task.head_weight.data
+    if head_permutation is not None:
+        # The head consumes NHWC features directly (no classifier trunk).
+        head_weight = head_weight[:, head_permutation]
+    return TaskPlan(
+        name=task.name,
+        num_classes=task.num_classes,
+        thresholds=thresholds,
+        head_weight_t=np.array(head_weight.T, dtype=dtype, order="C"),
+        head_bias=np.array(task.head_bias.data, dtype=dtype),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The compiled plan.
+# ---------------------------------------------------------------------------
+@dataclass
+class EnginePlan:
+    """A compiled, immutable snapshot of a MimeNetwork ready for serving."""
+
+    dtype: np.dtype
+    input_shape: Tuple[int, int, int]
+    kernels: List[object]
+    mask_specs: List[MaskSpec]
+    tasks: Dict[str, TaskPlan] = field(default_factory=dict)
+    head_permutation: Optional[np.ndarray] = None
+    _workspaces: _Workspaces = field(default_factory=_Workspaces, repr=False)
+
+    def task_names(self) -> List[str]:
+        return list(self.tasks)
+
+    def masked_layer_names(self) -> List[str]:
+        return [spec.layer_name for spec in self.mask_specs]
+
+    def add_task(self, task: TaskParameters) -> TaskPlan:
+        """Snapshot a task registered after compilation (e.g. newly trained)."""
+        plan = _build_task_plan(task, self.mask_specs, self.dtype, self.head_permutation)
+        self.tasks[task.name] = plan
+        return plan
+
+    def run(self, x: np.ndarray, task: str, recorder=None) -> np.ndarray:
+        """Execute the compiled network for one micro-batch of ``task`` inputs.
+
+        Accepts NCHW input (the training model's convention); internally the
+        plan runs channels-last.  Returns freshly-allocated logits of shape
+        ``(N, num_classes)``; all intermediate buffers belong to the plan and
+        are reused across calls.
+        """
+        if task not in self.tasks:
+            raise KeyError(f"task '{task}' was not compiled; known: {self.task_names()}")
+        task_plan = self.tasks[task]
+        if x.ndim == 3:
+            x = x[None, ...]
+        if x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected input of per-sample shape {self.input_shape}, got {x.shape[1:]}"
+            )
+        x = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=self.dtype)
+        for kernel in self.kernels:
+            x = kernel.run(x, task_plan, self._workspaces, recorder)
+        return x @ task_plan.head_weight_t + task_plan.head_bias
+
+    def num_workspace_buffers(self) -> int:
+        """How many distinct reusable buffers the plan has allocated so far."""
+        return len(self._workspaces)
+
+
+# ---------------------------------------------------------------------------
+# Compilation.
+# ---------------------------------------------------------------------------
+def _fold_batchnorm(
+    weight: np.ndarray, bias: np.ndarray, bn: BatchNorm1d | BatchNorm2d
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode BatchNorm into the preceding layer's weight/bias.
+
+    ``weight`` is (C_out, fan_in); the BN scale multiplies per output channel.
+    Exact because the backbone's running statistics are frozen.
+    """
+    inv_std = 1.0 / np.sqrt(bn._buffers["running_var"] + bn.eps)
+    scale = bn.gamma.data * inv_std
+    folded_weight = weight * scale[:, None]
+    folded_bias = (bias - bn._buffers["running_mean"]) * scale + bn.beta.data
+    return folded_weight, folded_bias
+
+
+class _PendingGemm:
+    """A Conv2d/Linear waiting to absorb a following BatchNorm and mask."""
+
+    def __init__(self, layer, in_shape: Tuple[int, ...]) -> None:
+        self.layer = layer
+        self.in_shape = in_shape
+        if isinstance(layer, Conv2d):
+            self.weight = layer.weight.data.reshape(layer.out_channels, -1).copy()
+            self.bias = (
+                layer.bias.data.copy()
+                if layer.bias is not None
+                else np.zeros(layer.out_channels)
+            )
+        else:
+            self.weight = layer.weight.data.copy()
+            self.bias = (
+                layer.bias.data.copy()
+                if layer.bias is not None
+                else np.zeros(layer.out_features)
+            )
+        self.mask_layer: Optional[ThresholdMask] = None
+        self.relu = False
+
+
+def compile_network(network: MimeNetwork, dtype=np.float32) -> EnginePlan:
+    """Compile ``network`` into an :class:`EnginePlan` (default float32).
+
+    Read-only with respect to the training network: the active task, every
+    parameter tensor and every layer cache are left exactly as found.
+    """
+    if not isinstance(network, MimeNetwork):
+        raise TypeError("compile_network expects a repro.mime.MimeNetwork")
+    dtype = np.dtype(dtype)
+    input_shape = (
+        network.backbone.in_channels,
+        network.backbone.input_size,
+        network.backbone.input_size,
+    )
+
+    kernels: List[object] = []
+    mask_specs: List[MaskSpec] = []
+    shape: Tuple[int, ...] = input_shape
+    pending: Optional[_PendingGemm] = None
+    nhwc_permutation: Optional[np.ndarray] = None  # set at the flatten boundary
+
+    def flush() -> None:
+        nonlocal pending, nhwc_permutation
+        if pending is None:
+            return
+        index = len(kernels)
+        spec: Optional[MaskSpec] = None
+        if pending.mask_layer is not None:
+            slot = len(mask_specs)
+            mask = pending.mask_layer
+            if len(mask.neuron_shape) == 3:
+                c, h, w = mask.neuron_shape
+                spec = MaskSpec(slot, mask.layer_name, "conv", (1, h * w, c))
+            else:
+                spec = MaskSpec(slot, mask.layer_name, "linear", (1, mask.neuron_shape[0]))
+            mask_specs.append(spec)
+        bias = pending.bias.astype(dtype)
+        if isinstance(pending.layer, Conv2d):
+            layer = pending.layer
+            k = layer.kernel_size
+            # (C_out, C_in*K*K) -> (K*K*C_in, C_out) so the GEMM emits NHWC.
+            weight_t = np.ascontiguousarray(
+                pending.weight.reshape(layer.out_channels, layer.in_channels, k, k)
+                .transpose(2, 3, 1, 0)
+                .reshape(k * k * layer.in_channels, layer.out_channels),
+                dtype=dtype,
+            )
+            out_shape = tuple(layer.output_shape(pending.in_shape))
+            kernels.append(
+                ConvGemmMaskKernel(
+                    index,
+                    name=f"gemm{index}",
+                    weight_t=weight_t,
+                    bias=bias,
+                    kernel_size=k,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    in_shape=pending.in_shape,
+                    out_shape=out_shape,
+                    mask=spec,
+                )
+            )
+        else:
+            weight = pending.weight
+            if nhwc_permutation is not None:
+                # First Linear after the features: consume NHWC-ordered columns.
+                weight = weight[:, nhwc_permutation]
+                nhwc_permutation = None
+            weight_t = np.ascontiguousarray(weight.T, dtype=dtype)
+            kernels.append(
+                LinearMaskKernel(
+                    index,
+                    name=f"gemm{index}",
+                    weight_t=weight_t,
+                    bias=bias,
+                    mask=spec,
+                    relu=pending.relu,
+                )
+            )
+        pending = None
+
+    def walk(layer) -> None:
+        nonlocal pending, shape
+        if isinstance(layer, (Conv2d, Linear)):
+            flush()
+            pending = _PendingGemm(layer, shape)
+            shape = tuple(layer.output_shape(shape))
+        elif isinstance(layer, (BatchNorm2d, BatchNorm1d)):
+            if pending is None:
+                raise CompileError("BatchNorm without a preceding Conv2d/Linear")
+            pending.weight, pending.bias = _fold_batchnorm(pending.weight, pending.bias, layer)
+        elif isinstance(layer, ThresholdMask):
+            if pending is None:
+                raise CompileError("ThresholdMask without a preceding Conv2d/Linear")
+            pending.mask_layer = layer
+            flush()
+        elif isinstance(layer, ReLU):
+            if pending is not None:
+                pending.relu = True
+                flush()
+            else:
+                raise CompileError("ReLU without a preceding Conv2d/Linear")
+        elif isinstance(layer, MaxPool2d):
+            flush()
+            out_shape = tuple(layer.output_shape(shape))
+            kernels.append(MaxPoolKernel(len(kernels), layer.kernel_size, layer.stride, out_shape))
+            shape = out_shape
+        elif isinstance(layer, (Dropout, Flatten)):
+            flush()  # Dropout never fires at inference; Flatten is inserted explicitly.
+        else:
+            raise CompileError(f"cannot compile layer type {type(layer).__name__}")
+
+    for layer in network._feature_layers:
+        walk(layer)
+    flush()
+    kernels.append(FlattenKernel(len(kernels)))
+    boundary_c, boundary_h, boundary_w = shape
+    # Maps NHWC-flattened feature index j to the training model's (C, H, W)
+    # flat index, so exactly one downstream weight matrix absorbs the layout
+    # change at compile time.
+    nhwc_permutation = (
+        np.arange(boundary_c * boundary_h * boundary_w)
+        .reshape(boundary_c, boundary_h, boundary_w)
+        .transpose(1, 2, 0)
+        .ravel()
+    )
+    shape = (int(np.prod(shape)),)
+    for layer in network._classifier_layers:
+        walk(layer)
+    flush()
+
+    if len(mask_specs) != len(network.masks()):
+        raise CompileError(
+            f"compiled {len(mask_specs)} masks but the network has {len(network.masks())}"
+        )
+
+    plan = EnginePlan(
+        dtype=dtype,
+        input_shape=input_shape,
+        kernels=kernels,
+        mask_specs=mask_specs,
+        head_permutation=nhwc_permutation,  # still pending if no trunk Linear consumed it
+    )
+    for task in network.registry:
+        plan.add_task(task)
+    return plan

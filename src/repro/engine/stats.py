@@ -1,0 +1,88 @@
+"""Measured-sparsity bookkeeping for the inference engine.
+
+Every masked kernel reports the zero fraction it actually produced for each
+micro-batch.  The recorder aggregates those measurements per (task, layer) and
+exports them in the two forms the hardware model consumes:
+
+* a :class:`~repro.hardware.scenario.LayerSparsityProfile` built from the
+  *measured* zero fractions (instead of the paper's static Table II), and
+* the processed request order as a list of
+  :class:`~repro.hardware.scenario.InferencePass` entries, which is exactly
+  the schedule the systolic-array simulator charges parameter reloads against.
+
+This is the bridge that lets energy/throughput estimates be driven by real
+engine runs: ``simulator.run(shapes, recorder.schedule(), recorder.to_profile(),
+mime_config())``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.scenario import InferencePass, LayerSparsityProfile
+
+
+class SparsityRecorder:
+    """Accumulates per-(task, layer) achieved sparsity, weighted by images."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, Dict[str, float]] = {}
+        self._counts: Dict[str, Dict[str, int]] = {}
+        self._passes: List[InferencePass] = []
+
+    # ------------------------------------------------------------- recording --
+    def record(self, task: str, layer_name: str, sparsity: float, num_images: int) -> None:
+        """Add one micro-batch's measured sparsity for ``layer_name``."""
+        if not 0.0 <= sparsity <= 1.0:
+            raise ValueError(f"sparsity {sparsity} outside [0, 1]")
+        if num_images <= 0:
+            raise ValueError("num_images must be positive")
+        totals = self._totals.setdefault(task, {})
+        counts = self._counts.setdefault(task, {})
+        totals[layer_name] = totals.get(layer_name, 0.0) + sparsity * num_images
+        counts[layer_name] = counts.get(layer_name, 0) + num_images
+
+    def record_pass(self, task: str, num_images: int) -> None:
+        """Append ``num_images`` schedule slots for ``task`` in processed order."""
+        self._passes.extend(InferencePass(task) for _ in range(num_images))
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+        self._passes.clear()
+
+    # --------------------------------------------------------------- queries --
+    def tasks(self) -> List[str]:
+        return list(self._totals)
+
+    def num_images(self) -> int:
+        return len(self._passes)
+
+    def per_layer(self, task: str) -> Dict[str, float]:
+        """Mean measured sparsity per layer for ``task``."""
+        if task not in self._totals:
+            raise KeyError(f"no measurements recorded for task '{task}'")
+        totals, counts = self._totals[task], self._counts[task]
+        return {name: totals[name] / counts[name] for name in totals}
+
+    def mean_sparsity(self, task: str) -> float:
+        per_layer = self.per_layer(task)
+        if not per_layer:
+            return 0.0
+        return sum(per_layer.values()) / len(per_layer)
+
+    # --------------------------------------------------------- hardware glue --
+    def to_profile(self, default_sparsity: float = 0.0) -> LayerSparsityProfile:
+        """Export the measurements as a simulator-ready sparsity profile.
+
+        Layers the engine never masked (e.g. the task head) fall back to
+        ``default_sparsity``, matching :class:`LayerSparsityProfile` semantics.
+        """
+        return LayerSparsityProfile(
+            per_task={task: self.per_layer(task) for task in self._totals},
+            default_sparsity=default_sparsity,
+        )
+
+    def schedule(self) -> List[InferencePass]:
+        """The processed image order, one :class:`InferencePass` per image."""
+        return list(self._passes)

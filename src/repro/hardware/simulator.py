@@ -54,10 +54,19 @@ class BatchResult:
         return [layer.name for layer in self.layers]
 
     def layer(self, name: str) -> LayerResult:
-        for layer in self.layers:
-            if layer.name == name:
-                return layer
-        raise KeyError(f"no layer named '{name}' in this result")
+        by_name = self._layers_by_name()
+        if name not in by_name:
+            raise KeyError(f"no layer named '{name}' in this result")
+        return by_name[name]
+
+    def _layers_by_name(self) -> Dict[str, LayerResult]:
+        # Rebuilt lazily whenever the layer list has grown (results are
+        # appended during simulation, then queried many times per figure).
+        cache = getattr(self, "_name_index", None)
+        if cache is None or len(cache) != len(self.layers):
+            cache = {layer.name: layer for layer in self.layers}
+            object.__setattr__(self, "_name_index", cache)
+        return cache
 
     def energy_report(self) -> LayerEnergyReport:
         report = LayerEnergyReport(scenario=self.scenario)

@@ -68,6 +68,7 @@ class MimeNetwork(Module):
         self._classifier_layers: List[Module] = []
         self._masks: List[ThresholdMask] = []
         self._head_in_features: int = 0
+        self._feature_shape: Tuple[int, ...] = ()
         self._build_masked_pipeline()
 
         # The head is a shared Linear whose parameters are re-bound per task.
@@ -136,6 +137,7 @@ class MimeNetwork(Module):
                 current = tuple(layer.output_shape(current))
 
         self._head_in_features = final.in_features
+        self._feature_shape = self._walk_feature_shape()
 
     # ------------------------------------------------------------- task admin --
     def add_task(
@@ -201,18 +203,35 @@ class MimeNetwork(Module):
             x = layer(x)
         return self.head(x)
 
+    def infer(self, x: np.ndarray, task: str | None = None) -> np.ndarray:
+        """Inference fast path: stateless layer traversal, no backward caches.
+
+        Unlike ``forward`` this leaves every layer's training-time caches (and
+        hence ``sparsity_by_layer``) untouched.  The computation runs in the
+        input's dtype, so feeding float32 images keeps the whole pass float32.
+        """
+        if task is not None and task != self.registry.active_name:
+            self.set_active_task(task)
+        if len(self.registry) == 0:
+            raise RuntimeError("no task registered; call add_task() first")
+        for layer in self._feature_layers:
+            x = layer.infer(x)
+        x = x.reshape(x.shape[0], -1)
+        for layer in self._classifier_layers:
+            x = layer.infer(x)
+        return self.head.infer(x)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad = self.head.backward(grad_output)
         for layer in reversed(self._classifier_layers):
             grad = layer.backward(grad)
         # Undo the flatten between features and classifier.
-        first_mask_shape = self._feature_output_shape()
-        grad = grad.reshape((grad.shape[0],) + first_mask_shape)
+        grad = grad.reshape((grad.shape[0],) + self._feature_shape)
         for layer in reversed(self._feature_layers):
             grad = layer.backward(grad)
         return grad
 
-    def _feature_output_shape(self) -> Tuple[int, ...]:
+    def _walk_feature_shape(self) -> Tuple[int, ...]:
         shape: Tuple[int, ...] = (
             self.backbone.in_channels,
             self.backbone.input_size,
@@ -222,6 +241,10 @@ class MimeNetwork(Module):
             if hasattr(layer, "output_shape"):
                 shape = tuple(layer.output_shape(shape))
         return shape
+
+    def _feature_output_shape(self) -> Tuple[int, ...]:
+        """Per-sample shape at the feature/classifier boundary (cached at build)."""
+        return self._feature_shape
 
     # ------------------------------------------------------------- train mode --
     def train(self, mode: bool = True) -> "MimeNetwork":

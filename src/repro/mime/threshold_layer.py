@@ -74,6 +74,20 @@ class ThresholdMask(Module):
         self._mask = mask
         return pre_activation * mask
 
+    def infer(self, pre_activation: np.ndarray) -> np.ndarray:
+        """Stateless masking: no cached pre-activation/mask for backward.
+
+        Thresholds are compared in the input's dtype so a float32 activation
+        stream is not upcast by the (float64) parameter tensor.
+        """
+        if pre_activation.shape[1:] != self.neuron_shape:
+            raise ValueError(
+                f"pre-activation shape {pre_activation.shape[1:]} does not match the "
+                f"threshold shape {self.neuron_shape}"
+            )
+        thresholds = self.thresholds.data.astype(pre_activation.dtype, copy=False)
+        return pre_activation * F.threshold_mask(pre_activation, thresholds[None, ...])
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._pre_activation is None or self._mask is None:
             raise RuntimeError("backward called before forward")

@@ -25,6 +25,10 @@ class ReLU(Module):
         self._mask = x > 0.0
         return x * self._mask
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless ReLU: no mask cache (and hence no ``last_sparsity``)."""
+        return np.maximum(x, 0.0)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
@@ -48,6 +52,9 @@ class Sigmoid(Module):
         self._output = F.sigmoid(x)
         return self._output
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return F.sigmoid(x)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise RuntimeError("backward called before forward")
@@ -65,6 +72,9 @@ class Tanh(Module):
         self._output = np.tanh(x)
         return self._output
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise RuntimeError("backward called before forward")
@@ -75,6 +85,9 @@ class Identity(Module):
     """Pass-through layer, useful as a placeholder when swapping activations."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

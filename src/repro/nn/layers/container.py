@@ -44,6 +44,11 @@ class Sequential(Module):
             x = module(x)
         return x
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for module in self._ordered:
+            x = module.infer(x)
+        return x
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         for module in reversed(self._ordered):
             grad_output = module.backward(grad_output)

@@ -70,6 +70,28 @@ class Conv2d(Module):
         out = out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
         return np.ascontiguousarray(out)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward: same im2col-GEMM lowering, no backward caches.
+
+        Computes in the input's dtype (the weight matrix is cast on the fly),
+        so a float32 activation stream stays float32 end to end.
+        """
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        cols, (h_out, w_out) = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1).astype(
+            x.dtype, copy=False
+        )
+        out = cols @ weight_matrix.T
+        if self.bias is not None:
+            out = out + self.bias.data.astype(x.dtype, copy=False)
+        return np.ascontiguousarray(
+            out.reshape(n, h_out, w_out, self.out_channels).transpose(0, 3, 1, 2)
+        )
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols_cache is None or self._input_shape is None:
             raise RuntimeError("backward called before forward")

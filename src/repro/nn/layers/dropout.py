@@ -31,6 +31,10 @@ class Dropout(Module):
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference pass-through: dropout never fires on the fast path."""
+        return x
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output

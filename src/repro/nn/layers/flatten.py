@@ -18,6 +18,10 @@ class Flatten(Module):
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless flatten: no input-shape cache for backward."""
+        return x.reshape(x.shape[0], -1)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")

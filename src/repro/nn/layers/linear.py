@@ -56,6 +56,17 @@ class Linear(Module):
             out = out + self.bias.data
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward in the input's dtype; no backward cache."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        out = x @ self.weight.data.T.astype(x.dtype, copy=False)
+        if self.bias is not None:
+            out = out + self.bias.data.astype(x.dtype, copy=False)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_cache is None:
             raise RuntimeError("backward called before forward")

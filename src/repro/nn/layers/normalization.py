@@ -63,6 +63,21 @@ class _BatchNormBase(Buffered):
         self._cache = (normalized, inv_std, x.shape)
         return self._from_2d(out_flat, x.shape)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless normalisation with running statistics, regardless of mode.
+
+        The affine transform is collapsed to a single scale/shift per feature
+        and computed in the input's dtype.
+        """
+        flat = self._to_2d(x)
+        dtype = flat.dtype
+        inv_std = 1.0 / np.sqrt(self._buffers["running_var"] + self.eps)
+        scale = (self.gamma.data * inv_std).astype(dtype, copy=False)
+        shift = (self.beta.data - self.gamma.data * self._buffers["running_mean"] * inv_std).astype(
+            dtype, copy=False
+        )
+        return self._from_2d(flat * scale + shift, x.shape)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")

@@ -8,6 +8,24 @@ from repro.nn.module import Module
 from repro.nn import functional as F
 
 
+def _pool_windows(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """View ``(N, C, H, W)`` as pooling windows ``(N, C, H_out, W_out, K, K)``."""
+    n, c, h, w = x.shape
+    h_out = F.conv_output_size(h, kernel_size, stride, 0)
+    w_out = F.conv_output_size(w, kernel_size, stride, 0)
+    strides = x.strides
+    shape = (n, c, h_out, w_out, kernel_size, kernel_size)
+    window_strides = (
+        strides[0],
+        strides[1],
+        strides[2] * stride,
+        strides[3] * stride,
+        strides[2],
+        strides[3],
+    )
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+
+
 class MaxPool2d(Module):
     """Non-overlapping (or strided) max pooling over ``(N, C, H, W)`` inputs."""
 
@@ -21,21 +39,7 @@ class MaxPool2d(Module):
         self._argmax: np.ndarray | None = None
 
     def _windows(self, x: np.ndarray) -> np.ndarray:
-        n, c, h, w = x.shape
-        k, s = self.kernel_size, self.stride
-        h_out = F.conv_output_size(h, k, s, 0)
-        w_out = F.conv_output_size(w, k, s, 0)
-        strides = x.strides
-        shape = (n, c, h_out, w_out, k, k)
-        window_strides = (
-            strides[0],
-            strides[1],
-            strides[2] * s,
-            strides[3] * s,
-            strides[2],
-            strides[3],
-        )
-        return np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+        return _pool_windows(x, self.kernel_size, self.stride)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
@@ -46,6 +50,13 @@ class MaxPool2d(Module):
         self._argmax = np.argmax(flat, axis=-1)
         self._input_shape = x.shape
         return np.max(flat, axis=-1)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless max pooling: no argmax cache for backward."""
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        windows = self._windows(x)
+        return windows.max(axis=(-1, -2))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._argmax is None or self._input_shape is None:
@@ -84,26 +95,21 @@ class AvgPool2d(Module):
         self.stride = stride if stride is not None else kernel_size
         self._input_shape: tuple[int, ...] | None = None
 
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        return _pool_windows(x, self.kernel_size, self.stride)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
             raise ValueError(f"expected 4-D input, got shape {x.shape}")
-        n, c, h, w = x.shape
-        k, s = self.kernel_size, self.stride
-        h_out = F.conv_output_size(h, k, s, 0)
-        w_out = F.conv_output_size(w, k, s, 0)
-        strides = x.strides
-        shape = (n, c, h_out, w_out, k, k)
-        window_strides = (
-            strides[0],
-            strides[1],
-            strides[2] * s,
-            strides[3] * s,
-            strides[2],
-            strides[3],
-        )
-        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+        windows = self._windows(x)
         self._input_shape = x.shape
         return windows.mean(axis=(-1, -2))
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless average pooling: no input-shape cache for backward."""
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        return self._windows(x).mean(axis=(-1, -2))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
@@ -136,6 +142,12 @@ class GlobalAvgPool2d(Module):
         if x.ndim != 4:
             raise ValueError(f"expected 4-D input, got shape {x.shape}")
         self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless global average pooling."""
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -108,6 +108,17 @@ class Module:
             f"{type(self).__name__} does not implement backward()"
         )
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference fast path: like ``forward`` but stateless.
+
+        Layers override this with a variant that writes no backward caches and
+        always behaves as in eval mode (BatchNorm uses running statistics,
+        Dropout passes through).  The base implementation falls back to
+        ``forward`` so custom modules keep working; such modules simply do not
+        get the cache-free guarantee.
+        """
+        return self.forward(x)
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 

@@ -1,0 +1,177 @@
+"""The train/infer path split: ``infer`` must match eval-mode ``forward``
+while writing no backward caches and preserving the input dtype."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.mime import ThresholdMask
+
+
+@pytest.fixture()
+def images(rng):
+    return rng.normal(size=(4, 3, 8, 8))
+
+
+def test_conv_infer_matches_forward_without_caches(rng, images):
+    conv = Conv2d(3, 5, kernel_size=3, padding=1, rng=rng)
+    out = conv.infer(images)
+    np.testing.assert_allclose(out, conv.forward(images))
+    fresh = Conv2d(3, 5, kernel_size=3, padding=1, rng=rng)
+    fresh.infer(images)
+    assert fresh._cols_cache is None
+    with pytest.raises(RuntimeError):
+        fresh.backward(np.zeros_like(out))
+
+
+def test_linear_infer_matches_forward_without_caches(rng):
+    layer = Linear(6, 4, rng=rng)
+    x = rng.normal(size=(5, 6))
+    np.testing.assert_allclose(layer.infer(x), layer.forward(x))
+    fresh = Linear(6, 4, rng=rng)
+    fresh.infer(x)
+    assert fresh._input_cache is None
+
+
+@pytest.mark.parametrize("pool_cls", [MaxPool2d, AvgPool2d])
+def test_pool_infer_matches_forward(rng, images, pool_cls):
+    pool = pool_cls(2)
+    np.testing.assert_allclose(pool.infer(images), pool.forward(images))
+    fresh = pool_cls(2)
+    fresh.infer(images)
+    assert fresh._input_shape is None
+
+
+def test_global_avg_pool_infer_matches_forward(images):
+    pool = GlobalAvgPool2d()
+    np.testing.assert_allclose(pool.infer(images), pool.forward(images))
+
+
+@pytest.mark.parametrize("act_cls", [ReLU, Sigmoid, Tanh])
+def test_activation_infer_matches_forward(rng, act_cls):
+    layer = act_cls()
+    x = rng.normal(size=(4, 7))
+    np.testing.assert_allclose(layer.infer(x), layer.forward(x))
+
+
+def test_relu_infer_writes_no_mask(rng):
+    relu = ReLU()
+    relu.infer(rng.normal(size=(3, 3)))
+    with pytest.raises(RuntimeError):
+        relu.last_sparsity()
+
+
+@pytest.mark.parametrize("training", [True, False])
+def test_batchnorm2d_infer_always_uses_running_stats(rng, images, training):
+    bn = BatchNorm2d(3)
+    bn.train(True)
+    for _ in range(3):  # accumulate non-trivial running statistics
+        bn.forward(rng.normal(loc=1.0, scale=2.0, size=(4, 3, 8, 8)))
+    bn.train(training)
+    reference = BatchNorm2d(3)
+    reference.load_state_dict(bn.state_dict())
+    reference.eval()
+    np.testing.assert_allclose(bn.infer(images), reference.forward(images))
+
+
+def test_batchnorm1d_infer_matches_eval_forward(rng):
+    bn = BatchNorm1d(6)
+    bn.train(True)
+    bn.forward(rng.normal(size=(8, 6)))
+    bn.eval()
+    x = rng.normal(size=(4, 6))
+    np.testing.assert_allclose(bn.infer(x), bn.forward(x))
+
+
+def test_dropout_infer_is_identity_even_in_training_mode(rng):
+    dropout = Dropout(0.9, rng=rng)
+    dropout.train(True)
+    x = rng.normal(size=(10, 10))
+    np.testing.assert_array_equal(dropout.infer(x), x)
+
+
+def test_flatten_infer_matches_forward(images):
+    flatten = Flatten()
+    np.testing.assert_array_equal(flatten.infer(images), flatten.forward(images))
+    fresh = Flatten()
+    fresh.infer(images)
+    assert fresh._input_shape is None
+
+
+def test_sequential_infer_chains_layer_infer(rng, images):
+    model = Sequential(Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2), Flatten())
+    model.eval()
+    np.testing.assert_allclose(model.infer(images), model.forward(images))
+
+
+def test_threshold_mask_infer_matches_forward_without_caches(rng):
+    mask = ThresholdMask((5,), init_threshold=0.1)
+    x = rng.normal(size=(6, 5))
+    np.testing.assert_allclose(mask.infer(x), mask.forward(x))
+    fresh = ThresholdMask((5,), init_threshold=0.1)
+    fresh.infer(x)
+    assert fresh._mask is None
+    with pytest.raises(RuntimeError):
+        fresh.last_sparsity()
+
+
+@pytest.mark.parametrize(
+    "layer_builder, x_shape",
+    [
+        (lambda rng: Conv2d(3, 4, 3, padding=1, rng=rng), (2, 3, 8, 8)),
+        (lambda rng: Linear(6, 3, rng=rng), (2, 6)),
+        (lambda rng: ThresholdMask((6,)), (2, 6)),
+        (lambda rng: MaxPool2d(2), (2, 3, 8, 8)),
+    ],
+)
+def test_infer_preserves_float32(rng, layer_builder, x_shape):
+    layer = layer_builder(rng)
+    x = rng.normal(size=x_shape).astype(np.float32)
+    assert layer.infer(x).dtype == np.float32
+
+
+def test_batchnorm_infer_preserves_float32(rng):
+    bn = BatchNorm2d(3)
+    bn.eval()
+    assert bn.infer(rng.normal(size=(2, 3, 4, 4)).astype(np.float32)).dtype == np.float32
+
+
+def test_mime_network_infer_matches_forward(tiny_mime, rng):
+    tiny_mime.eval()
+    x = rng.normal(size=(4, 3, 16, 16))
+    reference = tiny_mime.forward(x)
+    np.testing.assert_allclose(tiny_mime.infer(x), reference, atol=1e-12)
+
+
+def test_mime_network_infer_leaves_mask_caches_untouched(tiny_mime, rng):
+    tiny_mime.eval()
+    x = rng.normal(size=(2, 3, 16, 16))
+    tiny_mime.forward(x)
+    cached = tiny_mime.sparsity_by_layer()
+    tiny_mime.infer(rng.normal(size=(2, 3, 16, 16)))
+    assert tiny_mime.sparsity_by_layer() == cached
+
+
+def test_mime_backward_uses_cached_feature_shape(tiny_mime, rng):
+    # The shape is computed once at build time and reused by every backward.
+    assert tiny_mime._feature_output_shape() == tiny_mime._feature_shape
+    x = rng.normal(size=(2, 3, 16, 16))
+    logits = tiny_mime.forward(x)
+    grad = tiny_mime.backward(np.ones_like(logits))
+    assert grad.shape == x.shape
