@@ -60,7 +60,8 @@ def _training_path_throughput(network, images, tasks) -> float:
     return NUM_REQUESTS / (time.perf_counter() - start)
 
 
-def test_engine_throughput_vs_training_forward(benchmark, served_network):
+def test_engine_throughput_vs_training_forward(benchmark, served_network, smoke):
+    min_speedup = 1.2 if smoke else MIN_SPEEDUP
     rng = np.random.default_rng(7)
     images, tasks = _request_stream(rng)
     plan = compile_network(served_network, dtype=np.float32)
@@ -89,8 +90,8 @@ def test_engine_throughput_vs_training_forward(benchmark, served_network):
     print(f"  training forward : {baseline_ips:10.1f} images/sec")
     print(f"  compiled engine  : {engine_ips:10.1f} images/sec  "
           f"({engine_ips / baseline_ips:.1f}x)")
-    assert engine_ips >= MIN_SPEEDUP * baseline_ips, (
-        f"compiled engine ({engine_ips:.1f} img/s) is not {MIN_SPEEDUP}x the "
+    assert engine_ips >= min_speedup * baseline_ips, (
+        f"compiled engine ({engine_ips:.1f} img/s) is not {min_speedup}x the "
         f"training forward ({baseline_ips:.1f} img/s)"
     )
 

@@ -17,6 +17,22 @@ from repro.experiments.config import fast_config
 from repro.experiments.workloads import build_workload
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="seconds-scale benchmark settings with relaxed perf assertions "
+        "(used by CI to catch regressions without flaking on shared runners)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request: pytest.FixtureRequest) -> bool:
+    """True when the benchmarks run in CI smoke mode (``--smoke``)."""
+    return bool(request.config.getoption("--smoke"))
+
+
 @pytest.fixture(scope="session")
 def trained_workload():
     """The surrogate multi-task workload (parent + MIME + baselines), trained once."""

@@ -9,6 +9,7 @@ can regenerate the paper's artefacts without writing Python:
 ``python -m repro ablation``     — Fig. 9 PE-array / cache ablation
 ``python -m repro train``        — train the surrogate workload and print Tables II/III
 ``python -m repro serve-bench``  — compiled multi-task engine vs training-path throughput
+``python -m repro serve``        — online serving runtime under synthetic Poisson traffic
 ``python -m repro all``          — everything above (training uses the fast configuration)
 """
 
@@ -121,32 +122,42 @@ def _cmd_train(args: argparse.Namespace) -> None:
     ))
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> None:
-    import time
-
+def _build_serving_network(args: argparse.Namespace):
+    """A randomly-initialised multi-task network + compiled plan for benchmarks."""
     import numpy as np
 
-    from repro.engine import MultiTaskEngine, compile_network
+    from repro.engine import compile_network
     from repro.mime import MimeNetwork
-    from repro.models import extract_layer_shapes, vgg_small, vgg_tiny
+    from repro.models import vgg_small, vgg_tiny
 
     rng = np.random.default_rng(args.seed)
     builder = {"vgg_tiny": vgg_tiny, "vgg_small": vgg_small}[args.model]
     backbone = builder(num_classes=8, input_size=args.input_size, in_channels=3, rng=rng)
     network = MimeNetwork(backbone)
     network.eval()
-    print(
-        f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
-        f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch} "
-        "(randomly initialised backbone — this benchmarks the serving path, not accuracy)"
-    )
     for index in range(args.tasks):
         task = network.add_task(f"task{index}", num_classes=10, rng=rng)
         # Spread the thresholds so each task produces a distinct sparsity level.
         for param in task.thresholds:
             param.data += rng.uniform(0.0, 0.2, size=param.data.shape)
-
     plan = compile_network(network, dtype=np.dtype(args.dtype))
+    return network, backbone, plan, rng
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> None:
+    import time
+
+    import numpy as np
+
+    from repro.engine import MultiTaskEngine
+    from repro.models import extract_layer_shapes
+
+    network, backbone, plan, rng = _build_serving_network(args)
+    print(
+        f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
+        f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch} "
+        "(randomly initialised backbone — this benchmarks the serving path, not accuracy)"
+    )
     shape = (args.requests, 3, args.input_size, args.input_size)
     images = rng.normal(size=shape)
     tasks = [f"task{i % args.tasks}" for i in range(args.requests)]
@@ -169,6 +180,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         start = time.perf_counter()
         _, stats = engine.run_pending(mode=mode)
         throughput = args.requests / (time.perf_counter() - start)
+        print(f"  {stats.summary()}")
         results.append([f"engine ({mode})", stats.task_switches, throughput,
                         throughput / results[0][2]])
         engines[mode] = engine
@@ -194,6 +206,59 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.models import extract_layer_shapes
+    from repro.serving import LoadGenerator, ServingRuntime
+
+    network, backbone, plan, rng = _build_serving_network(args)
+    task_names = plan.task_names()
+    print(
+        f"serve: {args.model} @ {args.input_size}x{args.input_size}, "
+        f"{args.tasks} tasks, policy={args.policy}, workers={args.workers}, "
+        f"micro-batch {args.micro_batch}, max-wait {1e3 * args.max_wait:.1f} ms, "
+        f"{args.scenario} Poisson traffic at {args.rate:.0f} req/s "
+        "(randomly initialised backbone — this exercises the serving path, not accuracy)"
+    )
+    generators = {
+        "uniform": LoadGenerator.uniform,
+        "skewed": LoadGenerator.skewed,
+        "bursty": LoadGenerator.bursty,
+    }
+    generator = generators[args.scenario](task_names, args.rate, seed=args.seed)
+    images = {
+        task: rng.normal(size=(16, 3, args.input_size, args.input_size))
+        for task in task_names
+    }
+    runtime = ServingRuntime(
+        plan,
+        policy=args.policy,
+        micro_batch=args.micro_batch,
+        max_wait=args.max_wait,
+        workers=args.workers,
+        max_pending=args.max_queue,
+    )
+    with runtime:
+        futures = generator.replay(
+            runtime,
+            images,
+            num_requests=args.requests,
+            deadline_slack=args.deadline,
+        )
+        for future in futures:
+            if future is not None:
+                future.result(timeout=60.0)
+    print()
+    print(runtime.report().summary())
+
+    report = runtime.hardware_report(extract_layer_shapes(backbone), conv_only=True)
+    energy = report.total_energy()
+    print(
+        f"\nsystolic-array estimate from the measured online schedule "
+        f"({runtime.recorder.num_images()} images, MIME config): "
+        f"total energy {energy.total:,.0f} units, {report.total_cycles():,.0f} cycles"
+    )
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     args.fast = True
     _cmd_storage(args)
@@ -214,6 +279,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "ablation": _cmd_ablation,
     "train": _cmd_train,
     "serve-bench": _cmd_serve_bench,
+    "serve": _cmd_serve,
     "all": _cmd_all,
 }
 
@@ -241,18 +307,45 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
         return parsed
 
-    serve = subparsers.add_parser(
+    def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) -> None:
+        sub.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
+        sub.add_argument("--input-size", type=positive_int, default=16,
+                         help="square input resolution")
+        sub.add_argument("--tasks", type=positive_int, default=3,
+                         help="number of child tasks to register")
+        sub.add_argument("--requests", type=positive_int, default=default_requests,
+                         help="total images in the request stream")
+        sub.add_argument("--micro-batch", type=positive_int, default=8,
+                         help="engine micro-batch size")
+        sub.add_argument("--dtype", choices=["float32", "float64"], default="float32",
+                         help="engine compute dtype (training path is always float64)")
+        sub.add_argument("--seed", type=int, default=7)
+
+    serve_bench = subparsers.add_parser(
         "serve-bench", help="benchmark the compiled multi-task inference engine"
     )
-    serve.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
-    serve.add_argument("--input-size", type=positive_int, default=16, help="square input resolution")
-    serve.add_argument("--tasks", type=positive_int, default=3, help="number of child tasks to register")
-    serve.add_argument("--requests", type=positive_int, default=48,
-                       help="total images in the request stream")
-    serve.add_argument("--micro-batch", type=positive_int, default=8, help="engine micro-batch size")
-    serve.add_argument("--dtype", choices=["float32", "float64"], default="float32",
-                       help="engine compute dtype (training path is always float64)")
-    serve.add_argument("--seed", type=int, default=7)
+    add_workload_arguments(serve_bench, default_requests=48)
+
+    from repro.engine.scheduling import SCHEDULING_MODES
+
+    serve = subparsers.add_parser(
+        "serve", help="run the online serving runtime under synthetic Poisson traffic"
+    )
+    add_workload_arguments(serve, default_requests=96)
+    serve.add_argument("--policy", choices=list(SCHEDULING_MODES), default="fifo-deadline",
+                       help="micro-batch scheduling policy")
+    serve.add_argument("--workers", type=positive_int, default=2,
+                       help="worker threads executing micro-batches in parallel")
+    serve.add_argument("--rate", type=float, default=500.0,
+                       help="mean request arrival rate (requests/second)")
+    serve.add_argument("--max-wait", type=float, default=0.01,
+                       help="dynamic batching deadline in seconds (batch closes on size or this)")
+    serve.add_argument("--max-queue", type=positive_int, default=256,
+                       help="admission-control bound on pending requests")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="optional per-request latency deadline in seconds")
+    serve.add_argument("--scenario", choices=["uniform", "skewed", "bursty"],
+                       default="uniform", help="traffic shape of the load generator")
 
     subparsers.add_parser("all", help="run every artefact (training uses the fast configuration)")
     return parser

@@ -9,14 +9,19 @@ package provides the dedicated inference path:
   into an immutable :class:`EnginePlan` — BatchNorm folded into the GEMMs,
   conv → im2col-GEMM → threshold-mask fused into single kernels, workspaces
   preallocated, per-task thresholds/heads pre-cast and pre-transposed so task
-  switching is an O(1) dictionary lookup.
+  switching is an O(1) dictionary lookup.  All mutable execution state lives
+  in a :class:`WorkspacePool`, so one plan can serve N threads at once when
+  each passes its own pool to :meth:`EnginePlan.run`.
+* :mod:`repro.engine.scheduling` defines the pluggable
+  :class:`SchedulingPolicy` hierarchy — ``singular`` and ``pipelined`` (the
+  paper's two hardware scenarios) plus the online-oriented ``fifo-deadline``
+  and ``weighted-fair`` policies shared with :mod:`repro.serving`.
 * :class:`MultiTaskEngine` accepts ``(task, image)`` requests, micro-batches
-  them per task, and executes them in ``"singular"`` or ``"pipelined"``
-  scheduling mode — the paper's two hardware scenarios.
+  them per task, and drains them offline under any scheduling policy.
 * :class:`SparsityRecorder` captures achieved per-layer sparsity from real
   runs and exports a :class:`~repro.hardware.LayerSparsityProfile` plus the
   processed schedule, so the systolic-array simulator can estimate energy and
-  throughput from measured traffic.
+  throughput from measured traffic (see :func:`recorder_hardware_report`).
 """
 
 from repro.engine.plan import (
@@ -26,13 +31,26 @@ from repro.engine.plan import (
     LinearMaskKernel,
     MaskSpec,
     TaskPlan,
+    WorkspacePool,
     compile_network,
 )
-from repro.engine.engine import (
+from repro.engine.scheduling import (
+    POLICIES,
     SCHEDULING_MODES,
-    EngineRunStats,
+    FifoDeadlinePolicy,
     InferenceRequest,
+    MicroBatch,
+    PipelinedPolicy,
+    SchedulingPolicy,
+    SingularPolicy,
+    WeightedFairPolicy,
+    chunk_requests,
+    get_policy,
+)
+from repro.engine.engine import (
+    EngineRunStats,
     MultiTaskEngine,
+    recorder_hardware_report,
 )
 from repro.engine.stats import SparsityRecorder
 
@@ -43,10 +61,21 @@ __all__ = [
     "LinearMaskKernel",
     "MaskSpec",
     "TaskPlan",
+    "WorkspacePool",
     "compile_network",
+    "POLICIES",
     "SCHEDULING_MODES",
-    "EngineRunStats",
+    "FifoDeadlinePolicy",
     "InferenceRequest",
+    "MicroBatch",
+    "PipelinedPolicy",
+    "SchedulingPolicy",
+    "SingularPolicy",
+    "WeightedFairPolicy",
+    "chunk_requests",
+    "get_policy",
+    "EngineRunStats",
     "MultiTaskEngine",
+    "recorder_hardware_report",
     "SparsityRecorder",
 ]

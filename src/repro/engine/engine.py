@@ -2,15 +2,18 @@
 
 A :class:`MultiTaskEngine` wraps a compiled :class:`~repro.engine.plan.EnginePlan`
 and accepts ``(task, image)`` requests from any mix of tasks.  Requests are
-grouped into per-task micro-batches and executed in one of the paper's two
-hardware scenarios:
+grouped into per-task micro-batches and executed under a pluggable
+:class:`~repro.engine.scheduling.SchedulingPolicy`:
 
 * ``"singular"`` — all requests of one task are drained before the next task
   starts (Singular task mode: task switches are rare, parameter reloads
   amortise over the whole per-task queue);
 * ``"pipelined"`` — micro-batches round-robin across the active tasks
   (Pipelined task mode: consecutive batches belong to different tasks, the
-  scenario where MIME's O(1) threshold-only switch pays off most).
+  scenario where MIME's O(1) threshold-only switch pays off most);
+* ``"fifo-deadline"`` / ``"weighted-fair"`` — arrival/deadline- and
+  share-ordered policies shared with the online
+  :class:`~repro.serving.ServingRuntime`.
 
 Results always come back in submission order regardless of the execution
 order, and every run records achieved per-layer sparsity into a
@@ -20,27 +23,32 @@ driven by measured numbers (:meth:`MultiTaskEngine.hardware_report`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.plan import EnginePlan
+from repro.engine.scheduling import (
+    SCHEDULING_MODES,
+    InferenceRequest,
+    SchedulingPolicy,
+    chunk_requests,
+    get_policy,
+)
 from repro.engine.stats import SparsityRecorder
 from repro.hardware.scenario import ExecutionConfig, mime_config
 from repro.hardware.simulator import BatchResult, SystolicArraySimulator
 from repro.models.shapes import LayerShape
 
-SCHEDULING_MODES = ("singular", "pipelined")
-
-
-@dataclass(frozen=True)
-class InferenceRequest:
-    """One image of one task, tagged with its submission index."""
-
-    index: int
-    task: str
-    image: np.ndarray
+__all__ = [
+    "SCHEDULING_MODES",
+    "EngineRunStats",
+    "InferenceRequest",
+    "MultiTaskEngine",
+    "recorder_hardware_report",
+]
 
 
 @dataclass
@@ -53,9 +61,54 @@ class EngineRunStats:
     task_switches: int = 0
     batch_tasks: List[str] = field(default_factory=list)
 
+    def summary(self) -> str:
+        """One line suitable for logs and the CLI."""
+        mean = self.num_images / self.num_batches if self.num_batches else 0.0
+        return (
+            f"[{self.mode}] {self.num_images} images in {self.num_batches} "
+            f"micro-batches (mean size {mean:.1f}), {self.task_switches} task switches"
+        )
+
+
+def recorder_hardware_report(
+    recorder: SparsityRecorder,
+    shapes: Sequence[LayerShape],
+    config: ExecutionConfig | None = None,
+    simulator: SystolicArraySimulator | None = None,
+    conv_only: bool = False,
+    default_sparsity: float = 0.0,
+) -> BatchResult:
+    """Drive the systolic-array simulator with a recorder's *measured* run.
+
+    Uses the recorded processing order as the schedule and the measured
+    sparsity as the profile, so the energy/cycle estimate reflects what was
+    actually executed rather than a static table.  Shared by the offline
+    engine and the online serving runtime.
+    """
+    schedule = recorder.schedule()
+    if not schedule:
+        raise RuntimeError("no requests processed yet; nothing to simulate")
+    simulator = simulator if simulator is not None else SystolicArraySimulator()
+    config = config if config is not None else mime_config()
+    return simulator.run(
+        shapes,
+        schedule,
+        recorder.to_profile(default_sparsity=default_sparsity),
+        config,
+        conv_only=conv_only,
+    )
+
 
 class MultiTaskEngine:
-    """Micro-batching multi-task scheduler over a compiled engine plan."""
+    """Micro-batching multi-task scheduler over a compiled engine plan.
+
+    The :attr:`recorder` accumulates over the engine's **whole lifetime**:
+    every :meth:`process`/:meth:`run_pending` call appends to the same
+    measured schedule and sparsity totals, and :meth:`hardware_report`
+    therefore simulates everything served since construction (or since the
+    last :meth:`reset_stats`).  Pass ``fresh_stats=True`` to a run to reset
+    the window first when you want per-run numbers.
+    """
 
     def __init__(self, plan: EnginePlan, micro_batch: int = 8) -> None:
         if micro_batch <= 0:
@@ -63,15 +116,22 @@ class MultiTaskEngine:
         self.plan = plan
         self.micro_batch = micro_batch
         self.recorder = SparsityRecorder()
+        #: Task of the last batch executed by this engine, across process()
+        #: calls, so task-switch accounting spans drains.
+        self.last_task: Optional[str] = None
         self._queue: List[InferenceRequest] = []
         self._submitted = 0
 
     # ---------------------------------------------------------------- intake --
-    def submit(self, task: str, images: np.ndarray) -> List[int]:
+    def submit(
+        self, task: str, images: np.ndarray, deadline: Optional[float] = None
+    ) -> List[int]:
         """Enqueue one image ``(C, H, W)`` or a stack ``(N, C, H, W)``.
 
         Returns the request indices, which identify each image's slot in the
-        output of the next :meth:`run_pending` call.
+        output of the next :meth:`run_pending` call.  ``deadline`` (a
+        ``time.monotonic()`` timestamp) is only consulted by deadline-aware
+        scheduling policies.
         """
         if task not in self.plan.tasks:
             raise KeyError(f"unknown task '{task}'; compiled: {self.plan.task_names()}")
@@ -83,11 +143,14 @@ class MultiTaskEngine:
                 f"expected images of per-sample shape {self.plan.input_shape}, "
                 f"got {images.shape}"
             )
+        arrival = time.monotonic()
         indices = []
         for image in images:
             # Copy at enqueue time so callers may reuse their staging buffer
             # between submit() and run_pending().
-            self._queue.append(InferenceRequest(self._submitted, task, image.copy()))
+            self._queue.append(
+                InferenceRequest(self._submitted, task, image.copy(), arrival, deadline)
+            )
             indices.append(self._submitted)
             self._submitted += 1
         return indices
@@ -95,67 +158,54 @@ class MultiTaskEngine:
     def pending(self) -> int:
         return len(self._queue)
 
-    def run_pending(self, mode: str = "pipelined") -> Tuple[List[np.ndarray], EngineRunStats]:
+    def run_pending(
+        self, mode: str | SchedulingPolicy = "pipelined", fresh_stats: bool = False
+    ) -> Tuple[List[np.ndarray], EngineRunStats]:
         """Drain the queue; returns per-request logits in submission order."""
         requests, self._queue = self._queue, []
-        return self.process(requests, mode=mode)
+        return self.process(requests, mode=mode, fresh_stats=fresh_stats)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window: clear the recorder and last task."""
+        self.recorder.reset()
+        self.last_task = None
 
     # ------------------------------------------------------------- execution --
     def process(
-        self, requests: Sequence[InferenceRequest], mode: str = "pipelined"
+        self,
+        requests: Sequence[InferenceRequest],
+        mode: str | SchedulingPolicy = "pipelined",
+        fresh_stats: bool = False,
     ) -> Tuple[List[np.ndarray], EngineRunStats]:
-        """Execute ``requests`` under ``mode`` scheduling.
+        """Execute ``requests`` under the ``mode`` scheduling policy.
 
         The returned list is aligned with ``requests`` (first-submitted first),
-        each entry a ``(num_classes,)`` logits vector.
+        each entry a ``(num_classes,)`` logits vector.  ``fresh_stats=True``
+        resets the recorder (and :attr:`last_task`) before executing, so the
+        subsequent :meth:`hardware_report` covers exactly this run.
         """
-        if mode not in SCHEDULING_MODES:
-            raise ValueError(f"unknown mode '{mode}'; choose from {SCHEDULING_MODES}")
-        stats = EngineRunStats(mode=mode)
+        policy = get_policy(mode)
+        if fresh_stats:
+            self.reset_stats()
+        stats = EngineRunStats(mode=policy.name)
         position = {request.index: slot for slot, request in enumerate(requests)}
         outputs: List[Optional[np.ndarray]] = [None] * len(requests)
-        previous_task: Optional[str] = None
-        for task, batch in self._schedule(requests, mode):
-            images = np.stack([request.image for request in batch])
-            logits = self.plan.run(images, task, recorder=self.recorder)
-            self.recorder.record_pass(task, len(batch))
-            for request, row in zip(batch, logits):
+        previous_task = self.last_task
+        for batch in policy.order(chunk_requests(requests, self.micro_batch)):
+            images = np.stack([request.image for request in batch.requests])
+            logits = self.plan.run(images, batch.task, recorder=self.recorder)
+            self.recorder.record_pass(batch.task, len(batch))
+            for request, row in zip(batch.requests, logits):
                 outputs[position[request.index]] = row
             stats.num_images += len(batch)
             stats.num_batches += 1
-            stats.batch_tasks.append(task)
-            if previous_task is not None and previous_task != task:
+            stats.batch_tasks.append(batch.task)
+            if previous_task is not None and previous_task != batch.task:
                 stats.task_switches += 1
-            previous_task = task
+            previous_task = batch.task
+        self.last_task = previous_task
         assert all(output is not None for output in outputs), "scheduler dropped a request"
         return outputs, stats
-
-    def _schedule(
-        self, requests: Sequence[InferenceRequest], mode: str
-    ) -> List[Tuple[str, List[InferenceRequest]]]:
-        """Group requests into (task, micro-batch) units in execution order."""
-        per_task: Dict[str, List[InferenceRequest]] = {}
-        for request in requests:
-            per_task.setdefault(request.task, []).append(request)
-
-        chunks: Dict[str, List[List[InferenceRequest]]] = {
-            task: [
-                queue[start : start + self.micro_batch]
-                for start in range(0, len(queue), self.micro_batch)
-            ]
-            for task, queue in per_task.items()
-        }
-        batches: List[Tuple[str, List[InferenceRequest]]] = []
-        if mode == "singular":
-            for task, task_chunks in chunks.items():
-                batches.extend((task, chunk) for chunk in task_chunks)
-        else:  # pipelined: round-robin one micro-batch per task
-            rounds = max((len(task_chunks) for task_chunks in chunks.values()), default=0)
-            for round_index in range(rounds):
-                for task, task_chunks in chunks.items():
-                    if round_index < len(task_chunks):
-                        batches.append((task, task_chunks[round_index]))
-        return batches
 
     # --------------------------------------------------------- hardware glue --
     def sparsity_profile(self, default_sparsity: float = 0.0):
@@ -171,15 +221,11 @@ class MultiTaskEngine:
     ) -> BatchResult:
         """Drive the systolic-array simulator with this engine's *measured* run.
 
-        Uses the recorded processing order as the schedule and the measured
-        sparsity as the profile, so the energy/cycle estimate reflects what the
-        engine actually executed rather than a static table.
+        The schedule and sparsity cover the recorder's whole lifetime — every
+        request processed since construction or the last
+        :meth:`reset_stats`/``fresh_stats=True`` run — not just the most
+        recent :meth:`process` call.
         """
-        schedule = self.recorder.schedule()
-        if not schedule:
-            raise RuntimeError("no requests processed yet; nothing to simulate")
-        simulator = simulator if simulator is not None else SystolicArraySimulator()
-        config = config if config is not None else mime_config()
-        return simulator.run(
-            shapes, schedule, self.sparsity_profile(), config, conv_only=conv_only
+        return recorder_hardware_report(
+            self.recorder, shapes, config=config, simulator=simulator, conv_only=conv_only
         )

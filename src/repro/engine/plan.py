@@ -67,8 +67,17 @@ class MaskSpec:
     gemm_shape: Tuple[int, ...]
 
 
-class _Workspaces:
-    """Per-plan buffer pool keyed by (kernel id, batch size)."""
+class WorkspacePool:
+    """Reusable scratch buffers keyed by (kernel id, label, batch size).
+
+    A pool belongs to exactly one executing thread at a time: the plan's
+    kernels write their im2col columns, padded inputs and GEMM outputs into
+    it.  The plan itself owns one default pool for single-threaded callers;
+    concurrent callers (the serving runtime's workers) each hold their own
+    pool and pass it to :meth:`EnginePlan.run`, which is what makes a single
+    immutable plan safe to execute from N threads at once — all mutable
+    state lives in the pool, everything on the plan is read-only.
+    """
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[int, str, int], np.ndarray] = {}
@@ -83,6 +92,10 @@ class _Workspaces:
 
     def __len__(self) -> int:
         return len(self._buffers)
+
+
+# Backwards-compatible alias (pre-serving-runtime name).
+_Workspaces = WorkspacePool
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +137,7 @@ class ConvGemmMaskKernel:
         self.out_shape = out_shape  # (C_out, H_out, W_out)
         self.mask = mask
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
         n = x.shape[0]
         c_in, h, w = self.in_shape
         c_out, h_out, w_out = self.out_shape
@@ -170,7 +183,7 @@ class MaxPoolKernel:
         self.stride = stride
         self.out_shape = out_shape  # (C, H_out, W_out) — per-sample, paper convention
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
         n, h, w, c = x.shape
         k, s = self.kernel_size, self.stride
         h_out = conv_output_size(h, k, s, 0)
@@ -204,7 +217,7 @@ class FlattenKernel:
     def __init__(self, index: int) -> None:
         self.index = index
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
         return np.ascontiguousarray(x).reshape(x.shape[0], -1)
 
 
@@ -231,7 +244,7 @@ class LinearMaskKernel:
         self.mask = mask
         self.relu = relu
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: _Workspaces, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
         out = ws.get(self.index, "fc", x.shape[0], (x.shape[0], self.weight_t.shape[1]), x.dtype)
         np.matmul(x, self.weight_t, out=out)
         out += self.bias
@@ -310,7 +323,7 @@ class EnginePlan:
     mask_specs: List[MaskSpec]
     tasks: Dict[str, TaskPlan] = field(default_factory=dict)
     head_permutation: Optional[np.ndarray] = None
-    _workspaces: _Workspaces = field(default_factory=_Workspaces, repr=False)
+    _workspaces: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
 
     def task_names(self) -> List[str]:
         return list(self.tasks)
@@ -324,13 +337,25 @@ class EnginePlan:
         self.tasks[task.name] = plan
         return plan
 
-    def run(self, x: np.ndarray, task: str, recorder=None) -> np.ndarray:
+    def run(
+        self,
+        x: np.ndarray,
+        task: str,
+        recorder=None,
+        workspaces: Optional[WorkspacePool] = None,
+    ) -> np.ndarray:
         """Execute the compiled network for one micro-batch of ``task`` inputs.
 
         Accepts NCHW input (the training model's convention); internally the
         plan runs channels-last.  Returns freshly-allocated logits of shape
-        ``(N, num_classes)``; all intermediate buffers belong to the plan and
-        are reused across calls.
+        ``(N, num_classes)``; all intermediate buffers live in ``workspaces``
+        (the plan's own default pool when omitted) and are reused across
+        calls.
+
+        The plan itself is immutable after compilation, so concurrent threads
+        may run different micro-batches over the same plan as long as each
+        passes its **own** :class:`WorkspacePool` — the GEMMs release the GIL,
+        which is what the serving runtime's thread-parallel workers exploit.
         """
         if task not in self.tasks:
             raise KeyError(f"task '{task}' was not compiled; known: {self.task_names()}")
@@ -341,9 +366,10 @@ class EnginePlan:
             raise ValueError(
                 f"expected input of per-sample shape {self.input_shape}, got {x.shape[1:]}"
             )
+        pool = workspaces if workspaces is not None else self._workspaces
         x = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=self.dtype)
         for kernel in self.kernels:
-            x = kernel.run(x, task_plan, self._workspaces, recorder)
+            x = kernel.run(x, task_plan, pool, recorder)
         return x @ task_plan.head_weight_t + task_plan.head_bias
 
     def num_workspace_buffers(self) -> int:

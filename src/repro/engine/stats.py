@@ -17,18 +17,25 @@ mime_config())``.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 from repro.hardware.scenario import InferencePass, LayerSparsityProfile
 
 
 class SparsityRecorder:
-    """Accumulates per-(task, layer) achieved sparsity, weighted by images."""
+    """Accumulates per-(task, layer) achieved sparsity, weighted by images.
+
+    Recording is guarded by a lock so the serving runtime's worker threads
+    can share one recorder: read-modify-write accumulation would otherwise
+    race between concurrent micro-batches.
+    """
 
     def __init__(self) -> None:
         self._totals: Dict[str, Dict[str, float]] = {}
         self._counts: Dict[str, Dict[str, int]] = {}
         self._passes: List[InferencePass] = []
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------- recording --
     def record(self, task: str, layer_name: str, sparsity: float, num_images: int) -> None:
@@ -37,33 +44,39 @@ class SparsityRecorder:
             raise ValueError(f"sparsity {sparsity} outside [0, 1]")
         if num_images <= 0:
             raise ValueError("num_images must be positive")
-        totals = self._totals.setdefault(task, {})
-        counts = self._counts.setdefault(task, {})
-        totals[layer_name] = totals.get(layer_name, 0.0) + sparsity * num_images
-        counts[layer_name] = counts.get(layer_name, 0) + num_images
+        with self._lock:
+            totals = self._totals.setdefault(task, {})
+            counts = self._counts.setdefault(task, {})
+            totals[layer_name] = totals.get(layer_name, 0.0) + sparsity * num_images
+            counts[layer_name] = counts.get(layer_name, 0) + num_images
 
     def record_pass(self, task: str, num_images: int) -> None:
         """Append ``num_images`` schedule slots for ``task`` in processed order."""
-        self._passes.extend(InferencePass(task) for _ in range(num_images))
+        with self._lock:
+            self._passes.extend(InferencePass(task) for _ in range(num_images))
 
     def reset(self) -> None:
-        self._totals.clear()
-        self._counts.clear()
-        self._passes.clear()
+        with self._lock:
+            self._totals.clear()
+            self._counts.clear()
+            self._passes.clear()
 
     # --------------------------------------------------------------- queries --
     def tasks(self) -> List[str]:
-        return list(self._totals)
+        with self._lock:
+            return list(self._totals)
 
     def num_images(self) -> int:
-        return len(self._passes)
+        with self._lock:
+            return len(self._passes)
 
     def per_layer(self, task: str) -> Dict[str, float]:
         """Mean measured sparsity per layer for ``task``."""
-        if task not in self._totals:
-            raise KeyError(f"no measurements recorded for task '{task}'")
-        totals, counts = self._totals[task], self._counts[task]
-        return {name: totals[name] / counts[name] for name in totals}
+        with self._lock:
+            if task not in self._totals:
+                raise KeyError(f"no measurements recorded for task '{task}'")
+            totals, counts = self._totals[task], self._counts[task]
+            return {name: totals[name] / counts[name] for name in totals}
 
     def mean_sparsity(self, task: str) -> float:
         per_layer = self.per_layer(task)
@@ -79,10 +92,11 @@ class SparsityRecorder:
         ``default_sparsity``, matching :class:`LayerSparsityProfile` semantics.
         """
         return LayerSparsityProfile(
-            per_task={task: self.per_layer(task) for task in self._totals},
+            per_task={task: self.per_layer(task) for task in self.tasks()},
             default_sparsity=default_sparsity,
         )
 
     def schedule(self) -> List[InferencePass]:
         """The processed image order, one :class:`InferencePass` per image."""
-        return list(self._passes)
+        with self._lock:
+            return list(self._passes)

@@ -1,0 +1,52 @@
+"""Online multi-task serving runtime over the compiled engine.
+
+Where :class:`~repro.engine.MultiTaskEngine` drains a known request set
+offline, this package serves *live* traffic: concurrent clients submit single
+images and get futures back, a deadline-aware dynamic batcher forms per-task
+micro-batches (closed on size or max-wait), a pluggable
+:class:`~repro.engine.scheduling.SchedulingPolicy` orders them, and a pool of
+worker threads executes them in parallel over one immutable
+:class:`~repro.engine.EnginePlan` — each worker with its own
+:class:`~repro.engine.WorkspacePool`, so mixed-task traffic exercises exactly
+the pipelined task switching the paper optimises.  Measured schedules and
+sparsity flow into the systolic-array simulator unchanged.
+
+Quick start::
+
+    runtime = ServingRuntime(plan, policy="fifo-deadline", workers=4,
+                             micro_batch=8, max_wait=0.005, max_pending=256)
+    with runtime:
+        futures = [runtime.submit(task, image) for task, image in traffic]
+        logits = [future.result() for future in futures]
+    print(runtime.report().summary())
+"""
+
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.loadgen import Arrival, LoadGenerator
+from repro.serving.metrics import LatencyDigest, ServingMetrics, ServingReport, percentile
+from repro.serving.request import (
+    AdmissionError,
+    QueueFullError,
+    RequestCancelledError,
+    RuntimeClosedError,
+    ServingRequest,
+    ServingResult,
+)
+from repro.serving.runtime import ServingRuntime
+
+__all__ = [
+    "DynamicBatcher",
+    "Arrival",
+    "LoadGenerator",
+    "LatencyDigest",
+    "ServingMetrics",
+    "ServingReport",
+    "percentile",
+    "AdmissionError",
+    "QueueFullError",
+    "RequestCancelledError",
+    "RuntimeClosedError",
+    "ServingRequest",
+    "ServingResult",
+    "ServingRuntime",
+]

@@ -1,0 +1,186 @@
+"""Deadline-aware dynamic batching with bounded admission.
+
+The :class:`DynamicBatcher` is the synchronisation heart of the serving
+runtime.  Producers (client threads) push :class:`ServingRequest` objects in;
+consumer workers pull closed :class:`~repro.engine.scheduling.MicroBatch`
+units out.  A per-task *open* batch accumulates until either
+
+* it reaches ``micro_batch`` requests (closed immediately — size trigger), or
+* ``max_wait`` seconds elapse since its first request (closed by whichever
+  worker wakes first — deadline trigger),
+
+so a lone request never waits longer than ``max_wait`` for co-batching, which
+is exactly the latency/throughput knob the benchmark sweeps.
+
+Admission control: with ``max_pending > 0`` at most that many requests may be
+waiting (open + ready).  Producers choose per call whether to **block** until
+space frees (optionally bounded by a timeout) or be **rejected** immediately
+with :class:`QueueFullError` — the classic overload policies.
+
+All methods are thread-safe; one lock guards the whole structure with two
+condition queues (``_can_submit`` for producers, ``_work`` for consumers).
+"""
+
+from __future__ import annotations
+
+import time
+from threading import Condition, Lock
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.scheduling import MicroBatch, SchedulingPolicy
+from repro.serving.request import QueueFullError, RuntimeClosedError, ServingRequest
+
+
+class DynamicBatcher:
+    """Thread-safe size-or-timeout micro-batcher with a bounded queue."""
+
+    def __init__(
+        self,
+        micro_batch: int,
+        max_wait: float,
+        policy: SchedulingPolicy,
+        max_pending: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if micro_batch <= 0:
+            raise ValueError("micro_batch must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if max_pending < 0:
+            raise ValueError("max_pending must be non-negative (0 = unbounded)")
+        self.micro_batch = micro_batch
+        self.max_wait = max_wait
+        self.policy = policy
+        self.max_pending = max_pending
+        self._clock = clock
+        self._lock = Lock()
+        self._can_submit = Condition(self._lock)
+        self._work = Condition(self._lock)
+        self._open: Dict[str, List[ServingRequest]] = {}
+        self._close_at: Dict[str, float] = {}
+        self._ready: List[MicroBatch] = []
+        self._seq: Dict[str, int] = {}
+        self._pending = 0
+        self._served: Dict[str, int] = {}
+        self._closed = False
+
+    # ---------------------------------------------------------------- intake --
+    def submit(
+        self, request: ServingRequest, block: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Admit one request, or raise an :class:`AdmissionError`.
+
+        ``block=False`` turns a full queue into an immediate
+        :class:`QueueFullError`; ``block=True`` waits for space, up to
+        ``timeout`` seconds when given.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeClosedError("the batcher no longer accepts requests")
+            if self.max_pending:
+                give_up = None if timeout is None else self._clock() + timeout
+                while self._pending >= self.max_pending and not self._closed:
+                    if not block:
+                        raise QueueFullError(
+                            f"queue at capacity ({self.max_pending} pending requests)"
+                        )
+                    remaining = None if give_up is None else give_up - self._clock()
+                    if remaining is not None and remaining <= 0:
+                        raise QueueFullError(
+                            f"queue still full after waiting {timeout}s"
+                        )
+                    self._can_submit.wait(remaining)
+                if self._closed:
+                    raise RuntimeClosedError("the batcher closed while waiting for space")
+            bucket = self._open.setdefault(request.task, [])
+            if not bucket:
+                self._close_at[request.task] = self._clock() + self.max_wait
+            bucket.append(request)
+            self._pending += 1
+            if len(bucket) >= self.micro_batch:
+                self._close_open(request.task)
+            # Wake workers either way: a new ready batch, or a new max-wait
+            # timer they must start watching.
+            self._work.notify_all()
+
+    def pending(self) -> int:
+        """Requests admitted but not yet handed to a worker."""
+        with self._lock:
+            return self._pending
+
+    def served_images(self) -> Dict[str, int]:
+        """Images dispatched per task so far (introspection only — policies
+        keep their own scheduling state)."""
+        with self._lock:
+            return dict(self._served)
+
+    # ---------------------------------------------------------- lock helpers --
+    def _close_open(self, task: str) -> None:
+        """Move ``task``'s open batch to the ready list.  Lock held."""
+        bucket = self._open.pop(task)
+        self._close_at.pop(task, None)
+        seq = self._seq.get(task, 0)
+        self._seq[task] = seq + 1
+        self._ready.append(MicroBatch(task, bucket, seq))
+
+    def _close_expired(self, now: float) -> None:
+        """Close every open batch whose max-wait deadline passed.  Lock held."""
+        for task in [t for t, at in self._close_at.items() if at <= now]:
+            self._close_open(task)
+
+    # --------------------------------------------------------------- workers --
+    def next_batch(self, last_task: Optional[str] = None) -> Optional[MicroBatch]:
+        """Block until a batch is ready and return it; ``None`` on shutdown.
+
+        The scheduling policy chooses among the ready batches;
+        ``last_task`` is the calling worker's previous task so policies can
+        minimise (singular) or maximise (pipelined) task alternation per
+        worker.  Returns ``None`` only once the batcher is closed *and*
+        drained.
+        """
+        with self._lock:
+            while True:
+                now = self._clock()
+                self._close_expired(now)
+                if self._ready:
+                    batch = self.policy.pick(self._ready, last_task)
+                    self._ready.remove(batch)
+                    self._pending -= len(batch)
+                    self._served[batch.task] = self._served.get(batch.task, 0) + len(batch)
+                    self._can_submit.notify_all()
+                    return batch
+                if self._closed and not self._open:
+                    return None
+                wait = None
+                if self._close_at:
+                    wait = max(0.0, min(self._close_at.values()) - now)
+                self._work.wait(wait)
+
+    # -------------------------------------------------------------- shutdown --
+    def flush(self) -> None:
+        """Close every open batch now, regardless of size."""
+        with self._lock:
+            for task in list(self._open):
+                self._close_open(task)
+            self._work.notify_all()
+
+    def close(self) -> None:
+        """Stop admitting; already-admitted requests stay executable."""
+        with self._lock:
+            self._closed = True
+            for task in list(self._open):
+                self._close_open(task)
+            self._work.notify_all()
+            self._can_submit.notify_all()
+
+    def drain_cancelled(self) -> List[ServingRequest]:
+        """Remove and return every pending request (for ``stop(drain=False)``)."""
+        with self._lock:
+            for task in list(self._open):
+                self._close_open(task)
+            cancelled = [request for batch in self._ready for request in batch.requests]
+            self._ready.clear()
+            self._pending = 0
+            self._work.notify_all()
+            self._can_submit.notify_all()
+            return cancelled

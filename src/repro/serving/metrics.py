@@ -1,0 +1,232 @@
+"""Thread-safe serving metrics: latency percentiles, throughput, switches.
+
+Workers report one :meth:`ServingMetrics.observe_batch` per executed
+micro-batch; the runtime snapshots everything into an immutable
+:class:`ServingReport` whose :meth:`ServingReport.summary` renders the
+operator-facing text block the CLI and benchmarks print.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in [0, 100]) of ``values``."""
+    if not values:
+        return math.nan
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyDigest:
+    """p50/p95/p99/mean/max over one latency population, in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencyDigest":
+        if not values:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Immutable snapshot of one serving run's operational metrics.
+
+    ``task_switches`` is the sum of *per-worker* switches — each worker is
+    treated as its own accelerator pipeline, so a batch only counts as a
+    switch against the same worker's previous batch.  The global interleaved
+    schedule (what ``hardware_report`` charges threshold reloads against)
+    alternates more under multi-worker load.
+    """
+
+    policy: str
+    workers: int
+    duration: float
+    completed: int
+    rejected: int
+    errors: int
+    cancelled: int
+    num_batches: int
+    task_switches: int
+    latency: LatencyDigest
+    queue_wait: LatencyDigest
+    per_task: Dict[str, int] = field(default_factory=dict)
+    deadline_misses: int = 0
+    deadline_total: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed images per second over the measured window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.num_batches == 0:
+            return 0.0
+        return self.completed / self.num_batches
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"policy={self.policy} workers={self.workers}: "
+            f"{self.completed} images in {self.duration:.3f}s "
+            f"({self.throughput:,.1f} images/sec)",
+            f"  batches: {self.num_batches} (mean size {self.mean_batch_size:.1f}), "
+            f"task switches: {self.task_switches}",
+            f"  latency  p50/p95/p99: {1e3 * self.latency.p50:.1f} / "
+            f"{1e3 * self.latency.p95:.1f} / {1e3 * self.latency.p99:.1f} ms "
+            f"(max {1e3 * self.latency.max:.1f} ms)",
+            f"  queue wait p50/p95: {1e3 * self.queue_wait.p50:.1f} / "
+            f"{1e3 * self.queue_wait.p95:.1f} ms",
+        ]
+        if self.rejected or self.errors or self.cancelled:
+            lines.append(
+                f"  rejected: {self.rejected}, errors: {self.errors}, "
+                f"cancelled: {self.cancelled}"
+            )
+        if self.deadline_total:
+            met = self.deadline_total - self.deadline_misses
+            lines.append(f"  deadlines met: {met}/{self.deadline_total}")
+        if self.per_task:
+            mix = ", ".join(f"{task}: {count}" for task, count in sorted(self.per_task.items()))
+            lines.append(f"  per-task images: {mix}")
+        return "\n".join(lines)
+
+
+class ServingMetrics:
+    """Mutable, lock-guarded accumulator behind :class:`ServingReport`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._queue_waits: List[float] = []
+        self._per_task: Dict[str, int] = {}
+        self._num_batches = 0
+        self._task_switches = 0
+        self._rejected = 0
+        self._errors = 0
+        self._cancelled = 0
+        self._deadline_misses = 0
+        self._deadline_total = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # ------------------------------------------------------------ lifecycle --
+    def mark_start(self, now: float) -> None:
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+
+    def mark_stop(self, now: float) -> None:
+        with self._lock:
+            self._stopped_at = now
+
+    def reset(self, now: Optional[float] = None) -> None:
+        """Drop every sample and restart the measurement window at ``now``.
+
+        The per-request latency lists grow unboundedly on an always-on
+        runtime; callers owning a long-lived service reset between reporting
+        windows.
+        """
+        with self._lock:
+            self._latencies.clear()
+            self._queue_waits.clear()
+            self._per_task.clear()
+            self._num_batches = 0
+            self._task_switches = 0
+            self._rejected = 0
+            self._errors = 0
+            self._cancelled = 0
+            self._deadline_misses = 0
+            self._deadline_total = 0
+            self._started_at = now
+            self._stopped_at = None
+
+    # ------------------------------------------------------------- recording --
+    def observe_batch(
+        self,
+        task: str,
+        latencies: Sequence[float],
+        queue_waits: Sequence[float],
+        switched: bool,
+        deadline_results: Sequence[Optional[bool]] = (),
+    ) -> None:
+        with self._lock:
+            self._latencies.extend(latencies)
+            self._queue_waits.extend(queue_waits)
+            self._per_task[task] = self._per_task.get(task, 0) + len(latencies)
+            self._num_batches += 1
+            if switched:
+                self._task_switches += 1
+            for met in deadline_results:
+                if met is None:
+                    continue
+                self._deadline_total += 1
+                if not met:
+                    self._deadline_misses += 1
+
+    def observe_rejection(self, count: int = 1) -> None:
+        with self._lock:
+            self._rejected += count
+
+    def observe_error(self, count: int = 1) -> None:
+        with self._lock:
+            self._errors += count
+
+    def observe_cancelled(self, count: int = 1) -> None:
+        with self._lock:
+            self._cancelled += count
+
+    # --------------------------------------------------------------- queries --
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    def report(self, policy: str, workers: int, now: Optional[float] = None) -> ServingReport:
+        """Snapshot the counters into an immutable report."""
+        with self._lock:
+            if self._started_at is None:
+                duration = 0.0
+            else:
+                end = self._stopped_at if self._stopped_at is not None else now
+                duration = max(0.0, (end if end is not None else self._started_at) - self._started_at)
+            return ServingReport(
+                policy=policy,
+                workers=workers,
+                duration=duration,
+                completed=len(self._latencies),
+                rejected=self._rejected,
+                errors=self._errors,
+                cancelled=self._cancelled,
+                num_batches=self._num_batches,
+                task_switches=self._task_switches,
+                latency=LatencyDigest.of(self._latencies),
+                queue_wait=LatencyDigest.of(self._queue_waits),
+                per_task=dict(self._per_task),
+                deadline_misses=self._deadline_misses,
+                deadline_total=self._deadline_total,
+            )

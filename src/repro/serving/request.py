@@ -1,0 +1,139 @@
+"""Request/response types and admission-control errors for online serving.
+
+A client ``submit()`` returns a :class:`ServingResult` — a small future that a
+worker thread later completes with the logits and execution timestamps.  The
+request travelling through the batcher is a :class:`ServingRequest`, which is
+structurally compatible with :class:`~repro.engine.scheduling.InferenceRequest`
+(``index``/``task``/``image``/``arrival_time``/``deadline``) so the shared
+scheduling policies can rank serving micro-batches directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+
+class AdmissionError(RuntimeError):
+    """Base class for requests refused at the door."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded request queue is at capacity and the caller chose not to wait."""
+
+
+class RuntimeClosedError(AdmissionError):
+    """The runtime no longer accepts requests (stopped or stopping)."""
+
+
+class RequestCancelledError(RuntimeError):
+    """The request was dropped before execution (``stop(drain=False)``)."""
+
+
+class ServingResult:
+    """Future for one submitted image.
+
+    Timestamps are on the runtime's clock (``time.monotonic()`` by default):
+    ``arrival_time`` at admission, ``start_time`` when the executing worker
+    launched the micro-batch, ``finish_time`` when the logits were ready.
+    """
+
+    __slots__ = (
+        "index",
+        "task",
+        "arrival_time",
+        "deadline",
+        "start_time",
+        "finish_time",
+        "_event",
+        "_logits",
+        "_error",
+    )
+
+    def __init__(
+        self, index: int, task: str, arrival_time: float, deadline: Optional[float] = None
+    ) -> None:
+        self.index = index
+        self.task = task
+        self.arrival_time = arrival_time
+        self.deadline = deadline
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self._event = threading.Event()
+        self._logits: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------- producer --
+    def set_result(self, logits: np.ndarray, start_time: float, finish_time: float) -> None:
+        self._logits = logits
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # ------------------------------------------------------------- consumer --
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the logits are ready (or raise the execution error)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.index} ({self.task}) not completed within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._logits is not None
+        return self._logits
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end seconds from admission to logits, once done."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent batching/queueing before execution started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the logits were ready by the deadline (None if no deadline)."""
+        if self.deadline is None or self.finish_time is None:
+            return None
+        return self.finish_time <= self.deadline
+
+
+class ServingRequest:
+    """One admitted image on its way through the batcher.
+
+    Duck-typed against :class:`~repro.engine.scheduling.InferenceRequest` so
+    :class:`~repro.engine.scheduling.MicroBatch` and the policies accept it.
+    """
+
+    __slots__ = ("index", "task", "image", "arrival_time", "deadline", "result")
+
+    def __init__(
+        self,
+        index: int,
+        task: str,
+        image: np.ndarray,
+        arrival_time: float,
+        deadline: Optional[float],
+        result: ServingResult,
+    ) -> None:
+        self.index = index
+        self.task = task
+        self.image = image
+        self.arrival_time = arrival_time
+        self.deadline = deadline
+        self.result = result

@@ -10,7 +10,8 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("storage", "energy", "pruned", "ablation", "train", "all"):
+        for command in ("storage", "energy", "pruned", "ablation", "train",
+                        "serve-bench", "serve", "all"):
             args = parser.parse_args([command] if command != "train" else [command, "--fast"])
             assert args.command == command
 
@@ -21,6 +22,21 @@ class TestParser:
     def test_storage_max_tasks_argument(self):
         args = build_parser().parse_args(["storage", "--max-tasks", "4"])
         assert args.max_tasks == 4
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args([
+            "serve", "--policy", "weighted-fair", "--workers", "4",
+            "--rate", "250", "--max-wait", "0.02", "--scenario", "skewed",
+        ])
+        assert args.policy == "weighted-fair"
+        assert args.workers == 4
+        assert args.rate == 250.0
+        assert args.max_wait == 0.02
+        assert args.scenario == "skewed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
 
 
 class TestCommands:
@@ -46,3 +62,14 @@ class TestCommands:
         assert main(["energy"]) == 0
         output = capsys.readouterr().out
         assert "Fig. 5" in output and "Fig. 6" in output and "Fig. 7" in output
+
+    def test_serve_command_prints_report_and_hardware_estimate(self, capsys):
+        assert main([
+            "serve", "--requests", "12", "--rate", "2000", "--workers", "2",
+            "--micro-batch", "4", "--tasks", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "policy=fifo-deadline workers=2" in output
+        assert "images/sec" in output
+        assert "p50/p95/p99" in output
+        assert "systolic-array estimate" in output

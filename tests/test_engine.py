@@ -224,6 +224,67 @@ def test_measured_sparsity_round_trips_into_the_simulator(network, batch):
     assert set(report.layer_names()) == {s.name for s in shapes if s.kind == "conv"}
 
 
+def test_recorder_accumulates_across_runs_unless_fresh(network, batch):
+    plan = compile_network(network)
+    engine = MultiTaskEngine(plan, micro_batch=4)
+    engine.submit("alpha", batch)
+    engine.run_pending()
+    assert engine.recorder.num_images() == batch.shape[0]
+
+    # By default the recorder covers the engine's whole lifetime...
+    engine.submit("beta", batch)
+    engine.run_pending()
+    assert engine.recorder.num_images() == 2 * batch.shape[0]
+
+    # ...and fresh_stats starts a new measurement window.
+    engine.submit("gamma", batch)
+    engine.run_pending(fresh_stats=True)
+    assert engine.recorder.num_images() == batch.shape[0]
+    assert engine.recorder.tasks() == ["gamma"]
+
+    engine.reset_stats()
+    assert engine.recorder.num_images() == 0
+    assert engine.last_task is None
+
+
+def test_task_switches_span_process_calls(network, batch):
+    plan = compile_network(network)
+    engine = MultiTaskEngine(plan, micro_batch=16)
+    engine.submit("alpha", batch)
+    _, first = engine.run_pending(mode="singular")
+    assert first.task_switches == 0
+    assert engine.last_task == "alpha"
+
+    # The first batch of the next drain belongs to a different task: that is
+    # a real switch the hardware would pay for, and the stats now count it.
+    engine.submit("beta", batch)
+    _, second = engine.run_pending(mode="singular")
+    assert second.task_switches == 1
+
+    # Same task again: no switch.
+    engine.submit("beta", batch)
+    _, third = engine.run_pending(mode="singular")
+    assert third.task_switches == 0
+
+    # A fresh window forgets the previous task.
+    engine.submit("alpha", batch)
+    _, fourth = engine.run_pending(mode="singular", fresh_stats=True)
+    assert fourth.task_switches == 0
+
+
+def test_run_stats_summary(network, batch):
+    plan = compile_network(network)
+    engine = MultiTaskEngine(plan, micro_batch=4)
+    for name, _ in TASKS:
+        engine.submit(name, batch)
+    _, stats = engine.run_pending(mode="pipelined")
+    summary = stats.summary()
+    assert "pipelined" in summary
+    assert str(stats.num_images) in summary
+    assert str(stats.num_batches) in summary
+    assert "task switches" in summary
+
+
 def test_recorder_validation_and_reset():
     recorder = SparsityRecorder()
     with pytest.raises(ValueError):

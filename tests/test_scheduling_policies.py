@@ -1,0 +1,263 @@
+"""Property-style tests for the pluggable scheduling policies.
+
+Every policy must be a *permutation* of the chunked micro-batches: no request
+dropped, none duplicated, micro-batch sizes respected, per-task submission
+order preserved inside batches, and engine outputs realigned to submission
+order.  On top of that, each policy has its own ordering contract: singular
+groups tasks, pipelined strictly alternates on balanced queues, fifo-deadline
+honours deadlines before arrival order, and weighted-fair serves images
+proportionally to the configured weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    SCHEDULING_MODES,
+    FifoDeadlinePolicy,
+    InferenceRequest,
+    MultiTaskEngine,
+    PipelinedPolicy,
+    SingularPolicy,
+    WeightedFairPolicy,
+    chunk_requests,
+    compile_network,
+    get_policy,
+)
+from repro.mime import MimeNetwork
+
+TASK_NAMES = ("alpha", "beta", "gamma")
+
+
+def make_requests(seed: int, count: int, tasks=TASK_NAMES, deadlines=False):
+    """A reproducible random request stream (images are 1-element stubs)."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for index in range(count):
+        task = tasks[int(rng.integers(0, len(tasks)))]
+        deadline = float(rng.uniform(0.0, 10.0)) if deadlines and rng.random() < 0.5 else None
+        requests.append(
+            InferenceRequest(
+                index,
+                task,
+                np.zeros(1),
+                arrival_time=float(index),
+                deadline=deadline,
+            )
+        )
+    return requests
+
+
+# ----------------------------------------------------------- shared contract --
+@pytest.mark.parametrize("mode", SCHEDULING_MODES)
+@pytest.mark.parametrize("seed,count,micro_batch", [(0, 1, 4), (1, 17, 4), (2, 40, 8), (3, 23, 1)])
+def test_policy_is_a_lossless_permutation(mode, seed, count, micro_batch):
+    requests = make_requests(seed, count, deadlines=True)
+    policy = get_policy(mode)
+    ordered = policy.order(chunk_requests(requests, micro_batch))
+
+    seen = [request.index for batch in ordered for request in batch.requests]
+    assert sorted(seen) == list(range(count)), f"{mode} dropped or duplicated a request"
+    for batch in ordered:
+        assert 1 <= len(batch) <= micro_batch
+        assert all(request.task == batch.task for request in batch.requests)
+        indices = [request.index for request in batch.requests]
+        assert indices == sorted(indices), "per-task submission order broken inside a batch"
+
+
+@pytest.mark.parametrize("mode", SCHEDULING_MODES)
+def test_order_is_deterministic(mode):
+    requests = make_requests(7, 30, deadlines=True)
+    policy = get_policy(mode)
+    batches = chunk_requests(requests, 4)
+    first = [(b.task, b.seq) for b in policy.order(list(batches))]
+    second = [(b.task, b.seq) for b in policy.order(list(batches))]
+    assert first == second
+
+
+@pytest.mark.parametrize("mode", SCHEDULING_MODES)
+def test_every_policy_returns_outputs_in_submission_order(network_fixture, mode):
+    network, plan = network_fixture
+    engine = MultiTaskEngine(plan, micro_batch=3)
+    submissions = []
+    order = np.random.default_rng(8)
+    rng = np.random.default_rng(9)
+    for _ in range(14):
+        name = TASK_NAMES[int(order.integers(0, len(TASK_NAMES)))]
+        image = rng.normal(size=(3, 16, 16))
+        engine.submit(name, image)
+        submissions.append((name, image))
+    outputs, stats = engine.run_pending(mode=mode)
+    assert stats.mode == mode
+    assert stats.num_images == len(submissions)
+    for output, (name, image) in zip(outputs, submissions):
+        np.testing.assert_allclose(output, plan.run(image[None], name)[0], atol=1e-12)
+
+
+@pytest.fixture(scope="module")
+def network_fixture():
+    from repro.models import vgg_tiny
+
+    backbone = vgg_tiny(num_classes=6, input_size=16, in_channels=3,
+                        rng=np.random.default_rng(0))
+    network = MimeNetwork(backbone)
+    network.eval()
+    jitter = np.random.default_rng(42)
+    for name in TASK_NAMES:
+        task = network.add_task(name, 5, rng=jitter)
+        for param in task.thresholds:
+            param.data += jitter.uniform(0.0, 0.15, size=param.data.shape)
+    plan = compile_network(network, dtype=np.float64)
+    return network, plan
+
+
+# ------------------------------------------------------------- per-policy ----
+def test_singular_groups_tasks_contiguously():
+    requests = make_requests(11, 36)
+    ordered = SingularPolicy().order(chunk_requests(requests, 4))
+    tasks_seen = [batch.task for batch in ordered]
+    # Each task appears in exactly one contiguous run.
+    runs = [task for i, task in enumerate(tasks_seen) if i == 0 or tasks_seen[i - 1] != task]
+    assert len(runs) == len(set(tasks_seen))
+
+
+def test_pipelined_strictly_alternates_on_balanced_queues():
+    # 3 tasks x 8 images, micro-batch 4 -> 2 rounds of 3 batches.
+    requests = []
+    index = 0
+    for round_index in range(8):
+        for task in TASK_NAMES:
+            requests.append(InferenceRequest(index, task, np.zeros(1), float(index)))
+            index += 1
+    ordered = PipelinedPolicy().order(chunk_requests(requests, 4))
+    tasks_seen = [batch.task for batch in ordered]
+    assert len(tasks_seen) == 6
+    for previous, current in zip(tasks_seen, tasks_seen[1:]):
+        assert previous != current, f"pipelined repeated task {current} back-to-back"
+    # Both rounds cover every task once.
+    assert set(tasks_seen[:3]) == set(TASK_NAMES)
+    assert set(tasks_seen[3:]) == set(TASK_NAMES)
+
+
+def test_fifo_deadline_executes_urgent_batches_first():
+    # Task 'late' arrives first without deadlines; 'urgent' arrives later with
+    # a tight deadline and must jump the queue.
+    requests = [
+        InferenceRequest(0, "late", np.zeros(1), arrival_time=0.0),
+        InferenceRequest(1, "late", np.zeros(1), arrival_time=0.1),
+        InferenceRequest(2, "urgent", np.zeros(1), arrival_time=0.2, deadline=0.5),
+        InferenceRequest(3, "relaxed", np.zeros(1), arrival_time=0.3, deadline=9.0),
+    ]
+    ordered = FifoDeadlinePolicy().order(chunk_requests(requests, 2))
+    assert [batch.task for batch in ordered] == ["urgent", "relaxed", "late"]
+
+
+def test_fifo_deadline_degrades_to_fifo_without_deadlines():
+    requests = make_requests(12, 24, deadlines=False)
+    ordered = FifoDeadlinePolicy().order(chunk_requests(requests, 4))
+    arrivals = [batch.arrival_time for batch in ordered]
+    assert arrivals == sorted(arrivals)
+
+
+def test_weighted_fair_serves_images_proportionally():
+    # Heavy gets weight 3, light weight 1: in any schedule prefix the served
+    # image ratio should track 3:1 (within one batch of slack).
+    requests = []
+    index = 0
+    for _ in range(12):
+        for task in ("heavy", "light"):
+            requests.append(InferenceRequest(index, task, np.zeros(1), float(index)))
+            index += 1
+    policy = WeightedFairPolicy(weights={"heavy": 3.0, "light": 1.0})
+    ordered = policy.order(chunk_requests(requests, 4))
+    served = {"heavy": 0, "light": 0}
+    for batch in ordered:
+        served[batch.task] += len(batch)
+        if served["light"] > 0 and served["heavy"] < 12:
+            # Light should never be ahead of its 1/4 share by more than a batch.
+            assert served["light"] <= served["heavy"] / 3.0 + 4
+    assert served == {"heavy": 12, "light": 12}
+
+    with pytest.raises(ValueError):
+        WeightedFairPolicy(weights={"x": 0.0})
+
+
+def test_pipelined_pick_ranks_by_arrival_not_cross_task_seq():
+    # Per-task seq counters are not comparable across tasks online: a task
+    # active since boot has a huge counter, a newcomer starts at 0.  The
+    # old task's batch arrived first and must win over the newcomer.
+    old = chunk_requests(
+        [InferenceRequest(0, "old", np.zeros(1), arrival_time=1.0)], 4
+    )[0]
+    old.seq = 500  # long-running task: high lifetime sequence number
+    new = chunk_requests(
+        [InferenceRequest(1, "new", np.zeros(1), arrival_time=2.0)], 4
+    )[0]
+    picked = PipelinedPolicy().pick([old, new], last_task="other")
+    assert picked.task == "old", "long-active task starved by cross-task seq compare"
+    # Alternation still preferred: coming from 'old', pick the other task.
+    assert PipelinedPolicy().pick([old, new], last_task="old").task == "new"
+
+
+def test_weighted_fair_pick_does_not_starve_established_tasks():
+    # Serve task 'old' alone for a long stretch, then have 'new' join.  With
+    # naive cumulative accounting 'new' would win every pick until its
+    # lifetime share caught up, starving 'old'; start-time fair queuing clamps
+    # the newcomer's virtual start to the current virtual clock instead.
+    policy = WeightedFairPolicy()
+    for seq in range(50):
+        batch = chunk_requests(
+            [InferenceRequest(seq, "old", np.zeros(1), float(seq))], 4
+        )[0]
+        assert policy.pick([batch]) is batch
+
+    picks = []
+    for step in range(6):
+        base = 100 + 2 * step
+        old_batch = chunk_requests(
+            [InferenceRequest(base, "old", np.zeros(1), float(base))], 4
+        )[0]
+        new_batch = chunk_requests(
+            [InferenceRequest(base + 1, "new", np.zeros(1), float(base + 1))], 4
+        )[0]
+        picks.append(policy.pick([old_batch, new_batch]).task)
+    assert "old" in picks[:2], f"established task starved: {picks}"
+    assert picks.count("old") == 3 and picks.count("new") == 3, picks
+
+
+def test_weighted_fair_equal_weights_interleaves():
+    requests = make_requests(13, 30)
+    ordered = WeightedFairPolicy().order(chunk_requests(requests, 4))
+    tasks_seen = [batch.task for batch in ordered]
+    # With equal weights no task gets two full batches in a row while another
+    # still has pending work behind it.
+    for i in range(len(tasks_seen) - 2):
+        window = tasks_seen[i : i + 3]
+        if len(set(tasks_seen[i:])) >= 2:
+            assert len(set(window)) >= 2
+
+
+# ---------------------------------------------------------------- plumbing ----
+def test_get_policy_resolves_names_and_instances():
+    instance = WeightedFairPolicy(weights={"a": 2.0})
+    assert get_policy(instance) is instance
+    assert get_policy("pipelined").name == "pipelined"
+    with pytest.raises(ValueError):
+        get_policy("bogus")
+
+
+def test_chunk_requests_validates_and_orders():
+    with pytest.raises(ValueError):
+        chunk_requests([], 0)
+    requests = make_requests(14, 10, tasks=("only",))
+    batches = chunk_requests(requests, 4)
+    assert [len(b) for b in batches] == [4, 4, 2]
+    assert [b.seq for b in batches] == [0, 1, 2]
+
+
+def test_pick_requires_a_candidate():
+    for mode in SCHEDULING_MODES:
+        with pytest.raises(ValueError):
+            get_policy(mode).pick([])
