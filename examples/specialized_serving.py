@@ -1,0 +1,114 @@
+"""Per-task plan specialization: calibrate, compact, serve, count MACs.
+
+Builds a multi-task MIME network whose child tasks structurally kill a
+different ~60% of every masked layer's channels (the paper's per-task
+structured sparsity), then:
+
+1. calibrates per-channel survival on the compiled dense plan,
+2. specializes one compacted plan per task (dead-channel elimination with
+   the shrinkage propagated through im2col rows and the FC head),
+3. serves the same mixed-task traffic through the dense and the specialized
+   plans under a 4-worker :class:`~repro.serving.ServingRuntime`, and
+4. reports throughput, effective MACs and the systolic-array estimate fed by
+   the measured schedule.
+
+Run with:  PYTHONPATH=src python examples/specialized_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import calibrate_plan, compile_network, specialize_tasks
+from repro.mime import MimeNetwork, add_structured_sparsity_task
+from repro.models import extract_layer_shapes, vgg_small
+from repro.serving import LoadGenerator, ServingRuntime
+
+TASKS = ("cifar10", "cifar100", "fmnist")
+INPUT_SIZE = 32
+DEAD_FRACTION = 0.6
+NUM_REQUESTS = 192
+
+
+def build_network(rng: np.random.Generator) -> MimeNetwork:
+    backbone = vgg_small(num_classes=8, input_size=INPUT_SIZE, in_channels=3, rng=rng)
+    network = MimeNetwork(backbone)
+    network.eval()
+    for index, name in enumerate(TASKS):
+        # A different structurally-dead channel subset per task: those
+        # thresholds exceed any attainable pre-activation, so the channels
+        # never fire for this task on any input.
+        add_structured_sparsity_task(
+            network, name, num_classes=10 + index, rng=rng,
+            dead_fraction=DEAD_FRACTION, threshold_jitter=0.2,
+        )
+    return network
+
+
+def serve(plan, specialized, images, trace) -> tuple[float, float]:
+    runtime = ServingRuntime(
+        plan, policy="fifo-deadline", micro_batch=8, max_wait=0.005,
+        workers=4, specialized=specialized,
+    )
+    generator = LoadGenerator.uniform(TASKS, rate=2000.0)
+    futures = generator.replay(
+        runtime, images, num_requests=len(trace), time_scale=0.0, trace=trace
+    )
+    runtime.start()
+    report = runtime.stop(drain=True)
+    for future in futures:
+        future.result(timeout=0)
+    return report.throughput, runtime.recorder.mac_reduction()
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    network = build_network(rng)
+    plan = compile_network(network, dtype=np.float32)
+
+    profile = calibrate_plan(plan, batch_size=32, seed=5)
+    print("calibrated dead channels per task (survival rate 0 during calibration):")
+    for task in TASKS:
+        dead = {layer: profile.dead_channels(task, layer) for layer in profile.layers(task)}
+        print(f"  {task}: {dead}")
+
+    specialized = specialize_tasks(plan, profile=profile)
+    for task in TASKS:
+        spec = specialized[task]
+        print(
+            f"specialized plan for {task}: "
+            f"{sum(spec.dead_channel_counts().values())} channels eliminated, "
+            f"{100.0 * spec.mac_reduction():.1f}% of dense MACs avoided per image"
+        )
+
+    images = {task: rng.normal(size=(16, 3, INPUT_SIZE, INPUT_SIZE)) for task in TASKS}
+    trace = LoadGenerator.uniform(TASKS, rate=2000.0, seed=13).trace(NUM_REQUESTS)
+
+    dense_tput, _ = serve(plan, {}, images, trace)
+    spec_tput, mac_reduction = serve(plan, specialized, images, trace)
+    print(f"\n4-worker serving drain of {NUM_REQUESTS} mixed-task requests:")
+    print(f"  dense plan       : {dense_tput:8.1f} images/sec")
+    print(f"  specialized plans: {spec_tput:8.1f} images/sec "
+          f"({spec_tput / dense_tput:.2f}x, {100.0 * mac_reduction:.1f}% MACs avoided)")
+
+    # The measured schedule + sparsity drive the hardware model, with the
+    # engine-side MAC counts attached to the scenario report.
+    runtime = ServingRuntime(plan, workers=2, micro_batch=8, specialized=specialized)
+    with runtime:
+        futures = [
+            runtime.submit(TASKS[i % len(TASKS)], images[TASKS[i % len(TASKS)]][i % 16])
+            for i in range(48)
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+    report = runtime.hardware_report(extract_layer_shapes(network.backbone), conv_only=True)
+    print(f"\nsystolic-array estimate over the measured online schedule:")
+    print(f"  total energy {report.total_energy().total:,.0f} units, "
+          f"{report.total_cycles():,.0f} cycles")
+    print(f"  engine-side effective MACs: {report.measured_effective_macs:,} of "
+          f"{report.measured_dense_macs:,} dense "
+          f"({100.0 * report.measured_mac_reduction():.1f}% avoided)")
+
+
+if __name__ == "__main__":
+    main()

@@ -127,7 +127,7 @@ def _build_serving_network(args: argparse.Namespace):
     import numpy as np
 
     from repro.engine import compile_network
-    from repro.mime import MimeNetwork
+    from repro.mime import MimeNetwork, add_structured_sparsity_task
     from repro.models import vgg_small, vgg_tiny
 
     rng = np.random.default_rng(args.seed)
@@ -136,12 +136,46 @@ def _build_serving_network(args: argparse.Namespace):
     network = MimeNetwork(backbone)
     network.eval()
     for index in range(args.tasks):
-        task = network.add_task(f"task{index}", num_classes=10, rng=rng)
-        # Spread the thresholds so each task produces a distinct sparsity level.
-        for param in task.thresholds:
-            param.data += rng.uniform(0.0, 0.2, size=param.data.shape)
+        # Jittered thresholds give each task a distinct sparsity level;
+        # --dead-fraction additionally kills a per-task channel subset (the
+        # paper's structured sparsity that specialization exploits).
+        add_structured_sparsity_task(
+            network, f"task{index}", num_classes=10, rng=rng,
+            dead_fraction=getattr(args, "dead_fraction", 0.0), threshold_jitter=0.2,
+        )
     plan = compile_network(network, dtype=np.dtype(args.dtype))
     return network, backbone, plan, rng
+
+
+def _maybe_specialize(args: argparse.Namespace, plan):
+    """Calibrate + specialize per-task plans when ``--specialize`` was given."""
+    from repro.engine import autotune_dynamic_crossover, specialize_tasks
+
+    dynamic = getattr(args, "dynamic", False)
+    if dynamic:
+        config = autotune_dynamic_crossover(plan, batch=args.micro_batch, seed=args.seed)
+        tuned = ", ".join(f"{name}={value:.2f}" for name, value in config.crossover.items())
+        print(f"dynamic sparse fast path: autotuned crossovers {{{tuned}}}")
+    if not getattr(args, "specialize", False):
+        return {}
+    specialized = specialize_tasks(
+        plan,
+        dead_threshold=args.dead_threshold,
+        compact_reduction=not getattr(args, "exact_specialize", False),
+        calibration_seed=args.seed,
+    )
+    for name, spec in sorted(specialized.items()):
+        if dynamic:
+            # Crossovers are geometry-specific: the compacted GEMMs have
+            # different gather-vs-dense economics than the dense plan's, so
+            # each specialized plan gets its own measured config.
+            autotune_dynamic_crossover(spec, batch=args.micro_batch, seed=args.seed)
+        dead = sum(spec.dead_channel_counts().values())
+        print(
+            f"specialized plan for {name}: {dead} dead channels eliminated, "
+            f"{100.0 * spec.mac_reduction():.1f}% of dense MACs avoided"
+        )
+    return specialized
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> None:
@@ -171,19 +205,24 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
                 network.forward(images[rows], task=task_name)
         return args.requests / (time.perf_counter() - start)
 
+    specialized = _maybe_specialize(args, plan)
     results = [["training forward", "-", run_training_path(), 1.0]]
     engines = {}
-    for mode in ("singular", "pipelined"):
-        engine = MultiTaskEngine(plan, micro_batch=args.micro_batch)
+    variants = [("singular", {}), ("pipelined", {})]
+    if specialized:
+        variants.append(("pipelined+specialized", specialized))
+    for label, plans in variants:
+        mode = label.split("+")[0]
+        engine = MultiTaskEngine(plan, micro_batch=args.micro_batch, specialized=plans)
         for index, task_name in enumerate(tasks):
             engine.submit(task_name, images[index])
         start = time.perf_counter()
         _, stats = engine.run_pending(mode=mode)
         throughput = args.requests / (time.perf_counter() - start)
         print(f"  {stats.summary()}")
-        results.append([f"engine ({mode})", stats.task_switches, throughput,
+        results.append([f"engine ({label})", stats.task_switches, throughput,
                         throughput / results[0][2]])
-        engines[mode] = engine
+        engines[label] = engine
 
     print(render_table(
         ["path", "task switches", "images/sec", "speedup"],
@@ -192,8 +231,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         title=f"Serving throughput ({args.dtype} engine vs float64 training path)",
     ))
 
-    engine = engines["pipelined"]
-    print("\nmeasured mean dynamic sparsity per task (pipelined run):")
+    report_label = "pipelined+specialized" if "pipelined+specialized" in engines else "pipelined"
+    engine = engines[report_label]
+    print(f"\nmeasured mean dynamic sparsity per task ({report_label} run):")
     for task_name in engine.recorder.tasks():  # only tasks that received traffic
         print(f"  {task_name}: {engine.recorder.mean_sparsity(task_name):.3f}")
 
@@ -204,6 +244,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         f"images, MIME config): total energy {energy.total:,.0f} units, "
         f"{report.total_cycles():,.0f} cycles"
     )
+    if report.measured_dense_macs:
+        print(
+            f"engine-side effective MACs: {report.measured_effective_macs:,} of "
+            f"{report.measured_dense_macs:,} dense "
+            f"({100.0 * report.measured_mac_reduction():.1f}% avoided in software)"
+        )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -229,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         task: rng.normal(size=(16, 3, args.input_size, args.input_size))
         for task in task_names
     }
+    specialized = _maybe_specialize(args, plan)
     runtime = ServingRuntime(
         plan,
         policy=args.policy,
@@ -236,6 +283,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         max_wait=args.max_wait,
         workers=args.workers,
         max_pending=args.max_queue,
+        specialized=specialized,
     )
     with runtime:
         futures = generator.replay(
@@ -257,6 +305,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         f"({runtime.recorder.num_images()} images, MIME config): "
         f"total energy {energy.total:,.0f} units, {report.total_cycles():,.0f} cycles"
     )
+    if report.measured_dense_macs:
+        print(
+            f"engine-side effective MACs: {report.measured_effective_macs:,} of "
+            f"{report.measured_dense_macs:,} dense "
+            f"({100.0 * report.measured_mac_reduction():.1f}% avoided in software)"
+        )
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -307,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
         return parsed
 
+    def unit_float(value: str) -> float:
+        parsed = float(value)
+        if not 0.0 <= parsed < 1.0:
+            raise argparse.ArgumentTypeError(f"expected a float in [0, 1), got {value}")
+        return parsed
+
     def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) -> None:
         sub.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
         sub.add_argument("--input-size", type=positive_int, default=16,
@@ -320,6 +380,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--dtype", choices=["float32", "float64"], default="float32",
                          help="engine compute dtype (training path is always float64)")
         sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--dead-fraction", type=unit_float, default=0.0,
+                         help="fraction of each masked layer's channels made structurally "
+                              "dead per task (models the paper's per-task structured sparsity)")
+        sub.add_argument("--specialize", action="store_true",
+                         help="calibrate and serve per-task dead-channel-eliminated plans")
+        sub.add_argument("--dead-threshold", type=unit_float, default=0.0,
+                         help="calibrated survival rate at or below which a channel "
+                              "counts as dead (used with --specialize)")
+        sub.add_argument("--exact-specialize", action="store_true",
+                         help="bit-exact specialization (scatter mode): logits match the "
+                              "dense plan bit for bit, at the cost of the throughput win")
+        sub.add_argument("--dynamic", action="store_true",
+                         help="autotune and enable the dynamic sparse row-gather fast path")
 
     serve_bench = subparsers.add_parser(
         "serve-bench", help="benchmark the compiled multi-task inference engine"

@@ -21,18 +21,42 @@ package provides the dedicated inference path:
 * :class:`SparsityRecorder` captures achieved per-layer sparsity from real
   runs and exports a :class:`~repro.hardware.LayerSparsityProfile` plus the
   processed schedule, so the systolic-array simulator can estimate energy and
-  throughput from measured traffic (see :func:`recorder_hardware_report`).
+  throughput from measured traffic (see :func:`recorder_hardware_report`),
+  alongside dense-vs-effective MAC totals.
+* :mod:`repro.engine.calibrate` measures per-task, per-channel survival rates
+  (:class:`CalibrationProfile`, JSON-serialisable) and
+  :mod:`repro.engine.specialize` turns them into compacted per-task plans —
+  dead-channel elimination with the shrinkage propagated through im2col rows
+  and the FC head (:func:`specialize_tasks`), plus the dynamic sparse
+  row-gather fast path and its autotuner
+  (:func:`autotune_dynamic_crossover`).
 """
 
 from repro.engine.plan import (
+    ChannelScatterKernel,
     CompileError,
     ConvGemmMaskKernel,
+    DynamicSparseConfig,
     EnginePlan,
     LinearMaskKernel,
     MaskSpec,
+    RunContext,
     TaskPlan,
     WorkspacePool,
     compile_network,
+)
+from repro.engine.calibrate import (
+    CalibrationProfile,
+    ChannelSurvivalRecorder,
+    calibrate_plan,
+    profile_from_network,
+)
+from repro.engine.specialize import (
+    SpecializedEnginePlan,
+    autotune_dynamic_crossover,
+    enable_dynamic_sparse,
+    specialize_plan,
+    specialize_tasks,
 )
 from repro.engine.scheduling import (
     POLICIES,
@@ -55,14 +79,26 @@ from repro.engine.engine import (
 from repro.engine.stats import SparsityRecorder
 
 __all__ = [
+    "CalibrationProfile",
+    "ChannelScatterKernel",
+    "ChannelSurvivalRecorder",
     "CompileError",
     "ConvGemmMaskKernel",
+    "DynamicSparseConfig",
     "EnginePlan",
     "LinearMaskKernel",
     "MaskSpec",
+    "RunContext",
+    "SpecializedEnginePlan",
     "TaskPlan",
     "WorkspacePool",
+    "autotune_dynamic_crossover",
+    "calibrate_plan",
     "compile_network",
+    "enable_dynamic_sparse",
+    "profile_from_network",
+    "specialize_plan",
+    "specialize_tasks",
     "POLICIES",
     "SCHEDULING_MODES",
     "FifoDeadlinePolicy",

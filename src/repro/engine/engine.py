@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.plan import EnginePlan
+from repro.engine.plan import EnginePlan, RunContext
 from repro.engine.scheduling import (
     SCHEDULING_MODES,
     InferenceRequest,
@@ -41,6 +41,7 @@ from repro.engine.stats import SparsityRecorder
 from repro.hardware.scenario import ExecutionConfig, mime_config
 from repro.hardware.simulator import BatchResult, SystolicArraySimulator
 from repro.models.shapes import LayerShape
+from repro.utils.ratios import fraction_saved
 
 __all__ = [
     "SCHEDULING_MODES",
@@ -60,14 +61,33 @@ class EngineRunStats:
     num_batches: int = 0
     task_switches: int = 0
     batch_tasks: List[str] = field(default_factory=list)
+    #: MACs an unspecialized dense plan would have executed for these images.
+    dense_macs: int = 0
+    #: MACs actually executed (after plan specialization and/or the dynamic
+    #: sparse fast path).  Equal to :attr:`dense_macs` on a plain dense run.
+    effective_macs: int = 0
+    #: Batches served by a per-task specialized plan.
+    specialized_batches: int = 0
+    #: GEMM invocations that took the dynamic row-gather fast path.
+    dynamic_gemms: int = 0
+
+    def mac_reduction(self) -> float:
+        """Fraction of dense MACs avoided (0.0 when nothing was saved)."""
+        return fraction_saved(self.dense_macs, self.effective_macs)
 
     def summary(self) -> str:
         """One line suitable for logs and the CLI."""
         mean = self.num_images / self.num_batches if self.num_batches else 0.0
-        return (
+        line = (
             f"[{self.mode}] {self.num_images} images in {self.num_batches} "
             f"micro-batches (mean size {mean:.1f}), {self.task_switches} task switches"
         )
+        if self.dense_macs:
+            line += (
+                f", effective MACs {self.effective_macs:,} / {self.dense_macs:,} dense "
+                f"({100.0 * self.mac_reduction():.1f}% saved)"
+            )
+        return line
 
 
 def recorder_hardware_report(
@@ -90,13 +110,19 @@ def recorder_hardware_report(
         raise RuntimeError("no requests processed yet; nothing to simulate")
     simulator = simulator if simulator is not None else SystolicArraySimulator()
     config = config if config is not None else mime_config()
-    return simulator.run(
+    result = simulator.run(
         shapes,
         schedule,
         recorder.to_profile(default_sparsity=default_sparsity),
         config,
         conv_only=conv_only,
     )
+    # Surface the engine's *software* MAC counts next to the analytical model:
+    # the simulator estimates what the accelerator would skip, the recorder
+    # reports what the CPU engine actually executed after specialization and
+    # the dynamic fast path.
+    result.measured_dense_macs, result.measured_effective_macs = recorder.mac_totals()
+    return result
 
 
 class MultiTaskEngine:
@@ -110,17 +136,62 @@ class MultiTaskEngine:
     the window first when you want per-run numbers.
     """
 
-    def __init__(self, plan: EnginePlan, micro_batch: int = 8) -> None:
+    def __init__(
+        self,
+        plan: EnginePlan,
+        micro_batch: int = 8,
+        specialized: Optional[Dict[str, EnginePlan]] = None,
+    ) -> None:
         if micro_batch <= 0:
             raise ValueError("micro_batch must be positive")
         self.plan = plan
         self.micro_batch = micro_batch
+        #: Per-task specialized plans (see :func:`repro.engine.specialize.
+        #: specialize_tasks`); batches of a listed task execute its compacted
+        #: plan, everything else falls back to the shared dense plan.
+        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
+        for name in self.specialized:
+            if name not in plan.tasks:
+                raise KeyError(f"specialized plan for unknown task '{name}'")
         self.recorder = SparsityRecorder()
         #: Task of the last batch executed by this engine, across process()
         #: calls, so task-switch accounting spans drains.
         self.last_task: Optional[str] = None
         self._queue: List[InferenceRequest] = []
         self._submitted = 0
+
+    def plan_for(self, task: str) -> EnginePlan:
+        """The plan a batch of ``task`` executes (specialized when available)."""
+        return self.specialized.get(task, self.plan)
+
+    def specialize(
+        self,
+        profile=None,
+        tasks: Optional[Sequence[str]] = None,
+        dead_threshold: float = 0.0,
+        compact_reduction: bool = True,
+        calibration_batch: int = 32,
+        calibration_seed: int = 0,
+    ) -> Dict[str, EnginePlan]:
+        """Calibrate (when no ``profile`` is given) and install per-task plans.
+
+        Convenience wrapper over :func:`repro.engine.specialize.specialize_tasks`;
+        the installed mapping is also returned for inspection.
+        """
+        from repro.engine.specialize import specialize_tasks
+
+        self.specialized.update(
+            specialize_tasks(
+                self.plan,
+                profile=profile,
+                tasks=tasks,
+                dead_threshold=dead_threshold,
+                compact_reduction=compact_reduction,
+                calibration_batch=calibration_batch,
+                calibration_seed=calibration_seed,
+            )
+        )
+        return self.specialized
 
     # ---------------------------------------------------------------- intake --
     def submit(
@@ -193,13 +264,24 @@ class MultiTaskEngine:
         previous_task = self.last_task
         for batch in policy.order(chunk_requests(requests, self.micro_batch)):
             images = np.stack([request.image for request in batch.requests])
-            logits = self.plan.run(images, batch.task, recorder=self.recorder)
+            plan = self.plan_for(batch.task)
+            # Specialized plans snapshot the dense plan's dynamic config at
+            # build time; falling back here lets enable_dynamic_sparse /
+            # autotune on the dense plan take effect in either order.
+            ctx = RunContext(plan.dynamic if plan.dynamic is not None else self.plan.dynamic)
+            logits = plan.run(images, batch.task, recorder=self.recorder, ctx=ctx)
             self.recorder.record_pass(batch.task, len(batch))
+            self.recorder.record_macs(ctx.dense_macs, ctx.effective_macs)
             for request, row in zip(batch.requests, logits):
                 outputs[position[request.index]] = row
             stats.num_images += len(batch)
             stats.num_batches += 1
             stats.batch_tasks.append(batch.task)
+            stats.dense_macs += ctx.dense_macs
+            stats.effective_macs += ctx.effective_macs
+            stats.dynamic_gemms += ctx.dynamic_gemms
+            if plan is not self.plan:
+                stats.specialized_batches += 1
             if previous_task is not None and previous_task != batch.task:
                 stats.task_switches += 1
             previous_task = batch.task

@@ -33,6 +33,7 @@ kernels.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -43,6 +44,7 @@ from repro.nn.functional import conv_output_size
 from repro.mime.masked_model import MimeNetwork
 from repro.mime.task_manager import TaskParameters
 from repro.mime.threshold_layer import ThresholdMask
+from repro.utils.ratios import fraction_saved
 
 
 class CompileError(RuntimeError):
@@ -68,7 +70,7 @@ class MaskSpec:
 
 
 class WorkspacePool:
-    """Reusable scratch buffers keyed by (kernel id, label, batch size).
+    """Reusable scratch buffers keyed by (kernel identity, label, batch size).
 
     A pool belongs to exactly one executing thread at a time: the plan's
     kernels write their im2col columns, padded inputs and GEMM outputs into
@@ -77,6 +79,14 @@ class WorkspacePool:
     pool and pass it to :meth:`EnginePlan.run`, which is what makes a single
     immutable plan safe to execute from N threads at once — all mutable
     state lives in the pool, everything on the plan is read-only.
+
+    Kernels key their buffers by a process-unique kernel uid so one pool can serve several
+    plans (e.g. a worker switching between a dense plan and per-task
+    specialized plans) without two same-index kernels colliding.  ``get``
+    additionally validates shape and dtype: a key whose requested geometry
+    changed gets a fresh zeroed buffer instead of a stale view, so the
+    zero-from-allocation-time invariant (pad borders, dead im2col columns)
+    can never be violated by buffer reuse.
     """
 
     def __init__(self) -> None:
@@ -85,7 +95,7 @@ class WorkspacePool:
     def get(self, owner: int, label: str, batch: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
         key = (owner, label, batch)
         buf = self._buffers.get(key)
-        if buf is None:
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
             buf = np.zeros(shape, dtype=dtype)
             self._buffers[key] = buf
         return buf
@@ -97,10 +107,144 @@ class WorkspacePool:
 # Backwards-compatible alias (pre-serving-runtime name).
 _Workspaces = WorkspacePool
 
+#: Process-wide kernel identities for WorkspacePool keys.  ``id(kernel)``
+#: would be recycled by the allocator after a plan is garbage collected, and
+#: a recycled key with matching geometry would hand a *stale* buffer to a new
+#: kernel — breaking the zero-from-allocation-time invariant the pad borders
+#: and scatter kernels rely on.  A monotonic counter can never collide.
+_KERNEL_UIDS = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Per-run execution context: dynamic-sparsity state and effective-MAC counts.
+# ---------------------------------------------------------------------------
+@dataclass
+class DynamicSparseConfig:
+    """Tuning of the dynamic sparse fast path (see :class:`ConvGemmMaskKernel`).
+
+    ``gate`` is the minimum *measured* element sparsity of the previous masked
+    layer before a kernel even computes row liveness (the check itself costs a
+    pass over the im2col matrix, so it is skipped on dense traffic — which is
+    what keeps the fast path free at zero sparsity).  ``crossover`` maps a
+    kernel name to the maximum live-row fraction at which the
+    gather→GEMM→scatter path still beats the dense GEMM; kernels missing from
+    the map use ``default_crossover``.  Build the map by measurement with
+    :func:`repro.engine.specialize.autotune_dynamic_crossover`.
+    """
+
+    gate: float = 0.5
+    default_crossover: float = 0.5
+    crossover: Dict[str, float] = field(default_factory=dict)
+
+    def crossover_for(self, kernel_name: str) -> float:
+        return self.crossover.get(kernel_name, self.default_crossover)
+
+
+class RunContext:
+    """Mutable state threaded through one :meth:`EnginePlan.run` call.
+
+    Carries the previous masked layer's measured batch sparsity (the dynamic
+    fast path's gate signal) and accumulates the multiply-accumulate counts
+    actually executed (``effective_macs``) next to what a fully dense,
+    unspecialized plan would have executed (``dense_macs``).  Callers that
+    want the counts pass a context in and read it back after ``run``;
+    contexts may be reused across micro-batches to accumulate totals.
+    """
+
+    __slots__ = ("dynamic", "prev_sparsity", "dense_macs", "effective_macs", "dynamic_gemms")
+
+    def __init__(self, dynamic: Optional[DynamicSparseConfig] = None) -> None:
+        self.dynamic = dynamic
+        self.prev_sparsity = 0.0
+        self.dense_macs = 0
+        self.effective_macs = 0
+        #: GEMMs that took the row-gather fast path.
+        self.dynamic_gemms = 0
+
+    def mac_reduction(self) -> float:
+        """Fraction of dense MACs avoided (0.0 when nothing was saved)."""
+        return fraction_saved(self.dense_macs, self.effective_macs)
+
 
 # ---------------------------------------------------------------------------
 # Fused kernels.
 # ---------------------------------------------------------------------------
+def _apply_threshold_mask(
+    kernel, gemm: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx, slots_per_image: int
+) -> None:
+    """Shared mask step of the fused GEMM kernels.
+
+    ``gemm`` is the (batch, ..., channels) pre-activation view; the mask buffer
+    comes from the workspace pool and is rewritten in place with
+    ``np.greater_equal(..., out=...)``, so steady-state serving allocates
+    nothing here.  Reports measured element sparsity to ``recorder`` (plus
+    per-channel survival counts when the recorder is a calibration recorder)
+    and publishes the batch's sparsity to ``ctx`` as the next kernel's dynamic
+    fast-path gate signal.
+
+    The recorded sparsity is normalised by the layer's **dense** channel
+    count (``kernel.dense_channels``): a specialized plan's eliminated
+    channels are exactly the channels the dense plan measured as masked, so
+    the sparsity profile driving the hardware simulator stays comparable
+    across dense and specialized runs of the same traffic.  The gate signal,
+    by contrast, uses the compacted stream's own geometry — it describes the
+    data the next kernel actually sees.
+    """
+    n = gemm.shape[0]
+    mask = ws.get(kernel.uid, "mask", n, gemm.shape, np.bool_)
+    np.greater_equal(gemm, task.thresholds[kernel.mask.slot], out=mask)
+    gemm *= mask
+    survival_needed = recorder is not None or (ctx is not None and ctx.dynamic is not None)
+    if survival_needed:
+        record_channels = getattr(recorder, "record_channels", None) if recorder else None
+        if record_channels is not None:
+            # Per-channel live-slot counts (channels are the last axis); the
+            # scalar total falls out of them for free.
+            channel_live = mask.sum(axis=tuple(range(mask.ndim - 1)), dtype=np.int64)
+            record_channels(
+                task.name, kernel.mask.layer_name, channel_live, n * slots_per_image
+            )
+            live = float(channel_live.sum())
+        else:
+            live = float(mask.sum())
+        if recorder is not None:
+            dense_slots = n * slots_per_image * kernel.dense_channels
+            recorder.record(task.name, kernel.mask.layer_name, 1.0 - live / dense_slots, n)
+        if ctx is not None:
+            ctx.prev_sparsity = 1.0 - live / mask.size
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+
+
+def _gemm_with_dynamic_row_gather(kernel, a: np.ndarray, out: np.ndarray, ctx) -> None:
+    """``out = a @ kernel.weight_t + kernel.bias``, row-gathered when it pays.
+
+    When the run context's gate says the previous masked layer was sparse
+    enough, rows of ``a`` that are entirely zero (a receptive field the
+    previous mask killed completely, or a fully-masked sample) are skipped:
+    the output is prefilled with the bias — a zero row GEMMs to exactly the
+    bias — and only the surviving rows are multiplied.  Gathering preserves
+    each surviving row's reduction order, so both paths are bit-identical to
+    the dense matmul.  Effective-MAC accounting lands in ``ctx``.
+    """
+    rows = a.shape[0]
+    reduction, width = kernel.weight_t.shape
+    if ctx is not None and ctx.dynamic is not None and ctx.prev_sparsity >= ctx.dynamic.gate:
+        live = a.any(axis=1)
+        live_rows = int(np.count_nonzero(live))
+        if live_rows / rows <= ctx.dynamic.crossover_for(kernel.name):
+            out[:] = kernel.bias
+            if live_rows:
+                out[live] = a[live] @ kernel.weight_t + kernel.bias
+            ctx.dynamic_gemms += 1
+            ctx.effective_macs += live_rows * reduction * width
+            return
+    np.matmul(a, kernel.weight_t, out=out)
+    out += kernel.bias
+    if ctx is not None:
+        ctx.effective_macs += rows * reduction * width
+
+
 class ConvGemmMaskKernel:
     """Fused convolution: im2col → GEMM → (optional) threshold mask.
 
@@ -111,6 +255,16 @@ class ConvGemmMaskKernel:
     present in the source network, is already folded into
     ``weight_t``/``bias``; im2col gathers rows as runs of ``C_in`` contiguous
     values, so no strided element-wise copies remain.
+
+    **Dynamic sparse fast path** — when the run context says the previous
+    masked layer's measured batch sparsity cleared the configured gate, the
+    kernel checks which im2col rows (spatial output positions) have an
+    entirely-zero receptive field.  If the live fraction is below the
+    per-layer crossover it gathers the surviving rows, GEMMs the compacted
+    matrix, and scatters the results back over a bias-filled output (a zero
+    row's GEMM output is exactly the bias).  Row gathering leaves each
+    surviving row's reduction untouched, so the fast path is bit-identical to
+    the dense GEMM.
     """
 
     def __init__(
@@ -125,8 +279,11 @@ class ConvGemmMaskKernel:
         in_shape: Tuple[int, int, int],
         out_shape: Tuple[int, int, int],
         mask: Optional[MaskSpec],
+        dense_macs: Optional[int] = None,
+        dense_channels: Optional[int] = None,
     ) -> None:
         self.index = index
+        self.uid = next(_KERNEL_UIDS)
         self.name = name
         self.weight_t = weight_t
         self.bias = bias
@@ -136,8 +293,18 @@ class ConvGemmMaskKernel:
         self.in_shape = in_shape  # (C_in, H, W) — per-sample, paper convention
         self.out_shape = out_shape  # (C_out, H_out, W_out)
         self.mask = mask
+        #: MACs/image and output width of the *unspecialized* dense layer;
+        #: specialization passes the source kernel's values through so the
+        #: effective-MAC accounting and the recorded sparsity always compare
+        #: against the true dense baseline.
+        self.dense_macs_per_image = (
+            dense_macs
+            if dense_macs is not None
+            else out_shape[1] * out_shape[2] * weight_t.shape[0] * weight_t.shape[1]
+        )
+        self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
         n = x.shape[0]
         c_in, h, w = self.in_shape
         c_out, h_out, w_out = self.out_shape
@@ -147,13 +314,15 @@ class ConvGemmMaskKernel:
         if p > 0:
             # The border stays zero from allocation time; only the interior is
             # rewritten, so padding costs one dense copy and no memset.
-            padded = ws.get(self.index, "pad", n, (n, h + 2 * p, w + 2 * p, c_in), dtype)
+            padded = ws.get(self.uid, "pad", n, (n, h + 2 * p, w + 2 * p, c_in), dtype)
             padded[:, p : p + h, p : p + w, :] = x
             src = padded
         else:
             src = x
 
-        cols = ws.get(self.index, "cols", n, (n * h_out * w_out, k * k * c_in), dtype)
+        rows = n * h_out * w_out
+        reduction = self.weight_t.shape[0]
+        cols = ws.get(self.uid, "cols", n, (rows, reduction), dtype)
         cols_view = cols.reshape(n, h_out, w_out, k, k, c_in)
         for ky in range(k):
             for kx in range(k):
@@ -161,16 +330,16 @@ class ConvGemmMaskKernel:
                     :, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :
                 ]
 
-        out = ws.get(self.index, "out", n, (n * h_out * w_out, c_out), dtype)
-        np.matmul(cols, self.weight_t, out=out)
-        out += self.bias
+        out = ws.get(self.uid, "out", n, (rows, c_out), dtype)
+        _gemm_with_dynamic_row_gather(self, cols, out, ctx)
+        if ctx is not None:
+            ctx.dense_macs += n * self.dense_macs_per_image
 
         if self.mask is not None:
             gemm = out.reshape(n, h_out * w_out, c_out)
-            mask = gemm >= task.thresholds[self.mask.slot]
-            gemm *= mask
-            if recorder is not None:
-                recorder.record(task.name, self.mask.layer_name, 1.0 - float(mask.mean()), n)
+            _apply_threshold_mask(self, gemm, task, ws, recorder, ctx, h_out * w_out)
+        elif ctx is not None:
+            ctx.prev_sparsity = 0.0
         return out.reshape(n, h_out, w_out, c_out)
 
 
@@ -179,16 +348,17 @@ class MaxPoolKernel:
 
     def __init__(self, index: int, kernel_size: int, stride: int, out_shape: Tuple[int, int, int]) -> None:
         self.index = index
+        self.uid = next(_KERNEL_UIDS)
         self.kernel_size = kernel_size
         self.stride = stride
         self.out_shape = out_shape  # (C, H_out, W_out) — per-sample, paper convention
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
         n, h, w, c = x.shape
         k, s = self.kernel_size, self.stride
         h_out = conv_output_size(h, k, s, 0)
         w_out = conv_output_size(w, k, s, 0)
-        out = ws.get(self.index, "pool", n, (n, h_out, w_out, c), x.dtype)
+        out = ws.get(self.uid, "pool", n, (n, h_out, w_out, c), x.dtype)
         if s == k and h % k == 0 and w % k == 0:
             # Non-overlapping pooling (the VGG case): a reshape view keeps the
             # reduction reading contiguous channel runs.
@@ -216,9 +386,43 @@ class FlattenKernel:
 
     def __init__(self, index: int) -> None:
         self.index = index
+        self.uid = next(_KERNEL_UIDS)
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
         return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+
+class ChannelScatterKernel:
+    """Scatter compacted live channels back onto a dense zero background.
+
+    A specialized plan's masked GEMMs emit only the task's live channels.
+    Before a consumer whose weights are laid out for the dense channel order
+    (the next convolution's im2col, the flatten boundary, the FC head), this
+    kernel writes the live channels into their original positions of a dense
+    workspace buffer.  Dead positions are **never written**: they stay zero
+    from allocation time (the same invariant as the conv pad border), and
+    since the dense plan's dead channels are exactly zero after masking, the
+    consumer sees bit-identical inputs while the producer GEMM did only the
+    live columns' work.
+
+    Works on any channels-last layout — NHWC feature maps and flat ``(N, F)``
+    feature vectors alike; only the trailing axis is scattered.
+    """
+
+    def __init__(self, index: int, live_index: np.ndarray, dense_channels: int) -> None:
+        self.index = index
+        self.uid = next(_KERNEL_UIDS)
+        self.live_index = np.ascontiguousarray(live_index, dtype=np.intp)
+        self.dense_channels = int(dense_channels)
+
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
+        n = x.shape[0]
+        shape = x.shape[:-1] + (self.dense_channels,)
+        out = ws.get(self.uid, "scatter", n, shape, x.dtype)
+        # The incoming stream carries the live channels first; anything after
+        # them is zero padding lanes that must not land in a dense position.
+        out[..., self.live_index] = x[..., : self.live_index.shape[0]]
+        return out
 
 
 class LinearMaskKernel:
@@ -236,27 +440,36 @@ class LinearMaskKernel:
         bias: np.ndarray,
         mask: Optional[MaskSpec],
         relu: bool = False,
+        dense_macs: Optional[int] = None,
+        dense_channels: Optional[int] = None,
     ) -> None:
         self.index = index
+        self.uid = next(_KERNEL_UIDS)
         self.name = name
         self.weight_t = weight_t
         self.bias = bias
         self.mask = mask
         self.relu = relu
+        self.dense_macs_per_image = (
+            dense_macs if dense_macs is not None else weight_t.shape[0] * weight_t.shape[1]
+        )
+        self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
 
-    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder) -> np.ndarray:
-        out = ws.get(self.index, "fc", x.shape[0], (x.shape[0], self.weight_t.shape[1]), x.dtype)
-        np.matmul(x, self.weight_t, out=out)
-        out += self.bias
+    def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
+        n = x.shape[0]
+        out = ws.get(self.uid, "fc", n, (n, self.weight_t.shape[1]), x.dtype)
+        # Rows are samples here: the fast path skips samples whose whole
+        # feature vector was masked away.
+        _gemm_with_dynamic_row_gather(self, x, out, ctx)
+        if ctx is not None:
+            ctx.dense_macs += n * self.dense_macs_per_image
         if self.mask is not None:
-            mask = out >= task.thresholds[self.mask.slot]
-            out *= mask
-            if recorder is not None:
-                recorder.record(
-                    task.name, self.mask.layer_name, 1.0 - float(mask.mean()), x.shape[0]
-                )
-        elif self.relu:
-            np.maximum(out, 0.0, out=out)
+            _apply_threshold_mask(self, out, task, ws, recorder, ctx, 1)
+        else:
+            if self.relu:
+                np.maximum(out, 0.0, out=out)
+            if ctx is not None:
+                ctx.prev_sparsity = 0.0
         return out
 
 
@@ -277,6 +490,10 @@ class TaskPlan:
     thresholds: List[np.ndarray]  # indexed by MaskSpec.slot
     head_weight_t: np.ndarray  # (in_features, num_classes)
     head_bias: np.ndarray  # (num_classes,)
+    #: MACs the unspecialized dense head executes per image (kept through
+    #: specialization so effective-MAC accounting compares against the
+    #: original geometry).  0 means "derive from head_weight_t".
+    head_dense_macs: int = 0
 
 
 def _build_task_plan(
@@ -301,12 +518,14 @@ def _build_task_plan(
     if head_permutation is not None:
         # The head consumes NHWC features directly (no classifier trunk).
         head_weight = head_weight[:, head_permutation]
+    head_weight_t = np.array(head_weight.T, dtype=dtype, order="C")
     return TaskPlan(
         name=task.name,
         num_classes=task.num_classes,
         thresholds=thresholds,
-        head_weight_t=np.array(head_weight.T, dtype=dtype, order="C"),
+        head_weight_t=head_weight_t,
         head_bias=np.array(task.head_bias.data, dtype=dtype),
+        head_dense_macs=head_weight_t.shape[0] * head_weight_t.shape[1],
     )
 
 
@@ -323,6 +542,10 @@ class EnginePlan:
     mask_specs: List[MaskSpec]
     tasks: Dict[str, TaskPlan] = field(default_factory=dict)
     head_permutation: Optional[np.ndarray] = None
+    #: None disables the dynamic sparse fast path; set via
+    #: :func:`repro.engine.specialize.enable_dynamic_sparse` or the autotuner
+    #: before serving starts (the plan is treated as immutable afterwards).
+    dynamic: Optional[DynamicSparseConfig] = None
     _workspaces: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
 
     def task_names(self) -> List[str]:
@@ -343,6 +566,7 @@ class EnginePlan:
         task: str,
         recorder=None,
         workspaces: Optional[WorkspacePool] = None,
+        ctx: Optional[RunContext] = None,
     ) -> np.ndarray:
         """Execute the compiled network for one micro-batch of ``task`` inputs.
 
@@ -351,6 +575,10 @@ class EnginePlan:
         ``(N, num_classes)``; all intermediate buffers live in ``workspaces``
         (the plan's own default pool when omitted) and are reused across
         calls.
+
+        ``ctx`` carries the dynamic-sparse configuration and accumulates the
+        dense/effective MAC counts of this call; omit it and the plan builds a
+        throwaway context from its own :attr:`dynamic` config.
 
         The plan itself is immutable after compilation, so concurrent threads
         may run different micro-batches over the same plan as long as each
@@ -367,10 +595,17 @@ class EnginePlan:
                 f"expected input of per-sample shape {self.input_shape}, got {x.shape[1:]}"
             )
         pool = workspaces if workspaces is not None else self._workspaces
+        if ctx is None:
+            ctx = RunContext(self.dynamic)
+        ctx.prev_sparsity = 0.0  # the raw image batch is dense
         x = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=self.dtype)
         for kernel in self.kernels:
-            x = kernel.run(x, task_plan, pool, recorder)
-        return x @ task_plan.head_weight_t + task_plan.head_bias
+            x = kernel.run(x, task_plan, pool, recorder, ctx)
+        logits = x @ task_plan.head_weight_t + task_plan.head_bias
+        head_macs = task_plan.head_weight_t.shape[0] * task_plan.head_weight_t.shape[1]
+        ctx.effective_macs += x.shape[0] * head_macs
+        ctx.dense_macs += x.shape[0] * (task_plan.head_dense_macs or head_macs)
+        return logits
 
     def num_workspace_buffers(self) -> int:
         """How many distinct reusable buffers the plan has allocated so far."""

@@ -1,0 +1,534 @@
+"""Per-task plan specialization: dead-channel elimination and compacted GEMMs.
+
+A compiled :class:`~repro.engine.plan.EnginePlan` pays for every MAC and only
+*then* zeroes the channels a task's thresholds mask away.  Given a
+:class:`~repro.engine.calibrate.CalibrationProfile` proving which output
+channels never survive for one task, :func:`specialize_plan` rebuilds the plan
+for that task with the dead channels gone — the masked GEMMs' weight columns,
+biases and pre-laid-out thresholds are sliced to the live set, downstream
+shapes (max-pool, workspaces, :class:`~repro.engine.plan.MaskSpec`) shrink to
+match, and the resulting :class:`SpecializedEnginePlan` executes only the
+live channels' work.
+
+Two compaction strategies are offered:
+
+* **compact_reduction=True (default, throughput mode)** — the shrinkage is
+  propagated into the next kernel's im2col row structure and the FC head:
+  consumer weight rows for dead input channels are removed, so both the
+  output and the *reduction* dimension of every GEMM shrink to the live set
+  and the MAC savings translate directly into CPU time (~2x at the paper's
+  sparsity levels).  Removing exact-zero terms from a BLAS reduction can
+  regroup the remaining summands across SIMD accumulators, so this mode is
+  numerically equivalent only to the last ULP, not bit-identical.
+* **compact_reduction=False (bit-exact verification mode)** — each compacted
+  producer is followed by a :class:`~repro.engine.plan.ChannelScatterKernel`
+  that writes the live channels back into their dense positions of a zero
+  workspace right before the next dense-ordered consumer.  The dense plan's
+  dead channels are exactly zero after masking, so every consumer sees
+  bit-identical inputs and the specialized logits equal the dense plan's
+  **bit for bit** on any input whose dead channels match the profile (always
+  true for structurally dead channels, whose thresholds exceed any
+  attainable pre-activation).  Bit exactness requires one concession to
+  BLAS: a GEMM's per-column reduction order is stable across output widths
+  only at the micro-kernel granularity, so compacted column counts are
+  padded up to ``granularity`` (default 16) lanes with zero weights, zero
+  bias and ``+inf`` thresholds — the pad lanes compute exact zeros and cost
+  their MACs, which the effective-MAC accounting honestly includes — and
+  compaction is restricted to GEMMs with at least ``exact_min_rows`` rows
+  per image, because small-row GEMMs can cross into BLAS direct-kernel
+  dispatch where the per-column order is width-dependent.  Because consumer
+  reductions stay at dense width (BLAS GEMMs are bound by the ``M×K``
+  panel), this mode roughly breaks even on CPU time; it exists to *prove* a
+  specialization semantically correct, not to serve traffic.
+
+The dynamic sparse fast path's knobs also live here:
+:func:`enable_dynamic_sparse` switches it on with fixed thresholds and
+:func:`autotune_dynamic_crossover` measures, per layer, the live-row fraction
+below which gather→GEMM→scatter actually beats the dense GEMM on this
+machine, caching the result on the plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.calibrate import CalibrationProfile, calibrate_plan
+from repro.utils.ratios import fraction_saved
+from repro.engine.plan import (
+    ChannelScatterKernel,
+    CompileError,
+    ConvGemmMaskKernel,
+    DynamicSparseConfig,
+    EnginePlan,
+    FlattenKernel,
+    LinearMaskKernel,
+    MaskSpec,
+    MaxPoolKernel,
+    TaskPlan,
+)
+
+__all__ = [
+    "SpecializedEnginePlan",
+    "specialize_plan",
+    "specialize_tasks",
+    "enable_dynamic_sparse",
+    "autotune_dynamic_crossover",
+]
+
+
+@dataclass
+class SpecializedEnginePlan(EnginePlan):
+    """An :class:`EnginePlan` compacted for exactly one task.
+
+    Carries the provenance of the compaction next to the executable plan:
+    which channels stayed live per masked layer, the MACs/image of the dense
+    source plan versus this plan, and the settings that produced it.  The
+    plan serves only :attr:`source_task`; registering further tasks is a
+    compile error because the compacted mask geometry no longer matches the
+    training network.
+    """
+
+    source_task: str = ""
+    dead_threshold: float = 0.0
+    compact_reduction: bool = False
+    live_channels: Dict[str, np.ndarray] = field(default_factory=dict)
+    dense_macs_per_image: int = 0
+    specialized_macs_per_image: int = 0
+
+    def mac_reduction(self) -> float:
+        """Fraction of the dense plan's MACs this plan avoids per image."""
+        return fraction_saved(self.dense_macs_per_image, self.specialized_macs_per_image)
+
+    def dead_channel_counts(self) -> Dict[str, int]:
+        return {
+            layer: int(np.count_nonzero(~live)) for layer, live in self.live_channels.items()
+        }
+
+    def add_task(self, task) -> TaskPlan:
+        raise CompileError(
+            f"a specialized plan serves only task '{self.source_task}'; "
+            "add tasks to the dense plan and re-specialize"
+        )
+
+
+def _ensure_min_live(live: np.ndarray, rates: np.ndarray, min_live: int) -> np.ndarray:
+    """Keep at least ``min_live`` channels, preferring the highest survival."""
+    deficit = min_live - int(np.count_nonzero(live))
+    if deficit > 0:
+        live = live.copy()
+        for index in np.argsort(rates)[::-1]:
+            if not live[index]:
+                live[index] = True
+                deficit -= 1
+                if deficit == 0:
+                    break
+    return live
+
+
+def _conv_row_gather(live_in: np.ndarray, kernel_size: int) -> np.ndarray:
+    """im2col row indices of the live input channels, in (ky, kx, c) order."""
+    live_idx = np.flatnonzero(live_in)
+    taps = np.arange(kernel_size * kernel_size) * live_in.shape[0]
+    return (taps[:, None] + live_idx[None, :]).ravel()
+
+
+def _compact_columns(
+    weight_t: np.ndarray,
+    bias: np.ndarray,
+    laid_out: np.ndarray,
+    live: np.ndarray,
+    granularity: int,
+):
+    """Slice a masked GEMM's output columns to the live set, lane-padded.
+
+    Live columns are packed first; the remainder up to the next
+    ``granularity`` multiple gets zero weights, zero bias and ``+inf``
+    thresholds, so pad lanes produce exact zeros after masking and, crucially,
+    the padded width keeps BLAS's per-column reduction order identical to the
+    dense GEMM's — that is what makes the scatter strategy bit-exact.
+    Returns ``None`` when padding swallows the saving (no compaction).
+    """
+    dense_n = weight_t.shape[1]
+    live_count = int(np.count_nonzero(live))
+    padded_n = min(dense_n, -(-live_count // granularity) * granularity)
+    if padded_n >= dense_n:
+        return None
+    weight_c = np.zeros((weight_t.shape[0], padded_n), dtype=weight_t.dtype)
+    weight_c[:, :live_count] = weight_t[:, live]
+    bias_c = np.zeros(padded_n, dtype=bias.dtype)
+    bias_c[:live_count] = bias[live]
+    thresholds_c = np.full(laid_out.shape[:-1] + (padded_n,), np.inf, dtype=laid_out.dtype)
+    thresholds_c[..., :live_count] = laid_out[..., live]
+    return weight_c, bias_c, thresholds_c, live_count, padded_n
+
+
+def specialize_plan(
+    plan: EnginePlan,
+    task: str,
+    profile: CalibrationProfile,
+    dead_threshold: float = 0.0,
+    compact_reduction: bool = True,
+    min_live: int = 1,
+    granularity: Optional[int] = None,
+    exact_min_rows: int = 256,
+) -> SpecializedEnginePlan:
+    """Compact ``plan`` for ``task`` using the calibrated survival ``profile``.
+
+    Channels whose calibrated survival rate is at or below ``dead_threshold``
+    are eliminated (``0.0`` removes only channels that *never* fired during
+    calibration); at least ``min_live`` channels per masked layer are always
+    kept.  ``granularity`` is the column-lane padding of compacted GEMMs
+    (default 16 in the bit-exact scatter mode — the bit-exactness
+    requirement — and 1 in the default throughput mode).
+
+    ``exact_min_rows`` applies to the bit-exact mode only: a masked GEMM is
+    compacted only when it has at least that many rows per image
+    (``H_out*W_out`` for a convolution, 1 for an FC layer — FC layers are
+    therefore never compacted in exact mode).  BLAS keeps a GEMM's
+    per-column reduction order stable across output widths for panel-sized
+    row counts, but small-row GEMMs can cross into direct-kernel dispatch
+    where it is not; the floor keeps the bit-for-bit guarantee honest at the
+    cost of leaving the (MAC-light) deep layers dense.  See the module
+    docstring for the exactness contract of the two compaction strategies.
+    """
+    if isinstance(plan, SpecializedEnginePlan):
+        raise CompileError("cannot specialize an already-specialized plan")
+    if task not in plan.tasks:
+        raise KeyError(f"task '{task}' was not compiled; known: {plan.task_names()}")
+    if min_live < 1:
+        raise ValueError("min_live must be at least 1")
+    if not 0.0 <= dead_threshold < 1.0:
+        raise ValueError("dead_threshold must lie in [0, 1)")
+    if granularity is None:
+        granularity = 1 if compact_reduction else 16
+    if granularity < 1:
+        raise ValueError("granularity must be at least 1")
+    if compact_reduction and granularity != 1:
+        raise ValueError("compact_reduction propagates pure live sets; use granularity=1")
+    source_task = plan.tasks[task]
+
+    kernels: List[object] = []
+    mask_specs: List[MaskSpec] = []
+    thresholds: List[np.ndarray] = []
+    live_channels: Dict[str, np.ndarray] = {}
+    dense_macs = 0
+    spec_macs = 0
+    #: live mask over the *dense* channel/feature axis of the current
+    #: activation stream (``None`` = dense stream) and the compacted stream's
+    #: actual width (live channels first, then zero pad lanes).
+    live_in: Optional[np.ndarray] = None
+    stream_channels: Optional[int] = None
+    spatial: Tuple[int, int] = (0, 0)  # H, W entering the flatten boundary
+
+    def scatter_to_dense() -> None:
+        """Exact mode: re-densify the stream before a dense-ordered consumer."""
+        nonlocal live_in, stream_channels
+        if live_in is None or compact_reduction:
+            return
+        kernels.append(
+            ChannelScatterKernel(len(kernels), np.flatnonzero(live_in), live_in.shape[0])
+        )
+        live_in = None
+        stream_channels = None
+
+    def compact_masked_output(kernel, weight_t, bias):
+        """Shared conv/linear output-side compaction; returns the new parts."""
+        nonlocal live_in, stream_channels
+        rates = np.asarray(profile.rates(task, kernel.mask.layer_name), dtype=float)
+        if rates.shape[0] != weight_t.shape[1]:
+            raise CompileError(
+                f"profile for '{kernel.mask.layer_name}' has {rates.shape[0]} "
+                f"channels but the kernel emits {weight_t.shape[1]}"
+            )
+        live_out = _ensure_min_live(rates > dead_threshold, rates, min_live)
+        laid_out = source_task.thresholds[kernel.mask.slot]
+        compacted = _compact_columns(weight_t, bias, laid_out, live_out, granularity)
+        if compacted is None:
+            # Compaction declined (all live, or lane padding swallows the
+            # saving): every channel physically stays, and live_channels must
+            # say so — dead_channel_counts() reports *eliminated* channels.
+            live_channels[kernel.mask.layer_name] = np.ones(live_out.shape[0], dtype=bool)
+            live_in = None
+            stream_channels = None
+            return weight_t, bias, laid_out
+        live_channels[kernel.mask.layer_name] = live_out
+        weight_t, bias, laid_out, _live_count, padded_n = compacted
+        live_in = live_out
+        stream_channels = padded_n
+        return weight_t, bias, laid_out
+
+    for kernel in plan.kernels:
+        if isinstance(kernel, ConvGemmMaskKernel):
+            scatter_to_dense()
+            weight_t, bias, in_shape = kernel.weight_t, kernel.bias, kernel.in_shape
+            if live_in is not None:  # aggressive mode: shrink the reduction
+                rows = _conv_row_gather(live_in, kernel.kernel_size)
+                weight_t = np.ascontiguousarray(weight_t[rows])
+                in_shape = (int(np.count_nonzero(live_in)), in_shape[1], in_shape[2])
+                live_in = None
+                stream_channels = None
+            spec = kernel.mask
+            out_shape = kernel.out_shape
+            if kernel.mask is not None:
+                if compact_reduction or out_shape[1] * out_shape[2] >= exact_min_rows:
+                    weight_t, bias, laid_out = compact_masked_output(kernel, weight_t, bias)
+                else:
+                    # Exact mode, small-row GEMM: stay at dense width (see
+                    # the exact_min_rows note in the docstring).
+                    laid_out = source_task.thresholds[kernel.mask.slot]
+                    live_in = None
+                    stream_channels = None
+                out_shape = (weight_t.shape[1], out_shape[1], out_shape[2])
+                spec = MaskSpec(
+                    kernel.mask.slot,
+                    kernel.mask.layer_name,
+                    kernel.mask.kind,
+                    (1, out_shape[1] * out_shape[2], out_shape[0]),
+                )
+                mask_specs.append(spec)
+                thresholds.append(laid_out)
+            kernels.append(
+                ConvGemmMaskKernel(
+                    len(kernels),
+                    name=kernel.name,
+                    weight_t=weight_t,
+                    bias=bias,
+                    kernel_size=kernel.kernel_size,
+                    stride=kernel.stride,
+                    padding=kernel.padding,
+                    in_shape=in_shape,
+                    out_shape=out_shape,
+                    mask=spec,
+                    dense_macs=kernel.dense_macs_per_image,
+                    dense_channels=kernel.dense_channels,
+                )
+            )
+            dense_macs += kernel.dense_macs_per_image
+            spec_macs += out_shape[1] * out_shape[2] * weight_t.shape[0] * weight_t.shape[1]
+            spatial = (out_shape[1], out_shape[2])
+        elif isinstance(kernel, MaxPoolKernel):
+            out_shape = kernel.out_shape
+            if stream_channels is not None:
+                out_shape = (stream_channels,) + tuple(out_shape[1:])
+            kernels.append(
+                MaxPoolKernel(len(kernels), kernel.kernel_size, kernel.stride, out_shape)
+            )
+            spatial = (out_shape[1], out_shape[2])
+        elif isinstance(kernel, FlattenKernel):
+            if live_in is not None and compact_reduction:
+                # NHWC flat index is position-major: every spatial position
+                # carries one block of channels, so the flat live mask is the
+                # channel mask tiled over positions.
+                live_in = np.tile(live_in, spatial[0] * spatial[1])
+                stream_channels = stream_channels * spatial[0] * spatial[1]
+            else:
+                scatter_to_dense()
+            kernels.append(FlattenKernel(len(kernels)))
+        elif isinstance(kernel, LinearMaskKernel):
+            scatter_to_dense()
+            weight_t, bias = kernel.weight_t, kernel.bias
+            if live_in is not None:  # aggressive mode
+                weight_t = np.ascontiguousarray(weight_t[np.flatnonzero(live_in)])
+                live_in = None
+                stream_channels = None
+            spec = kernel.mask
+            if kernel.mask is not None:
+                if compact_reduction:
+                    weight_t, bias, laid_out = compact_masked_output(kernel, weight_t, bias)
+                else:
+                    # Exact mode: FC GEMMs have one row per image — always
+                    # below exact_min_rows (see the docstring), and their
+                    # MAC share next to the convolutions is negligible.
+                    laid_out = source_task.thresholds[kernel.mask.slot]
+                    live_in = None
+                    stream_channels = None
+                spec = MaskSpec(
+                    kernel.mask.slot,
+                    kernel.mask.layer_name,
+                    kernel.mask.kind,
+                    (1, weight_t.shape[1]),
+                )
+                mask_specs.append(spec)
+                thresholds.append(laid_out)
+            kernels.append(
+                LinearMaskKernel(
+                    len(kernels),
+                    name=kernel.name,
+                    weight_t=weight_t,
+                    bias=bias,
+                    mask=spec,
+                    relu=kernel.relu,
+                    dense_macs=kernel.dense_macs_per_image,
+                    dense_channels=kernel.dense_channels,
+                )
+            )
+            dense_macs += kernel.dense_macs_per_image
+            spec_macs += weight_t.shape[0] * weight_t.shape[1]
+        elif isinstance(kernel, ChannelScatterKernel):
+            raise CompileError("cannot specialize an already-specialized plan")
+        else:
+            raise CompileError(f"cannot specialize kernel type {type(kernel).__name__}")
+
+    head_weight_t = source_task.head_weight_t
+    if live_in is not None:
+        if compact_reduction:
+            head_weight_t = np.ascontiguousarray(head_weight_t[np.flatnonzero(live_in)])
+        else:
+            scatter_to_dense()
+    task_plan = TaskPlan(
+        name=source_task.name,
+        num_classes=source_task.num_classes,
+        thresholds=thresholds,
+        head_weight_t=head_weight_t,
+        head_bias=source_task.head_bias,
+        head_dense_macs=source_task.head_dense_macs,
+    )
+    dense_macs += source_task.head_dense_macs
+    spec_macs += head_weight_t.shape[0] * head_weight_t.shape[1]
+
+    return SpecializedEnginePlan(
+        dtype=plan.dtype,
+        input_shape=plan.input_shape,
+        kernels=kernels,
+        mask_specs=mask_specs,
+        tasks={task: task_plan},
+        head_permutation=plan.head_permutation,
+        dynamic=plan.dynamic,
+        source_task=task,
+        dead_threshold=dead_threshold,
+        compact_reduction=compact_reduction,
+        live_channels=live_channels,
+        dense_macs_per_image=dense_macs,
+        specialized_macs_per_image=spec_macs,
+    )
+
+
+def specialize_tasks(
+    plan: EnginePlan,
+    profile: Optional[CalibrationProfile] = None,
+    tasks: Optional[Sequence[str]] = None,
+    dead_threshold: float = 0.0,
+    compact_reduction: bool = True,
+    min_live: int = 1,
+    granularity: Optional[int] = None,
+    exact_min_rows: int = 256,
+    calibration_batch: int = 32,
+    calibration_seed: int = 0,
+) -> Dict[str, SpecializedEnginePlan]:
+    """Specialize ``plan`` for every task (calibrating first when needed).
+
+    Returns a task-name → :class:`SpecializedEnginePlan` mapping ready to be
+    handed to :class:`~repro.engine.MultiTaskEngine` or
+    :class:`~repro.serving.ServingRuntime`, which select the specialized plan
+    per micro-batch and fall back to the dense plan for unlisted tasks.
+    """
+    names = list(tasks) if tasks is not None else plan.task_names()
+    if profile is None:
+        profile = calibrate_plan(plan, tasks=names, batch_size=calibration_batch, seed=calibration_seed)
+    return {
+        name: specialize_plan(
+            plan,
+            name,
+            profile,
+            dead_threshold=dead_threshold,
+            compact_reduction=compact_reduction,
+            min_live=min_live,
+            granularity=granularity,
+            exact_min_rows=exact_min_rows,
+        )
+        for name in names
+    }
+
+
+# ---------------------------------------------------------------------------
+# Dynamic sparse fast path tuning.
+# ---------------------------------------------------------------------------
+def enable_dynamic_sparse(
+    plan: EnginePlan, gate: float = 0.5, crossover: float = 0.5
+) -> EnginePlan:
+    """Turn on the dynamic row-gather fast path with fixed thresholds.
+
+    ``gate`` is the minimum measured element sparsity of the previous masked
+    layer before a kernel computes row liveness at all; ``crossover`` is the
+    maximum live-row fraction at which the gathered GEMM is used.  Call
+    before serving starts — the plan is immutable once workers execute it.
+    """
+    if not 0.0 <= gate <= 1.0:
+        raise ValueError("gate must lie in [0, 1]")
+    if not 0.0 <= crossover <= 1.0:
+        raise ValueError("crossover must lie in [0, 1]")
+    plan.dynamic = DynamicSparseConfig(gate=gate, default_crossover=crossover)
+    return plan
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def autotune_dynamic_crossover(
+    plan: EnginePlan,
+    batch: int = 8,
+    fractions: Sequence[float] = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75),
+    repeats: int = 3,
+    gate: float = 0.5,
+    seed: int = 0,
+) -> DynamicSparseConfig:
+    """Measure per-layer row-gather crossovers and cache them on ``plan``.
+
+    For every GEMM kernel the tuner times the dense matmul against the
+    gather→GEMM→scatter path at each candidate live-row ``fraction`` on
+    synthetic matrices of the kernel's true geometry, and keeps the largest
+    fraction at which the sparse path still wins.  A layer where the sparse
+    path never wins gets crossover 0.0, i.e. it always runs dense.  The
+    resulting config is stored on ``plan.dynamic`` and returned.
+
+    Crossovers are geometry-specific: tune the plan you intend to serve — a
+    specialized plan's compacted GEMMs have different economics than the
+    dense plan's, so autotune each separately rather than reusing one config.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    rng = np.random.default_rng(seed)
+    crossover: Dict[str, float] = {}
+    for kernel in plan.kernels:
+        if isinstance(kernel, ConvGemmMaskKernel):
+            rows = batch * kernel.out_shape[1] * kernel.out_shape[2]
+        elif isinstance(kernel, LinearMaskKernel):
+            rows = batch
+        else:
+            continue
+        k_dim, n_dim = kernel.weight_t.shape
+        weight = rng.normal(size=(k_dim, n_dim)).astype(plan.dtype)
+        dense_in = rng.normal(size=(rows, k_dim)).astype(plan.dtype)
+        out = np.empty((rows, n_dim), dtype=plan.dtype)
+        dense_time = _time_best(lambda: np.matmul(dense_in, weight, out=out), repeats)
+
+        best = 0.0
+        for fraction in sorted(fractions):
+            live_rows = max(1, int(round(fraction * rows)))
+            sparse_in = np.zeros((rows, k_dim), dtype=plan.dtype)
+            index = rng.choice(rows, size=live_rows, replace=False)
+            sparse_in[index] = rng.normal(size=(live_rows, k_dim))
+
+            def sparse_path() -> None:
+                live = sparse_in.any(axis=1)
+                out[:] = 0.0
+                out[live] = sparse_in[live] @ weight
+
+            if _time_best(sparse_path, repeats) < dense_time:
+                best = fraction
+            else:
+                break
+        crossover[kernel.name] = best
+    config = DynamicSparseConfig(gate=gate, default_crossover=0.0, crossover=crossover)
+    plan.dynamic = config
+    return config

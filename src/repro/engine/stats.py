@@ -21,6 +21,7 @@ import threading
 from typing import Dict, List
 
 from repro.hardware.scenario import InferencePass, LayerSparsityProfile
+from repro.utils.ratios import fraction_saved
 
 
 class SparsityRecorder:
@@ -35,6 +36,8 @@ class SparsityRecorder:
         self._totals: Dict[str, Dict[str, float]] = {}
         self._counts: Dict[str, Dict[str, int]] = {}
         self._passes: List[InferencePass] = []
+        self._dense_macs = 0
+        self._effective_macs = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------- recording --
@@ -55,11 +58,26 @@ class SparsityRecorder:
         with self._lock:
             self._passes.extend(InferencePass(task) for _ in range(num_images))
 
+    def record_macs(self, dense_macs: int, effective_macs: int) -> None:
+        """Add one run's dense-baseline and actually-executed MAC counts.
+
+        ``dense_macs`` is what an unspecialized dense plan would have executed
+        for the same images; ``effective_macs`` is what the (possibly
+        specialized, possibly dynamically compacted) plan really did.
+        """
+        if dense_macs < 0 or effective_macs < 0:
+            raise ValueError("MAC counts must be non-negative")
+        with self._lock:
+            self._dense_macs += int(dense_macs)
+            self._effective_macs += int(effective_macs)
+
     def reset(self) -> None:
         with self._lock:
             self._totals.clear()
             self._counts.clear()
             self._passes.clear()
+            self._dense_macs = 0
+            self._effective_macs = 0
 
     # --------------------------------------------------------------- queries --
     def tasks(self) -> List[str]:
@@ -77,6 +95,16 @@ class SparsityRecorder:
                 raise KeyError(f"no measurements recorded for task '{task}'")
             totals, counts = self._totals[task], self._counts[task]
             return {name: totals[name] / counts[name] for name in totals}
+
+    def mac_totals(self) -> tuple[int, int]:
+        """``(dense, effective)`` MAC totals recorded so far."""
+        with self._lock:
+            return self._dense_macs, self._effective_macs
+
+    def mac_reduction(self) -> float:
+        """Fraction of dense MACs avoided across all recorded runs."""
+        dense, effective = self.mac_totals()
+        return fraction_saved(dense, effective)
 
     def mean_sparsity(self, task: str) -> float:
         per_layer = self.per_layer(task)

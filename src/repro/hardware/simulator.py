@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.models.shapes import LayerShape
+from repro.utils.ratios import fraction_saved
 from repro.hardware.spec import SystolicArraySpec, default_spec
 from repro.hardware.energy import EnergyBreakdown, LayerEnergyReport
 from repro.hardware.dataflow import AccessCounts, LayerCostModel
@@ -44,11 +45,26 @@ class LayerResult:
 
 @dataclass
 class BatchResult:
-    """Result of simulating one batch schedule under one execution config."""
+    """Result of simulating one batch schedule under one execution config.
+
+    ``measured_dense_macs`` / ``measured_effective_macs`` are optional
+    *software* counters attached when the schedule came from a real engine
+    run (:func:`repro.engine.recorder_hardware_report`): the MACs an
+    unspecialized dense plan would have executed versus what the serving
+    engine actually did after per-task plan specialization and the dynamic
+    sparse fast path.  They complement :attr:`LayerResult.macs`, which is the
+    analytical accelerator estimate.
+    """
 
     scenario: str
     spec: SystolicArraySpec
     layers: List[LayerResult] = field(default_factory=list)
+    measured_dense_macs: int = 0
+    measured_effective_macs: int = 0
+
+    def measured_mac_reduction(self) -> float:
+        """Fraction of dense MACs the engine avoided (0.0 without measurements)."""
+        return fraction_saved(self.measured_dense_macs, self.measured_effective_macs)
 
     def layer_names(self) -> List[str]:
         return [layer.name for layer in self.layers]

@@ -14,11 +14,12 @@ This package implements the paper's contribution:
 """
 
 from repro.mime.threshold_layer import ThresholdMask
-from repro.mime.masked_model import MimeNetwork
+from repro.mime.masked_model import MimeNetwork, add_structured_sparsity_task
 from repro.mime.trainer import ThresholdTrainer, TrainingHistory
 from repro.mime.regularization import ThresholdRegularizer
 from repro.mime.task_manager import TaskRegistry, TaskParameters
 from repro.mime.sparsity import (
+    measure_channel_survival,
     measure_mime_sparsity,
     measure_relu_sparsity,
     average_sparsity_over_loader,
@@ -36,11 +37,13 @@ from repro.mime.storage import (
 __all__ = [
     "ThresholdMask",
     "MimeNetwork",
+    "add_structured_sparsity_task",
     "ThresholdTrainer",
     "TrainingHistory",
     "ThresholdRegularizer",
     "TaskRegistry",
     "TaskParameters",
+    "measure_channel_survival",
     "measure_mime_sparsity",
     "measure_relu_sparsity",
     "average_sparsity_over_loader",

@@ -30,6 +30,38 @@ from repro.mime.task_manager import TaskParameters, TaskRegistry
 from repro.utils.rng import new_rng
 
 
+def add_structured_sparsity_task(
+    network: "MimeNetwork",
+    name: str,
+    num_classes: int,
+    rng: np.random.Generator,
+    dead_fraction: float = 0.5,
+    threshold_jitter: float = 0.0,
+    dead_threshold: float = 1e9,
+) -> TaskParameters:
+    """Register a task whose thresholds structurally kill random channels.
+
+    Models the paper's per-task structured sparsity for synthetic workloads
+    (CLI benchmarks, examples, tests): thresholds optionally get a uniform
+    ``[0, threshold_jitter)`` per-neuron spread so tasks produce distinct
+    dynamic sparsity, then a ``dead_fraction`` subset of each masked layer's
+    *channels* (drawn per task, so tasks kill different subsets) is set to
+    ``dead_threshold`` — a value no pre-activation can reach, so the channel
+    never fires for this task on any input and a calibrated specialized plan
+    may eliminate it outright.
+    """
+    if not 0.0 <= dead_fraction < 1.0:
+        raise ValueError("dead_fraction must lie in [0, 1)")
+    task = network.add_task(name, num_classes, rng=rng)
+    for param in task.thresholds:
+        if threshold_jitter > 0.0:
+            param.data += rng.uniform(0.0, threshold_jitter, size=param.data.shape)
+        if dead_fraction > 0.0:
+            dead = rng.random(param.data.shape[0]) < dead_fraction
+            param.data[dead] = dead_threshold
+    return task
+
+
 class MimeNetwork(Module):
     """Multi-task inference network built around frozen parent weights.
 

@@ -61,6 +61,31 @@ def measure_mime_sparsity(model: MimeNetwork, images: np.ndarray, task: str | No
     return model.sparsity_by_layer()
 
 
+def measure_channel_survival(
+    model: MimeNetwork, images: np.ndarray, task: str | None = None
+) -> Dict[str, np.ndarray]:
+    """Per-channel survival rates of every threshold mask for one batch.
+
+    For a convolutional mask the rate of channel ``c`` is the fraction of
+    ``(image, position)`` slots in which the channel survived its threshold;
+    for a fully-connected mask it is the per-feature survival over the batch.
+    This is the training-side counterpart of the inference engine's
+    calibration pass (:func:`repro.engine.calibrate.calibrate_plan`): a
+    channel with rate 0.0 never fired for ``task`` and is a candidate for
+    dead-channel elimination when the plan is specialized.
+    """
+    model.eval()
+    model.forward(images, task=task)
+    survival: Dict[str, np.ndarray] = {}
+    for mask_layer in model.masks():
+        mask = mask_layer.last_mask()
+        if mask.ndim == 4:  # (N, C, H, W) convolutional mask
+            survival[mask_layer.layer_name] = mask.mean(axis=(0, 2, 3))
+        else:  # (N, F) fully-connected mask
+            survival[mask_layer.layer_name] = mask.mean(axis=0)
+    return survival
+
+
 def measure_relu_sparsity(model: VGG, images: np.ndarray) -> Dict[str, float]:
     """Sparsity of the post-convolution ReLUs of a conventional VGG for one batch.
 

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.engine import recorder_hardware_report
-from repro.engine.plan import EnginePlan, WorkspacePool
+from repro.engine.plan import EnginePlan, RunContext, WorkspacePool
 from repro.engine.scheduling import MicroBatch, SchedulingPolicy, get_policy
 from repro.engine.stats import SparsityRecorder
 from repro.hardware.scenario import ExecutionConfig
@@ -56,6 +56,7 @@ class ServingRuntime:
         workers: int = 2,
         max_pending: int = 0,
         recorder: Optional[SparsityRecorder] = None,
+        specialized: Optional[Dict[str, EnginePlan]] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers <= 0:
@@ -64,6 +65,15 @@ class ServingRuntime:
         self.policy = get_policy(policy)
         self.micro_batch = micro_batch
         self.workers = workers
+        #: Per-task specialized plans (:func:`repro.engine.specialize.
+        #: specialize_tasks`).  All specialized plans are immutable like the
+        #: dense plan, and every worker's private WorkspacePool keys buffers
+        #: by kernel identity, so the same pool serves whichever plan a
+        #: batch's task selects.
+        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
+        for name in self.specialized:
+            if name not in plan.tasks:
+                raise KeyError(f"specialized plan for unknown task '{name}'")
         self.recorder = recorder if recorder is not None else SparsityRecorder()
         self.metrics = ServingMetrics()
         self._clock = clock
@@ -194,15 +204,23 @@ class ServingRuntime:
             self._execute(batch, pool, last_task)
             last_task = batch.task
 
+    def plan_for(self, task: str) -> EnginePlan:
+        """The plan a batch of ``task`` executes (specialized when available)."""
+        return self.specialized.get(task, self.plan)
+
     def _execute(
         self, batch: MicroBatch, pool: WorkspacePool, last_task: Optional[str]
     ) -> None:
         requests: List[ServingRequest] = batch.requests  # type: ignore[assignment]
         images = np.stack([request.image for request in requests])
         start = self._clock()
+        plan = self.plan_for(batch.task)
+        # Fall back to the shared dense plan's dynamic config so enabling the
+        # fast path after specialization still applies to specialized batches.
+        ctx = RunContext(plan.dynamic if plan.dynamic is not None else self.plan.dynamic)
         try:
-            logits = self.plan.run(
-                images, batch.task, recorder=self.recorder, workspaces=pool
+            logits = plan.run(
+                images, batch.task, recorder=self.recorder, workspaces=pool, ctx=ctx
             )
         except Exception as error:  # pragma: no cover - defensive: surface, don't die
             for request in requests:
@@ -210,6 +228,7 @@ class ServingRuntime:
             self.metrics.observe_error(len(requests))
             return
         self.recorder.record_pass(batch.task, len(requests))
+        self.recorder.record_macs(ctx.dense_macs, ctx.effective_macs)
         finish = self._clock()
         latencies, queue_waits, deadline_results = [], [], []
         for request, row in zip(requests, logits):

@@ -3,6 +3,7 @@
 from repro.utils.rng import new_rng, set_global_seed, global_rng
 from repro.utils.logging import get_logger
 from repro.utils.serialization import save_state_dict, load_state_dict
+from repro.utils.ratios import fraction_saved
 
 __all__ = [
     "new_rng",
@@ -11,4 +12,5 @@ __all__ = [
     "get_logger",
     "save_state_dict",
     "load_state_dict",
+    "fraction_saved",
 ]

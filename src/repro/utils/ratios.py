@@ -1,0 +1,20 @@
+"""Tiny shared arithmetic helpers used across layers.
+
+Lives in :mod:`repro.utils` because both the engine (which imports the
+hardware model) and the hardware model itself need it — a shared home avoids
+either a layering inversion or five drifting copies of the same three lines.
+"""
+
+from __future__ import annotations
+
+
+def fraction_saved(baseline: float, actual: float) -> float:
+    """Fraction of ``baseline`` avoided by ``actual`` (0.0 when nothing was).
+
+    The convention every MAC-reduction report in the repo follows: a
+    non-positive baseline (nothing measured yet) reads as "nothing saved"
+    rather than dividing by zero.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - actual / baseline

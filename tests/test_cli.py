@@ -73,3 +73,40 @@ class TestCommands:
         assert "images/sec" in output
         assert "p50/p95/p99" in output
         assert "systolic-array estimate" in output
+
+
+class TestSpecializationFlags:
+    def test_parser_accepts_specialization_arguments(self):
+        args = build_parser().parse_args([
+            "serve-bench", "--dead-fraction", "0.5", "--specialize",
+            "--dead-threshold", "0.1", "--dynamic", "--exact-specialize",
+        ])
+        assert args.dead_fraction == 0.5
+        assert args.specialize and args.dynamic and args.exact_specialize
+        assert args.dead_threshold == 0.1
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--dead-fraction", "1.5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--dead-threshold", "-0.1"])
+
+    def test_serve_bench_with_specialization(self, capsys):
+        assert main([
+            "serve-bench", "--requests", "12", "--micro-batch", "4",
+            "--tasks", "2", "--dead-fraction", "0.5", "--specialize",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "specialized plan for task0" in output
+        assert "engine (pipelined+specialized)" in output
+        assert "effective MACs" in output
+        assert "% avoided in software" in output
+
+    def test_serve_with_specialization_and_dynamic(self, capsys):
+        assert main([
+            "serve", "--requests", "12", "--rate", "2000", "--workers", "2",
+            "--micro-batch", "4", "--tasks", "2", "--dead-fraction", "0.5",
+            "--specialize", "--dynamic",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "dynamic sparse fast path: autotuned crossovers" in output
+        assert "specialized plan for task0" in output
+        assert "% avoided in software" in output

@@ -301,3 +301,80 @@ def test_recorder_validation_and_reset():
     assert recorder.num_images() == 8
     recorder.reset()
     assert recorder.num_images() == 0 and recorder.tasks() == []
+
+
+# ----------------------------------------------------- workspace pool hygiene --
+def test_workspace_pool_reallocates_on_shape_or_dtype_change():
+    from repro.engine import WorkspacePool
+
+    pool = WorkspacePool()
+    first = pool.get(1, "buf", 4, (4, 8), np.float32)
+    first[:] = 7.0
+    assert pool.get(1, "buf", 4, (4, 8), np.float32) is first  # steady state: reused
+    # Same key, different geometry: a stale buffer must never be returned —
+    # the zero-from-allocation-time invariant would silently break.
+    resized = pool.get(1, "buf", 4, (4, 16), np.float32)
+    assert resized is not first and resized.shape == (4, 16)
+    assert (resized == 0.0).all()
+    retyped = pool.get(1, "buf", 4, (4, 16), np.float64)
+    assert retyped.dtype == np.float64 and (retyped == 0.0).all()
+
+
+def test_padded_workspace_large_then_small_batch_cannot_leak(network):
+    """A big-batch run must not contaminate a later small-batch run.
+
+    The conv pad buffer relies on its border staying zero from allocation
+    time; running a large batch with extreme values and then a smaller batch
+    through the same pool must give exactly the same logits as a fresh pool.
+    """
+    from repro.engine import WorkspacePool
+
+    plan = compile_network(network, dtype=np.float64)
+    rng = np.random.default_rng(77)
+    big = 1e6 * rng.normal(size=(16, 3, 16, 16))  # extreme values to make leaks loud
+    small = rng.normal(size=(2, 3, 16, 16))
+
+    shared = WorkspacePool()
+    plan.run(big, "alpha", workspaces=shared)
+    reused = plan.run(small, "beta", workspaces=shared)
+    fresh = plan.run(small, "beta", workspaces=WorkspacePool())
+    np.testing.assert_array_equal(reused, fresh)
+    # And the reverse order (small warms the pool, big reuses it).
+    shared2 = WorkspacePool()
+    plan.run(small, "beta", workspaces=shared2)
+    np.testing.assert_array_equal(
+        plan.run(big, "alpha", workspaces=shared2),
+        plan.run(big, "alpha", workspaces=WorkspacePool()),
+    )
+
+
+def test_one_pool_safely_serves_dense_and_specialized_plans(network, batch):
+    """Serving workers hold one pool while switching between per-task plans.
+
+    Buffers are keyed by kernel identity, so a dense plan and a compacted
+    specialized plan (same kernel indices, different shapes) must coexist in
+    one pool without clobbering each other.
+    """
+    from repro.engine import WorkspacePool, calibrate_plan, specialize_tasks
+
+    plan = compile_network(network, dtype=np.float64)
+    profile = calibrate_plan(plan, images={name: batch for name, _ in TASKS})
+    specialized = specialize_tasks(plan, profile=profile)
+    pool = WorkspacePool()
+    for _ in range(2):  # interleave: dense, specialized, dense, specialized
+        dense_out = plan.run(batch, "alpha", workspaces=pool)
+        spec_out = specialized["alpha"].run(batch, "alpha", workspaces=pool)
+    np.testing.assert_array_equal(dense_out, plan.run(batch, "alpha"))
+    np.testing.assert_array_equal(spec_out, specialized["alpha"].run(batch, "alpha"))
+
+
+def test_mask_buffers_are_pooled_and_reused(network, batch):
+    plan = compile_network(network)
+    plan.run(batch, "alpha")
+    allocated = plan.num_workspace_buffers()
+    buffers = plan._workspaces._buffers
+    mask_buffers = [buf for buf in buffers.values() if buf.dtype == np.bool_]
+    assert mask_buffers, "threshold masks should live in pooled bool buffers"
+    for _ in range(3):
+        plan.run(batch, "beta")
+    assert plan.num_workspace_buffers() == allocated  # steady state: no new buffers
