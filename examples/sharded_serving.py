@@ -1,0 +1,96 @@
+"""Process-sharded serving: escape the GIL by sharding one plan across cores.
+
+``online_serving.py`` shows the thread backend; this example runs the same
+online story on the **process** backend and compares the two:
+
+1. build a multi-task MIME network with per-task structured sparsity and
+   compile it to an immutable float32 plan;
+2. drain one deterministic mixed-task request stream through a
+   :class:`ServingRuntime` (threads) and a :class:`ShardedRuntime`
+   (spawned worker processes fed via shared-memory rings, each rebuilding
+   the plan from a picklable :class:`~repro.engine.PlanSpec`);
+3. verify both backends produced identical logits for every request — the
+   process boundary is bit-invisible;
+4. print both serving reports plus the systolic-array estimate from the
+   sharded fleet's *merged* measured schedule (worker recorders are shipped
+   home and folded into one at shutdown).
+
+Run with:  python examples/sharded_serving.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.engine import compile_network
+from repro.mime import MimeNetwork, add_structured_sparsity_task
+from repro.models import extract_layer_shapes, vgg_small
+from repro.serving import ServingRuntime, ShardedRuntime
+
+TASKS = ("news", "photos", "maps")
+INPUT_SIZE = 24
+MICRO_BATCH = 8
+REQUESTS_PER_TASK = 32  # multiple of MICRO_BATCH: deterministic batching
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    backbone = vgg_small(num_classes=8, input_size=INPUT_SIZE, in_channels=3, rng=rng)
+    network = MimeNetwork(backbone)
+    network.eval()
+    for name in TASKS:
+        add_structured_sparsity_task(
+            network, name, num_classes=10, rng=rng, dead_fraction=0.4, threshold_jitter=0.2
+        )
+    plan = compile_network(network, dtype=np.float32)
+    print(
+        f"Compiled plan: {len(plan.kernels)} fused kernels, {len(TASKS)} tasks, "
+        f"{WORKERS} workers per backend"
+    )
+
+    stream = [
+        (task, rng.normal(size=plan.input_shape))
+        for _ in range(REQUESTS_PER_TASK)
+        for task in TASKS
+    ]
+
+    results = {}
+    for backend_cls in (ServingRuntime, ShardedRuntime):
+        runtime = backend_cls(
+            plan,
+            policy="fifo-deadline",
+            micro_batch=MICRO_BATCH,
+            max_wait=5.0,
+            workers=WORKERS,
+        )
+        futures = [runtime.submit(task, image) for task, image in stream]
+        runtime.start()  # the sharded start blocks until every worker is ready
+        report = runtime.stop(drain=True)
+        results[backend_cls.backend] = (
+            report,
+            [future.result(timeout=60.0) for future in futures],
+            runtime,
+        )
+        print()
+        print(report.summary())
+
+    # The process boundary is bit-invisible: same batcher, same deterministic
+    # micro-batch compositions, plans rebuilt exactly from the PlanSpec.
+    for thread_row, process_row in zip(results["thread"][1], results["process"][1]):
+        np.testing.assert_array_equal(thread_row, process_row)
+    print(f"\nAll {len(stream)} logits identical across thread and process backends.")
+
+    report, _, sharded = results["process"]
+    hw = sharded.hardware_report(extract_layer_shapes(backbone), conv_only=True)
+    print(
+        f"Systolic-array estimate from the merged sharded schedule "
+        f"({sharded.recorder.num_images()} images): total energy "
+        f"{hw.total_energy().total:,.0f} units, {hw.total_cycles():,.0f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -186,6 +186,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     from repro.engine import MultiTaskEngine
     from repro.models import extract_layer_shapes
 
+    if getattr(args, "backend", "engine") != "engine":
+        _serve_bench_runtime(args)
+        return
+
     network, backbone, plan, rng = _build_serving_network(args)
     print(
         f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
@@ -252,15 +256,57 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         )
 
 
+def _serve_bench_runtime(args: argparse.Namespace) -> None:
+    """``serve-bench --backend thread|process``: a serving-runtime drain.
+
+    Submits the whole mixed-task request stream up front and measures the
+    parallel drain through the chosen backend — the apples-to-apples
+    configuration the thread-vs-process scaling benchmark uses
+    (``benchmarks/bench_serving_latency.py``).
+    """
+    import numpy as np
+
+    from repro.serving import BACKENDS
+
+    network, backbone, plan, rng = _build_serving_network(args)
+    specialized = _maybe_specialize(args, plan)
+    print(
+        f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
+        f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch}, "
+        f"backend={args.backend}, workers={args.workers} "
+        "(randomly initialised backbone — this benchmarks the serving path, not accuracy)"
+    )
+    runtime = BACKENDS[args.backend](
+        plan,
+        policy="fifo-deadline",
+        micro_batch=args.micro_batch,
+        max_wait=0.02,
+        workers=args.workers,
+        specialized=specialized,
+    )
+    images = rng.normal(size=(args.requests, 3, args.input_size, args.input_size))
+    tasks = [f"task{i % args.tasks}" for i in range(args.requests)]
+    futures = [
+        runtime.submit(task, image) for task, image in zip(tasks, images)
+    ]
+    runtime.start()
+    report = runtime.stop(drain=True)
+    for future in futures:
+        future.result(timeout=60.0)
+    print()
+    print(report.summary())
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.models import extract_layer_shapes
-    from repro.serving import LoadGenerator, ServingRuntime
+    from repro.serving import BACKENDS, LoadGenerator
 
     network, backbone, plan, rng = _build_serving_network(args)
     task_names = plan.task_names()
     print(
         f"serve: {args.model} @ {args.input_size}x{args.input_size}, "
-        f"{args.tasks} tasks, policy={args.policy}, workers={args.workers}, "
+        f"{args.tasks} tasks, policy={args.policy}, backend={args.backend}, "
+        f"workers={args.workers}, "
         f"micro-batch {args.micro_batch}, max-wait {1e3 * args.max_wait:.1f} ms, "
         f"{args.scenario} Poisson traffic at {args.rate:.0f} req/s "
         "(randomly initialised backbone — this exercises the serving path, not accuracy)"
@@ -276,7 +322,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         for task in task_names
     }
     specialized = _maybe_specialize(args, plan)
-    runtime = ServingRuntime(
+    runtime = BACKENDS[args.backend](
         plan,
         policy=args.policy,
         micro_batch=args.micro_batch,
@@ -398,6 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench", help="benchmark the compiled multi-task inference engine"
     )
     add_workload_arguments(serve_bench, default_requests=48)
+    serve_bench.add_argument(
+        "--backend", choices=["engine", "thread", "process"], default="engine",
+        help="'engine' benchmarks the offline MultiTaskEngine drain (default); "
+             "'thread'/'process' drain the same stream through the online "
+             "serving runtime with that worker backend")
+    serve_bench.add_argument("--workers", type=positive_int, default=2,
+                             help="workers for the thread/process serving backends")
 
     from repro.engine.scheduling import SCHEDULING_MODES
 
@@ -407,8 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_arguments(serve, default_requests=96)
     serve.add_argument("--policy", choices=list(SCHEDULING_MODES), default="fifo-deadline",
                        help="micro-batch scheduling policy")
+    serve.add_argument("--backend", choices=["thread", "process"], default="thread",
+                       help="worker parallelism: threads in this process, or a "
+                            "process-sharded fleet with shared-memory rings")
     serve.add_argument("--workers", type=positive_int, default=2,
-                       help="worker threads executing micro-batches in parallel")
+                       help="workers executing micro-batches in parallel")
     serve.add_argument("--rate", type=float, default=500.0,
                        help="mean request arrival rate (requests/second)")
     serve.add_argument("--max-wait", type=float, default=0.01,

@@ -51,6 +51,7 @@ from repro.engine.calibrate import (
     calibrate_plan,
     profile_from_network,
 )
+from repro.engine.planspec import PlanSpec, TaskSpec
 from repro.engine.specialize import (
     SpecializedEnginePlan,
     autotune_dynamic_crossover,
@@ -88,9 +89,11 @@ __all__ = [
     "EnginePlan",
     "LinearMaskKernel",
     "MaskSpec",
+    "PlanSpec",
     "RunContext",
     "SpecializedEnginePlan",
     "TaskPlan",
+    "TaskSpec",
     "WorkspacePool",
     "autotune_dynamic_crossover",
     "calibrate_plan",

@@ -34,6 +34,7 @@ kernels.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -87,12 +88,26 @@ class WorkspacePool:
     changed gets a fresh zeroed buffer instead of a stale view, so the
     zero-from-allocation-time invariant (pad borders, dead im2col columns)
     can never be violated by buffer reuse.
+
+    Pools are also **process-local**: buffers cached before a ``fork`` (or
+    carried into a child any other way) are dropped on first use in the child.
+    A parent's cached buffer may be a view over shared memory (the sharded
+    serving runtime's rings), in which case reusing it from the child would
+    write into the parent's live data; and even plain buffers would break the
+    process-unique-uid contract, since the child's freshly-built kernels draw
+    uids from a counter whose history diverged at the fork.
     """
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[int, str, int], np.ndarray] = {}
+        self._pid = os.getpid()
 
     def get(self, owner: int, label: str, batch: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        if self._pid != os.getpid():
+            # Inherited across fork/spawn: every cached buffer belongs to the
+            # parent process and must never be written from this one.
+            self._buffers.clear()
+            self._pid = os.getpid()
         key = (owner, label, batch)
         buf = self._buffers.get(key)
         if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):

@@ -1,0 +1,272 @@
+"""Picklable serialization of compiled engine plans.
+
+A live :class:`~repro.engine.plan.EnginePlan` is deliberately *not* something
+to ship across a process boundary: its kernels hold process-unique workspace
+uids, its default :class:`~repro.engine.plan.WorkspacePool` caches buffers
+that must never be shared between processes, and pickling NumPy views of a
+parent's buffers would silently alias memory.  A :class:`PlanSpec` is the
+transportable alternative — a plain-data snapshot of everything a plan *is*
+(kernel geometry, weight/bias/threshold tensors, task plans, dynamic-sparse
+config, specialization provenance) and nothing a plan *uses at run time*.
+
+``PlanSpec.from_plan(plan)`` captures a dense or specialized plan;
+``spec.build()`` reconstructs a semantically identical plan with **fresh**
+kernel uids and an **empty** workspace pool, so a spawned worker process
+deserialises its own private executable copy instead of inheriting parent
+state.  Reconstruction is exact: the rebuilt plan produces bit-identical
+logits to the source plan for any input, because every tensor is carried
+verbatim and the kernels are pure functions of their tensors.
+
+This is the serving analogue of :class:`~repro.engine.calibrate.
+CalibrationProfile`'s JSON story, but binary (pickle) because plans carry
+large float tensors where JSON round-trips would be wasteful and lossy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.plan import (
+    ChannelScatterKernel,
+    CompileError,
+    ConvGemmMaskKernel,
+    DynamicSparseConfig,
+    EnginePlan,
+    FlattenKernel,
+    LinearMaskKernel,
+    MaskSpec,
+    MaxPoolKernel,
+    TaskPlan,
+)
+
+__all__ = ["PlanSpec", "TaskSpec"]
+
+
+@dataclass
+class TaskSpec:
+    """Plain-data snapshot of one :class:`~repro.engine.plan.TaskPlan`."""
+
+    name: str
+    num_classes: int
+    thresholds: List[np.ndarray]
+    head_weight_t: np.ndarray
+    head_bias: np.ndarray
+    head_dense_macs: int = 0
+
+    @classmethod
+    def from_task(cls, task: TaskPlan) -> "TaskSpec":
+        return cls(
+            name=task.name,
+            num_classes=task.num_classes,
+            thresholds=[np.array(t) for t in task.thresholds],
+            head_weight_t=np.array(task.head_weight_t),
+            head_bias=np.array(task.head_bias),
+            head_dense_macs=task.head_dense_macs,
+        )
+
+    def build(self) -> TaskPlan:
+        return TaskPlan(
+            name=self.name,
+            num_classes=self.num_classes,
+            thresholds=[np.array(t) for t in self.thresholds],
+            head_weight_t=np.array(self.head_weight_t),
+            head_bias=np.array(self.head_bias),
+            head_dense_macs=self.head_dense_macs,
+        )
+
+
+def _mask_tuple(mask: Optional[MaskSpec]):
+    if mask is None:
+        return None
+    return (mask.slot, mask.layer_name, mask.kind, tuple(mask.gemm_shape))
+
+
+def _mask_from_tuple(data) -> Optional[MaskSpec]:
+    if data is None:
+        return None
+    slot, layer_name, kind, gemm_shape = data
+    return MaskSpec(slot, layer_name, kind, tuple(gemm_shape))
+
+
+def _describe_kernel(kernel) -> Dict[str, object]:
+    if isinstance(kernel, ConvGemmMaskKernel):
+        return {
+            "type": "conv",
+            "name": kernel.name,
+            "weight_t": np.array(kernel.weight_t),
+            "bias": np.array(kernel.bias),
+            "kernel_size": kernel.kernel_size,
+            "stride": kernel.stride,
+            "padding": kernel.padding,
+            "in_shape": tuple(kernel.in_shape),
+            "out_shape": tuple(kernel.out_shape),
+            "mask": _mask_tuple(kernel.mask),
+            "dense_macs": kernel.dense_macs_per_image,
+            "dense_channels": kernel.dense_channels,
+        }
+    if isinstance(kernel, LinearMaskKernel):
+        return {
+            "type": "linear",
+            "name": kernel.name,
+            "weight_t": np.array(kernel.weight_t),
+            "bias": np.array(kernel.bias),
+            "mask": _mask_tuple(kernel.mask),
+            "relu": kernel.relu,
+            "dense_macs": kernel.dense_macs_per_image,
+            "dense_channels": kernel.dense_channels,
+        }
+    if isinstance(kernel, MaxPoolKernel):
+        return {
+            "type": "pool",
+            "kernel_size": kernel.kernel_size,
+            "stride": kernel.stride,
+            "out_shape": tuple(kernel.out_shape),
+        }
+    if isinstance(kernel, FlattenKernel):
+        return {"type": "flatten"}
+    if isinstance(kernel, ChannelScatterKernel):
+        return {
+            "type": "scatter",
+            "live_index": np.array(kernel.live_index),
+            "dense_channels": kernel.dense_channels,
+        }
+    raise CompileError(f"cannot serialize kernel type {type(kernel).__name__}")
+
+
+def _build_kernel(index: int, desc: Dict[str, object]):
+    kind = desc["type"]
+    if kind == "conv":
+        return ConvGemmMaskKernel(
+            index,
+            name=desc["name"],
+            weight_t=np.array(desc["weight_t"]),
+            bias=np.array(desc["bias"]),
+            kernel_size=desc["kernel_size"],
+            stride=desc["stride"],
+            padding=desc["padding"],
+            in_shape=tuple(desc["in_shape"]),
+            out_shape=tuple(desc["out_shape"]),
+            mask=_mask_from_tuple(desc["mask"]),
+            dense_macs=desc["dense_macs"],
+            dense_channels=desc["dense_channels"],
+        )
+    if kind == "linear":
+        return LinearMaskKernel(
+            index,
+            name=desc["name"],
+            weight_t=np.array(desc["weight_t"]),
+            bias=np.array(desc["bias"]),
+            mask=_mask_from_tuple(desc["mask"]),
+            relu=desc["relu"],
+            dense_macs=desc["dense_macs"],
+            dense_channels=desc["dense_channels"],
+        )
+    if kind == "pool":
+        return MaxPoolKernel(index, desc["kernel_size"], desc["stride"], tuple(desc["out_shape"]))
+    if kind == "flatten":
+        return FlattenKernel(index)
+    if kind == "scatter":
+        return ChannelScatterKernel(index, np.array(desc["live_index"]), desc["dense_channels"])
+    raise CompileError(f"cannot deserialize kernel type '{kind}'")
+
+
+@dataclass
+class PlanSpec:
+    """A picklable, workspace-free description of an :class:`EnginePlan`.
+
+    ``specialization`` is ``None`` for a dense plan; for a
+    :class:`~repro.engine.specialize.SpecializedEnginePlan` it carries the
+    compaction provenance so the rebuilt plan reports the same
+    :meth:`~repro.engine.specialize.SpecializedEnginePlan.mac_reduction` and
+    :meth:`~repro.engine.specialize.SpecializedEnginePlan.dead_channel_counts`.
+    """
+
+    dtype: str
+    input_shape: Tuple[int, int, int]
+    kernels: List[Dict[str, object]]
+    mask_specs: List[Tuple[int, str, str, Tuple[int, ...]]]
+    tasks: Dict[str, TaskSpec]
+    head_permutation: Optional[np.ndarray] = None
+    dynamic: Optional[Tuple[float, float, Dict[str, float]]] = None
+    specialization: Optional[Dict[str, object]] = None
+    version: int = 1
+
+    # ----------------------------------------------------------------- capture --
+    @classmethod
+    def from_plan(cls, plan: EnginePlan) -> "PlanSpec":
+        from repro.engine.specialize import SpecializedEnginePlan
+
+        dynamic = None
+        if plan.dynamic is not None:
+            dynamic = (
+                plan.dynamic.gate,
+                plan.dynamic.default_crossover,
+                dict(plan.dynamic.crossover),
+            )
+        specialization = None
+        if isinstance(plan, SpecializedEnginePlan):
+            specialization = {
+                "source_task": plan.source_task,
+                "dead_threshold": plan.dead_threshold,
+                "compact_reduction": plan.compact_reduction,
+                "live_channels": {
+                    layer: np.array(live) for layer, live in plan.live_channels.items()
+                },
+                "dense_macs_per_image": plan.dense_macs_per_image,
+                "specialized_macs_per_image": plan.specialized_macs_per_image,
+            }
+        return cls(
+            dtype=np.dtype(plan.dtype).name,
+            input_shape=tuple(plan.input_shape),
+            kernels=[_describe_kernel(kernel) for kernel in plan.kernels],
+            mask_specs=[_mask_tuple(spec) for spec in plan.mask_specs],
+            tasks={name: TaskSpec.from_task(task) for name, task in plan.tasks.items()},
+            head_permutation=(
+                np.array(plan.head_permutation) if plan.head_permutation is not None else None
+            ),
+            dynamic=dynamic,
+            specialization=specialization,
+        )
+
+    # ------------------------------------------------------------------- build --
+    def build(self) -> EnginePlan:
+        """Reconstruct an executable plan: fresh kernels, empty workspaces."""
+        from repro.engine.specialize import SpecializedEnginePlan
+
+        kernels = [_build_kernel(index, desc) for index, desc in enumerate(self.kernels)]
+        mask_specs = [_mask_from_tuple(data) for data in self.mask_specs]
+        tasks = {name: spec.build() for name, spec in self.tasks.items()}
+        dynamic = None
+        if self.dynamic is not None:
+            gate, default_crossover, crossover = self.dynamic
+            dynamic = DynamicSparseConfig(
+                gate=gate, default_crossover=default_crossover, crossover=dict(crossover)
+            )
+        common = dict(
+            dtype=np.dtype(self.dtype),
+            input_shape=tuple(self.input_shape),
+            kernels=kernels,
+            mask_specs=mask_specs,
+            tasks=tasks,
+            head_permutation=(
+                np.array(self.head_permutation) if self.head_permutation is not None else None
+            ),
+            dynamic=dynamic,
+        )
+        if self.specialization is None:
+            return EnginePlan(**common)
+        extra = self.specialization
+        return SpecializedEnginePlan(
+            **common,
+            source_task=extra["source_task"],
+            dead_threshold=extra["dead_threshold"],
+            compact_reduction=extra["compact_reduction"],
+            live_channels={
+                layer: np.array(live) for layer, live in extra["live_channels"].items()
+            },
+            dense_macs_per_image=extra["dense_macs_per_image"],
+            specialized_macs_per_image=extra["specialized_macs_per_image"],
+        )

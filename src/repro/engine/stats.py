@@ -79,6 +79,45 @@ class SparsityRecorder:
             self._dense_macs = 0
             self._effective_macs = 0
 
+    # ----------------------------------------------------- cross-process merge --
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data copy of every accumulator, safe to pickle across processes.
+
+        The sharded serving runtime's worker processes each keep a private
+        recorder and ship its snapshot back at shutdown; the parent folds them
+        into one recorder with :meth:`merge_snapshot`, so
+        ``hardware_report``/``mac_totals`` cover the whole process fleet.
+        """
+        with self._lock:
+            return {
+                "totals": {task: dict(layers) for task, layers in self._totals.items()},
+                "counts": {task: dict(layers) for task, layers in self._counts.items()},
+                "passes": [entry.task for entry in self._passes],
+                "dense_macs": self._dense_macs,
+                "effective_macs": self._effective_macs,
+            }
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Sparsity totals and MAC counts add exactly; the schedule is
+        concatenated, which preserves per-worker processing order (each worker
+        is one accelerator pipeline — the same convention the thread runtime's
+        per-worker task-switch accounting uses).
+        """
+        with self._lock:
+            for task, layers in snapshot["totals"].items():
+                totals = self._totals.setdefault(task, {})
+                for name, value in layers.items():
+                    totals[name] = totals.get(name, 0.0) + value
+            for task, layers in snapshot["counts"].items():
+                counts = self._counts.setdefault(task, {})
+                for name, value in layers.items():
+                    counts[name] = counts.get(name, 0) + value
+            self._passes.extend(InferencePass(task) for task in snapshot["passes"])
+            self._dense_macs += int(snapshot["dense_macs"])
+            self._effective_macs += int(snapshot["effective_macs"])
+
     # --------------------------------------------------------------- queries --
     def tasks(self) -> List[str]:
         with self._lock:

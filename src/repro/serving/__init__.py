@@ -21,8 +21,9 @@ Quick start::
     print(runtime.report().summary())
 """
 
+from repro.serving.base import BaseRuntime, run_plan_batch
 from repro.serving.batcher import DynamicBatcher
-from repro.serving.loadgen import Arrival, LoadGenerator
+from repro.serving.loadgen import Arrival, LoadGenerator, ManualClock
 from repro.serving.metrics import LatencyDigest, ServingMetrics, ServingReport, percentile
 from repro.serving.request import (
     AdmissionError,
@@ -33,11 +34,24 @@ from repro.serving.request import (
     ServingResult,
 )
 from repro.serving.runtime import ServingRuntime
+from repro.serving.sharded import ShardedRuntime
+
+#: Serving backend registry shared by the CLI and the benchmarks: the thread
+#: backend parallelises inside this process, the process backend shards the
+#: plan across spawned workers (see :mod:`repro.serving.sharded`).
+BACKENDS = {
+    ServingRuntime.backend: ServingRuntime,
+    ShardedRuntime.backend: ShardedRuntime,
+}
 
 __all__ = [
+    "BACKENDS",
+    "BaseRuntime",
+    "run_plan_batch",
     "DynamicBatcher",
     "Arrival",
     "LoadGenerator",
+    "ManualClock",
     "LatencyDigest",
     "ServingMetrics",
     "ServingReport",
@@ -49,4 +63,5 @@ __all__ = [
     "ServingRequest",
     "ServingResult",
     "ServingRuntime",
+    "ShardedRuntime",
 ]

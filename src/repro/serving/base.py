@@ -1,0 +1,337 @@
+"""The backend-agnostic core of the online serving runtimes.
+
+Two serving backends share everything except how a micro-batch reaches a
+worker: the thread backend (:class:`~repro.serving.runtime.ServingRuntime`)
+executes batches on worker threads inside this process, the process backend
+(:class:`~repro.serving.sharded.ShardedRuntime`) ships them to a fleet of
+spawned worker processes over shared-memory rings.  :class:`BaseRuntime`
+holds the common machinery — request admission and validation, the
+:class:`~repro.serving.batcher.DynamicBatcher` and its pluggable scheduling
+policy, the worker pull loop, metrics/recorder plumbing and the
+report/hardware-report surface — while the backends implement exactly three
+hooks:
+
+* :meth:`BaseRuntime._launch_workers` — bring the worker pool up;
+* :meth:`BaseRuntime._execute` — run (or route) one closed micro-batch;
+* :meth:`BaseRuntime._join_workers` — wind the pool down at ``stop()``.
+
+:func:`run_plan_batch` is the other shared core: the plan-execution step a
+worker performs for one micro-batch, identical whether that worker is a
+thread in this process or a loop in a spawned child.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.engine import recorder_hardware_report
+from repro.engine.plan import DynamicSparseConfig, EnginePlan, RunContext, WorkspacePool
+from repro.engine.scheduling import MicroBatch, SchedulingPolicy, get_policy
+from repro.engine.stats import SparsityRecorder
+from repro.hardware.scenario import ExecutionConfig
+from repro.hardware.simulator import BatchResult, SystolicArraySimulator
+from repro.models.shapes import LayerShape
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.metrics import ServingMetrics, ServingReport
+from repro.serving.request import (
+    QueueFullError,
+    RequestCancelledError,
+    RuntimeClosedError,
+    ServingRequest,
+    ServingResult,
+)
+
+
+def run_plan_batch(
+    plan: EnginePlan,
+    fallback_dynamic: Optional[DynamicSparseConfig],
+    images: np.ndarray,
+    task: str,
+    recorder: SparsityRecorder,
+    pool: WorkspacePool,
+) -> np.ndarray:
+    """Execute one micro-batch over ``plan`` with full stats accounting.
+
+    The single worker-side step shared by every backend: builds the run
+    context (falling back to the shared dense plan's dynamic config so
+    enabling the fast path after specialization still applies to specialized
+    batches), runs the plan, and records the pass and its MAC counts into
+    ``recorder``.
+    """
+    ctx = RunContext(plan.dynamic if plan.dynamic is not None else fallback_dynamic)
+    logits = plan.run(images, task, recorder=recorder, workspaces=pool, ctx=ctx)
+    recorder.record_pass(task, images.shape[0])
+    recorder.record_macs(ctx.dense_macs, ctx.effective_macs)
+    return logits
+
+
+class BaseRuntime:
+    """Common intake/batching/metrics core of the serving backends."""
+
+    #: Reported in :class:`~repro.serving.metrics.ServingReport` and used by
+    #: the CLI's ``--backend`` flag.
+    backend: str = "abstract"
+
+    def __init__(
+        self,
+        plan: EnginePlan,
+        policy: str | SchedulingPolicy = "fifo-deadline",
+        micro_batch: int = 8,
+        max_wait: float = 0.01,
+        workers: int = 2,
+        max_pending: int = 0,
+        recorder: Optional[SparsityRecorder] = None,
+        specialized: Optional[Dict[str, EnginePlan]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.plan = plan
+        self.policy = get_policy(policy)
+        self.micro_batch = micro_batch
+        self.workers = workers
+        #: Per-task specialized plans (:func:`repro.engine.specialize.
+        #: specialize_tasks`).  All specialized plans are immutable like the
+        #: dense plan, and every worker's private WorkspacePool keys buffers
+        #: by kernel identity, so the same pool serves whichever plan a
+        #: batch's task selects.
+        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
+        for name in self.specialized:
+            if name not in plan.tasks:
+                raise KeyError(f"specialized plan for unknown task '{name}'")
+        self.recorder = recorder if recorder is not None else SparsityRecorder()
+        self.metrics = ServingMetrics()
+        self._clock = clock
+        self._batcher = DynamicBatcher(
+            micro_batch=micro_batch,
+            max_wait=max_wait,
+            policy=self.policy,
+            max_pending=max_pending,
+            clock=clock,
+        )
+        self._submit_lock = threading.Lock()
+        self._submitted = 0
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------- clock --
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The injectable clock every timestamp in this runtime is taken on."""
+        return self._clock
+
+    # -------------------------------------------------------------- lifecycle --
+    def start(self) -> "BaseRuntime":
+        """Bring the worker pool up.  Requests may be submitted before or after."""
+        if self._stopped:
+            raise RuntimeClosedError(f"a {type(self).__name__} cannot be restarted")
+        if self._started:
+            return self
+        self._started = True
+        # Workers first, then the measurement window: process backends block
+        # in _launch_workers until every child built its plan, so reported
+        # throughput covers serving, not interpreter spawn time.
+        self._launch_workers()
+        self.metrics.mark_start(self._clock())
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> ServingReport:
+        """Shut down and return the final :class:`ServingReport`.
+
+        ``drain=True`` (default) stops intake, flushes partial batches and
+        waits for every admitted request to finish; ``drain=False`` cancels
+        everything not yet executing — cancelled futures raise
+        :class:`RequestCancelledError`.  On a runtime that was never
+        started, admitted requests are always cancelled (no worker exists to
+        drain them).  ``timeout`` bounds the *total* wait for the worker
+        pool; if it elapses with workers still running, the returned report
+        is a snapshot, not final (see the backend's notes on stragglers).
+        """
+        if not self._stopped:
+            self._stopped = True
+            self._batcher.close()
+            if not drain or not self._started:
+                cancelled = self._batcher.drain_cancelled()
+                for request in cancelled:
+                    request.result.set_error(
+                        RequestCancelledError(
+                            f"request {request.index} cancelled by stop(drain=False)"
+                        )
+                    )
+                self.metrics.observe_cancelled(len(cancelled))
+            if self._started:
+                self._join_workers(drain=drain, timeout=timeout)
+            self.metrics.mark_stop(self._clock())
+        return self.report()
+
+    def __enter__(self) -> "BaseRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # --------------------------------------------------------- backend hooks --
+    def _launch_workers(self) -> None:
+        raise NotImplementedError
+
+    def _execute(self, batch: MicroBatch, state, last_task: Optional[str]) -> None:
+        """Run (thread backend) or route (process backend) one closed batch."""
+        raise NotImplementedError
+
+    def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- intake --
+    def submit(
+        self,
+        task: str,
+        image: np.ndarray,
+        deadline: Optional[float] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServingResult:
+        """Admit one ``(C, H, W)`` image for ``task``; returns a future.
+
+        ``deadline`` is an absolute timestamp on the runtime's clock
+        (``time.monotonic()`` by default), consulted by deadline-aware
+        policies and scored in the metrics.  On a full bounded queue,
+        ``block=False`` raises :class:`QueueFullError` immediately, otherwise
+        the call waits (up to ``timeout`` seconds).
+        """
+        if task not in self.plan.tasks:
+            raise KeyError(f"unknown task '{task}'; compiled: {self.plan.task_names()}")
+        image = np.asarray(image)
+        if image.shape != self.plan.input_shape:
+            raise ValueError(
+                f"expected one image of shape {self.plan.input_shape}, got {image.shape}"
+            )
+        now = self._clock()
+        with self._submit_lock:
+            index = self._submitted
+            self._submitted += 1
+        result = ServingResult(index, task, now, deadline)
+        # Copy so callers may reuse their staging buffer after submit().
+        request = ServingRequest(index, task, image.copy(), now, deadline, result)
+        try:
+            self._batcher.submit(request, block=block, timeout=timeout)
+        except QueueFullError:
+            # Only genuine overload counts as a rejection in the report;
+            # RuntimeClosedError during shutdown is not a capacity signal.
+            self.metrics.observe_rejection()
+            raise
+        return result
+
+    def submit_many(
+        self, items: Sequence[Tuple[str, np.ndarray]], **kwargs
+    ) -> List[ServingResult]:
+        """Convenience loop over :meth:`submit` for ``(task, image)`` pairs."""
+        return [self.submit(task, image, **kwargs) for task, image in items]
+
+    def pending(self) -> int:
+        return self._batcher.pending()
+
+    # ---------------------------------------------------------------- workers --
+    def _worker_loop(self, state) -> None:
+        """The shared pull loop: batches flow from the batcher to _execute.
+
+        ``state`` is whatever per-worker context the backend passed when it
+        launched the loop (a :class:`~repro.engine.WorkspacePool` for thread
+        workers, the router state for the process backend's dispatcher).
+        """
+        last_task: Optional[str] = None
+        while True:
+            batch = self._batcher.next_batch(last_task)
+            if batch is None:
+                return
+            self._execute(batch, state, last_task)
+            last_task = batch.task
+
+    def plan_for(self, task: str) -> EnginePlan:
+        """The plan a batch of ``task`` executes (specialized when available)."""
+        return self.specialized.get(task, self.plan)
+
+    def _complete_batch(
+        self,
+        requests: Sequence[ServingRequest],
+        logits: np.ndarray,
+        task: str,
+        start: float,
+        finish: float,
+        switched: bool,
+    ) -> None:
+        """Resolve one executed batch's futures and record its metrics."""
+        latencies, queue_waits, deadline_results = [], [], []
+        for request, row in zip(requests, logits):
+            request.result.set_result(row, start, finish)
+            latencies.append(finish - request.arrival_time)
+            queue_waits.append(start - request.arrival_time)
+            deadline_results.append(request.result.deadline_met)
+        self.metrics.observe_batch(
+            task,
+            latencies,
+            queue_waits,
+            switched=switched,
+            deadline_results=deadline_results,
+        )
+
+    def _fail_batch(self, requests: Sequence[ServingRequest], error: BaseException) -> None:
+        """Surface an execution error on every future of a failed batch."""
+        for request in requests:
+            request.result.set_error(error)
+        self.metrics.observe_error(len(requests))
+
+    # ---------------------------------------------------------------- reports --
+    def report(self) -> ServingReport:
+        """Current metrics snapshot (final once :meth:`stop` returned).
+
+        ``task_switches`` counts **per-worker** switches (each worker models
+        one accelerator pipeline); :meth:`hardware_report` instead charges
+        reloads on the single global interleaved schedule, which alternates
+        more under multi-worker load — the two numbers answer different
+        questions and are not expected to match.
+        """
+        dense, effective = self.recorder.mac_totals()
+        return self.metrics.report(
+            self.policy.name,
+            self.workers,
+            now=self._clock(),
+            backend=self.backend,
+            dense_macs=dense,
+            effective_macs=effective,
+        )
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (mirrors the offline engine).
+
+        Clears the metrics *and* the sparsity recorder.  Long-lived runtimes
+        should call this periodically: both grow with every served image
+        (per-request latency samples, one schedule slot per image) and are
+        never trimmed otherwise.
+        """
+        self.metrics.reset(self._clock() if self._started else None)
+        self.recorder.reset()
+
+    def sparsity_profile(self, default_sparsity: float = 0.0):
+        """Measured per-task, per-layer sparsity as a simulator-ready profile."""
+        return self.recorder.to_profile(default_sparsity=default_sparsity)
+
+    def hardware_report(
+        self,
+        shapes: Sequence[LayerShape],
+        config: ExecutionConfig | None = None,
+        simulator: SystolicArraySimulator | None = None,
+        conv_only: bool = False,
+    ) -> BatchResult:
+        """Simulate the *online* schedule this runtime actually executed.
+
+        The recorder covers the runtime's whole lifetime: the interleaved
+        order the worker pool produced under load is exactly the schedule the
+        systolic-array simulator charges parameter reloads against.
+        """
+        return recorder_hardware_report(
+            self.recorder, shapes, config=config, simulator=simulator, conv_only=conv_only
+        )

@@ -17,16 +17,46 @@ timestamp before submitting.  Three canonical scenarios cover the evaluation:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.serving.base import BaseRuntime
 from repro.serving.request import AdmissionError, ServingResult
-from repro.serving.runtime import ServingRuntime
 
 ImageSource = Union[Dict[str, np.ndarray], Callable[[str, int], np.ndarray]]
+
+
+class ManualClock:
+    """A settable, thread-safe clock for deterministic timing tests.
+
+    Drop-in for ``time.monotonic`` wherever a clock is injectable (the
+    batcher, the runtimes, :meth:`LoadGenerator.replay`): reading it returns
+    the last value set, so latency/queue-wait/deadline arithmetic becomes
+    exact instead of wall-clock-dependent.  Note that a *running* runtime's
+    workers still sleep real seconds between re-checks of the batcher's
+    max-wait timer — advancing the clock changes what those re-checks
+    observe, not how long they sleep.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._lock:
+            self._now += seconds
+            return self._now
 
 
 @dataclass(frozen=True)
@@ -131,13 +161,14 @@ class LoadGenerator:
     # ---------------------------------------------------------------- replay --
     def replay(
         self,
-        runtime: ServingRuntime,
+        runtime: BaseRuntime,
         images: ImageSource,
         num_requests: int,
         time_scale: float = 1.0,
         deadline_slack: Optional[float] = None,
         block: bool = True,
         trace: Optional[Sequence[Arrival]] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> List[Optional[ServingResult]]:
         """Submit the trace against ``runtime`` in (scaled) real time.
 
@@ -146,18 +177,25 @@ class LoadGenerator:
         ``time_scale=0`` submits everything immediately (offline drain);
         ``deadline_slack`` attaches ``arrival + slack`` deadlines.  Rejected
         requests (bounded queue, ``block=False``) yield ``None`` entries.
+
+        All timestamps — pacing and deadlines — are taken on the *runtime's*
+        injectable clock, so a test driving a fake clock sees deadlines and
+        arrival pacing in the same deterministic time base the runtime
+        measures latency in.  ``sleep`` is injectable for the same reason
+        (pacing a fake clock should not busy-wait real seconds).
         """
         if time_scale < 0:
             raise ValueError("time_scale must be non-negative")
+        clock = runtime.clock
         arrivals = list(trace) if trace is not None else self.trace(num_requests)
         counters: Dict[str, int] = {}
         results: List[Optional[ServingResult]] = []
-        start = time.monotonic()
+        start = clock()
         for arrival in arrivals:
             if time_scale > 0:
-                delay = start + arrival.time * time_scale - time.monotonic()
+                delay = start + arrival.time * time_scale - clock()
                 if delay > 0:
-                    time.sleep(delay)
+                    sleep(delay)
             number = counters.get(arrival.task, 0)
             counters[arrival.task] = number + 1
             if callable(images):
@@ -166,7 +204,7 @@ class LoadGenerator:
                 pool = images[arrival.task]
                 image = pool[number % len(pool)]
             deadline = (
-                time.monotonic() + deadline_slack if deadline_slack is not None else None
+                clock() + deadline_slack if deadline_slack is not None else None
             )
             try:
                 results.append(

@@ -13,6 +13,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.utils.ratios import fraction_saved
+
 
 def percentile(values: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile (``pct`` in [0, 100]) of ``values``."""
@@ -75,6 +77,16 @@ class ServingReport:
     per_task: Dict[str, int] = field(default_factory=dict)
     deadline_misses: int = 0
     deadline_total: int = 0
+    #: Which worker implementation produced this report: ``"thread"`` for the
+    #: in-process :class:`~repro.serving.ServingRuntime`, ``"process"`` for
+    #: the :class:`~repro.serving.ShardedRuntime` process fleet.
+    backend: str = "thread"
+    #: Engine-side MAC accounting merged over every worker (threads share one
+    #: recorder; processes ship snapshots home at shutdown).  ``dense_macs``
+    #: is what an unspecialized dense plan would have executed,
+    #: ``effective_macs`` what the fleet actually did.
+    dense_macs: int = 0
+    effective_macs: int = 0
 
     @property
     def throughput(self) -> float:
@@ -89,10 +101,14 @@ class ServingReport:
             return 0.0
         return self.completed / self.num_batches
 
+    def mac_reduction(self) -> float:
+        """Fraction of dense MACs the fleet avoided (0.0 without measurements)."""
+        return fraction_saved(self.dense_macs, self.effective_macs)
+
     def summary(self) -> str:
         """Multi-line human-readable report."""
         lines = [
-            f"policy={self.policy} workers={self.workers}: "
+            f"policy={self.policy} backend={self.backend} workers={self.workers}: "
             f"{self.completed} images in {self.duration:.3f}s "
             f"({self.throughput:,.1f} images/sec)",
             f"  batches: {self.num_batches} (mean size {self.mean_batch_size:.1f}), "
@@ -111,6 +127,11 @@ class ServingReport:
         if self.deadline_total:
             met = self.deadline_total - self.deadline_misses
             lines.append(f"  deadlines met: {met}/{self.deadline_total}")
+        if self.dense_macs:
+            lines.append(
+                f"  effective MACs: {self.effective_macs:,} / {self.dense_macs:,} dense "
+                f"({100.0 * self.mac_reduction():.1f}% saved)"
+            )
         if self.per_task:
             mix = ", ".join(f"{task}: {count}" for task, count in sorted(self.per_task.items()))
             lines.append(f"  per-task images: {mix}")
@@ -206,7 +227,15 @@ class ServingMetrics:
         with self._lock:
             return len(self._latencies)
 
-    def report(self, policy: str, workers: int, now: Optional[float] = None) -> ServingReport:
+    def report(
+        self,
+        policy: str,
+        workers: int,
+        now: Optional[float] = None,
+        backend: str = "thread",
+        dense_macs: int = 0,
+        effective_macs: int = 0,
+    ) -> ServingReport:
         """Snapshot the counters into an immutable report."""
         with self._lock:
             if self._started_at is None:
@@ -229,4 +258,7 @@ class ServingMetrics:
                 per_task=dict(self._per_task),
                 deadline_misses=self._deadline_misses,
                 deadline_total=self._deadline_total,
+                backend=backend,
+                dense_macs=dense_macs,
+                effective_macs=effective_macs,
             )

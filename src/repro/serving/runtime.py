@@ -1,4 +1,4 @@
-"""The online multi-task serving runtime.
+"""The thread-backed online serving runtime.
 
 :class:`ServingRuntime` turns a compiled :class:`~repro.engine.EnginePlan`
 into a concurrent service: clients ``submit()`` single images from any thread
@@ -12,6 +12,14 @@ tasks.  That is the software analogue of the paper's pipelined hardware
 scenario, and the measured schedule/sparsity feed the same systolic-array
 simulator via :meth:`ServingRuntime.hardware_report`.
 
+Everything except the worker threads themselves lives in
+:class:`~repro.serving.base.BaseRuntime`, which this class shares with the
+process-backed :class:`~repro.serving.sharded.ShardedRuntime` — same
+batcher, same scheduling policies, same metrics and reports, different
+parallelism substrate.  Threads scale until the GIL-bound stages (im2col,
+masking, batch assembly) saturate one core; past that point, switch to the
+sharded backend.
+
 Scheduling is pluggable (:mod:`repro.engine.scheduling`): ``fifo-deadline``
 by default, with ``singular``/``pipelined``/``weighted-fair`` available.
 Backpressure comes from the batcher's bounded queue (``max_pending``), with
@@ -21,192 +29,41 @@ per-submit choice of blocking or immediate rejection.
 from __future__ import annotations
 
 import threading
-import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from repro.engine.engine import recorder_hardware_report
-from repro.engine.plan import EnginePlan, RunContext, WorkspacePool
-from repro.engine.scheduling import MicroBatch, SchedulingPolicy, get_policy
-from repro.engine.stats import SparsityRecorder
-from repro.hardware.scenario import ExecutionConfig
-from repro.hardware.simulator import BatchResult, SystolicArraySimulator
-from repro.models.shapes import LayerShape
-from repro.serving.batcher import DynamicBatcher
-from repro.serving.metrics import ServingMetrics, ServingReport
-from repro.serving.request import (
-    QueueFullError,
-    RequestCancelledError,
-    RuntimeClosedError,
-    ServingRequest,
-    ServingResult,
-)
+from repro.engine.plan import WorkspacePool
+from repro.engine.scheduling import MicroBatch
+from repro.serving.base import BaseRuntime, run_plan_batch
+from repro.serving.request import ServingRequest
 
 
-class ServingRuntime:
+class ServingRuntime(BaseRuntime):
     """Thread-parallel, dynamically-batched serving over one compiled plan."""
 
-    def __init__(
-        self,
-        plan: EnginePlan,
-        policy: str | SchedulingPolicy = "fifo-deadline",
-        micro_batch: int = 8,
-        max_wait: float = 0.01,
-        workers: int = 2,
-        max_pending: int = 0,
-        recorder: Optional[SparsityRecorder] = None,
-        specialized: Optional[Dict[str, EnginePlan]] = None,
-        clock: Callable[[], float] = time.monotonic,
-    ) -> None:
-        if workers <= 0:
-            raise ValueError("workers must be positive")
-        self.plan = plan
-        self.policy = get_policy(policy)
-        self.micro_batch = micro_batch
-        self.workers = workers
-        #: Per-task specialized plans (:func:`repro.engine.specialize.
-        #: specialize_tasks`).  All specialized plans are immutable like the
-        #: dense plan, and every worker's private WorkspacePool keys buffers
-        #: by kernel identity, so the same pool serves whichever plan a
-        #: batch's task selects.
-        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
-        for name in self.specialized:
-            if name not in plan.tasks:
-                raise KeyError(f"specialized plan for unknown task '{name}'")
-        self.recorder = recorder if recorder is not None else SparsityRecorder()
-        self.metrics = ServingMetrics()
-        self._clock = clock
-        self._batcher = DynamicBatcher(
-            micro_batch=micro_batch,
-            max_wait=max_wait,
-            policy=self.policy,
-            max_pending=max_pending,
-            clock=clock,
-        )
-        self._threads: List[threading.Thread] = []
-        self._submit_lock = threading.Lock()
-        self._submitted = 0
-        self._started = False
-        self._stopped = False
+    backend = "thread"
 
-    # -------------------------------------------------------------- lifecycle --
-    def start(self) -> "ServingRuntime":
-        """Spawn the worker pool.  Requests may be submitted before or after."""
-        if self._stopped:
-            raise RuntimeClosedError("a ServingRuntime cannot be restarted")
-        if self._started:
-            return self
-        self._started = True
-        self.metrics.mark_start(self._clock())
+    # --------------------------------------------------------- backend hooks --
+    def _launch_workers(self) -> None:
+        self._threads: List[threading.Thread] = []
         for index in range(self.workers):
             thread = threading.Thread(
-                target=self._worker_loop, name=f"serving-worker-{index}", daemon=True
+                target=self._worker_loop,
+                args=(WorkspacePool(),),
+                name=f"serving-worker-{index}",
+                daemon=True,
             )
             thread.start()
             self._threads.append(thread)
-        return self
 
-    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> ServingReport:
-        """Shut down and return the final :class:`ServingReport`.
-
-        ``drain=True`` (default) stops intake, flushes partial batches and
-        waits for every admitted request to finish; ``drain=False`` cancels
-        everything not yet executing — cancelled futures raise
-        :class:`RequestCancelledError`.  On a runtime that was never
-        started, admitted requests are always cancelled (no worker exists to
-        drain them).  ``timeout`` bounds the *total* wait for the worker
-        pool; if it elapses with workers still running, the returned report
-        is a snapshot, not final — stragglers keep completing futures in the
-        background.
-        """
-        if not self._stopped:
-            self._stopped = True
-            self._batcher.close()
-            if not drain or not self._started:
-                cancelled = self._batcher.drain_cancelled()
-                for request in cancelled:
-                    request.result.set_error(
-                        RequestCancelledError(
-                            f"request {request.index} cancelled by stop(drain=False)"
-                        )
-                    )
-                self.metrics.observe_cancelled(len(cancelled))
-            give_up = None if timeout is None else self._clock() + timeout
-            for thread in self._threads:
-                remaining = None if give_up is None else max(0.0, give_up - self._clock())
-                thread.join(remaining)
-            self.metrics.mark_stop(self._clock())
-        return self.report()
-
-    def __enter__(self) -> "ServingRuntime":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop(drain=exc_type is None)
-
-    # ----------------------------------------------------------------- intake --
-    def submit(
-        self,
-        task: str,
-        image: np.ndarray,
-        deadline: Optional[float] = None,
-        block: bool = True,
-        timeout: Optional[float] = None,
-    ) -> ServingResult:
-        """Admit one ``(C, H, W)`` image for ``task``; returns a future.
-
-        ``deadline`` is an absolute ``time.monotonic()`` timestamp consulted
-        by deadline-aware policies and scored in the metrics.  On a full
-        bounded queue, ``block=False`` raises :class:`QueueFullError`
-        immediately, otherwise the call waits (up to ``timeout`` seconds).
-        """
-        if task not in self.plan.tasks:
-            raise KeyError(f"unknown task '{task}'; compiled: {self.plan.task_names()}")
-        image = np.asarray(image)
-        if image.shape != self.plan.input_shape:
-            raise ValueError(
-                f"expected one image of shape {self.plan.input_shape}, got {image.shape}"
-            )
-        now = self._clock()
-        with self._submit_lock:
-            index = self._submitted
-            self._submitted += 1
-        result = ServingResult(index, task, now, deadline)
-        # Copy so callers may reuse their staging buffer after submit().
-        request = ServingRequest(index, task, image.copy(), now, deadline, result)
-        try:
-            self._batcher.submit(request, block=block, timeout=timeout)
-        except QueueFullError:
-            # Only genuine overload counts as a rejection in the report;
-            # RuntimeClosedError during shutdown is not a capacity signal.
-            self.metrics.observe_rejection()
-            raise
-        return result
-
-    def submit_many(
-        self, items: Sequence[Tuple[str, np.ndarray]], **kwargs
-    ) -> List[ServingResult]:
-        """Convenience loop over :meth:`submit` for ``(task, image)`` pairs."""
-        return [self.submit(task, image, **kwargs) for task, image in items]
-
-    def pending(self) -> int:
-        return self._batcher.pending()
-
-    # ---------------------------------------------------------------- workers --
-    def _worker_loop(self) -> None:
-        pool = WorkspacePool()
-        last_task: Optional[str] = None
-        while True:
-            batch = self._batcher.next_batch(last_task)
-            if batch is None:
-                return
-            self._execute(batch, pool, last_task)
-            last_task = batch.task
-
-    def plan_for(self, task: str) -> EnginePlan:
-        """The plan a batch of ``task`` executes (specialized when available)."""
-        return self.specialized.get(task, self.plan)
+    def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
+        # ``timeout`` bounds the *total* wait; if it elapses with workers
+        # still running, stragglers keep completing futures in the background.
+        give_up = None if timeout is None else self._clock() + timeout
+        for thread in self._threads:
+            remaining = None if give_up is None else max(0.0, give_up - self._clock())
+            thread.join(remaining)
 
     def _execute(
         self, batch: MicroBatch, pool: WorkspacePool, last_task: Optional[str]
@@ -215,75 +72,19 @@ class ServingRuntime:
         images = np.stack([request.image for request in requests])
         start = self._clock()
         plan = self.plan_for(batch.task)
-        # Fall back to the shared dense plan's dynamic config so enabling the
-        # fast path after specialization still applies to specialized batches.
-        ctx = RunContext(plan.dynamic if plan.dynamic is not None else self.plan.dynamic)
         try:
-            logits = plan.run(
-                images, batch.task, recorder=self.recorder, workspaces=pool, ctx=ctx
+            logits = run_plan_batch(
+                plan, self.plan.dynamic, images, batch.task, self.recorder, pool
             )
         except Exception as error:  # pragma: no cover - defensive: surface, don't die
-            for request in requests:
-                request.result.set_error(error)
-            self.metrics.observe_error(len(requests))
+            self._fail_batch(requests, error)
             return
-        self.recorder.record_pass(batch.task, len(requests))
-        self.recorder.record_macs(ctx.dense_macs, ctx.effective_macs)
         finish = self._clock()
-        latencies, queue_waits, deadline_results = [], [], []
-        for request, row in zip(requests, logits):
-            request.result.set_result(row, start, finish)
-            latencies.append(finish - request.arrival_time)
-            queue_waits.append(start - request.arrival_time)
-            deadline_results.append(request.result.deadline_met)
-        self.metrics.observe_batch(
+        self._complete_batch(
+            requests,
+            logits,
             batch.task,
-            latencies,
-            queue_waits,
+            start,
+            finish,
             switched=last_task is not None and last_task != batch.task,
-            deadline_results=deadline_results,
-        )
-
-    # ---------------------------------------------------------------- reports --
-    def report(self) -> ServingReport:
-        """Current metrics snapshot (final once :meth:`stop` returned).
-
-        ``task_switches`` counts **per-worker** switches (each worker models
-        one accelerator pipeline); :meth:`hardware_report` instead charges
-        reloads on the single global interleaved schedule, which alternates
-        more under multi-worker load — the two numbers answer different
-        questions and are not expected to match.
-        """
-        return self.metrics.report(self.policy.name, self.workers, now=self._clock())
-
-    def reset_stats(self) -> None:
-        """Start a fresh measurement window (mirrors the offline engine).
-
-        Clears the metrics *and* the sparsity recorder.  Long-lived runtimes
-        should call this periodically: both grow with every served image
-        (per-request latency samples, one schedule slot per image) and are
-        never trimmed otherwise.
-        """
-        self.metrics.reset(self._clock() if self._started else None)
-        self.recorder.reset()
-
-    def sparsity_profile(self, default_sparsity: float = 0.0):
-        """Measured per-task, per-layer sparsity as a simulator-ready profile."""
-        return self.recorder.to_profile(default_sparsity=default_sparsity)
-
-    def hardware_report(
-        self,
-        shapes: Sequence[LayerShape],
-        config: ExecutionConfig | None = None,
-        simulator: SystolicArraySimulator | None = None,
-        conv_only: bool = False,
-    ) -> BatchResult:
-        """Simulate the *online* schedule this runtime actually executed.
-
-        The recorder covers the runtime's whole lifetime: the interleaved
-        order the worker pool produced under load is exactly the schedule the
-        systolic-array simulator charges parameter reloads against.
-        """
-        return recorder_hardware_report(
-            self.recorder, shapes, config=config, simulator=simulator, conv_only=conv_only
         )

@@ -1,0 +1,536 @@
+"""Process-sharded serving: one plan, N worker processes, zero-copy rings.
+
+The thread backend (:class:`~repro.serving.runtime.ServingRuntime`) scales
+until the GIL-bound stages — im2col assembly, threshold masking, batch
+stacking — saturate one core; the BLAS GEMMs release the GIL but everything
+around them serialises.  :class:`ShardedRuntime` removes that ceiling by
+running the workers as spawned **processes**:
+
+* **Spawn-safe plan transport** — each worker rebuilds its
+  :class:`~repro.engine.EnginePlan` (and any per-task specialized plans) from
+  a picklable :class:`~repro.engine.PlanSpec` shipped once at startup, rather
+  than pickling a live plan whose workspace pool and kernel uids are
+  process-local by contract.
+* **Shared-memory rings** — per worker, a fixed-slot input ring and output
+  ring backed by :class:`multiprocessing.shared_memory.SharedMemory`.  The
+  parent writes a micro-batch's images straight into a free input slot and
+  sends only a tiny descriptor through the control queue; the worker runs the
+  plan and writes logits into the matching output slot.  Activations never
+  pass through pickle.
+* **Task-affinity routing with work stealing** — a dispatcher thread pulls
+  closed micro-batches from the same :class:`~repro.serving.batcher.
+  DynamicBatcher` the thread backend uses and routes each batch to its
+  task's home shard (stable hash), so a task's weights stay hot in one
+  worker's caches; when the home shard is busy and another shard sits idle,
+  the idle shard steals the batch instead.
+* **Merged accounting** — every worker keeps a private
+  :class:`~repro.engine.SparsityRecorder` and ships its snapshot home at
+  shutdown; the parent folds them into one recorder, so
+  :meth:`~repro.serving.base.BaseRuntime.hardware_report`, the sparsity
+  profile and the effective-MAC totals in the final
+  :class:`~repro.serving.metrics.ServingReport` cover the whole fleet.
+
+``stop(timeout=...)`` semantics differ from the thread backend in one way:
+shared-memory rings cannot outlive the runtime, so when the timeout elapses
+with workers still busy the stragglers are **terminated** and their inflight
+requests fail, rather than completing in the background.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+import zlib
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.plan import EnginePlan, WorkspacePool
+from repro.engine.planspec import PlanSpec
+from repro.engine.scheduling import MicroBatch
+from repro.engine.stats import SparsityRecorder
+from repro.serving.base import BaseRuntime, run_plan_batch
+from repro.serving.request import ServingRequest
+
+__all__ = ["ShardedRuntime"]
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    Before 3.13 (``track=False``), an attaching process registers the segment
+    with the resource tracker, which then unlinks it when *this* process
+    exits — yanking the ring out from under the parent that owns it (and
+    double-unregistering when the parent later unlinks for real).  Ownership
+    stays with the parent: it created the segment, it unlinks it, so the
+    attach here must leave no tracker record at all.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:  # pragma: no cover - interpreter-version dependent
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _skip_shared_memory(resource_name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original_register(resource_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _shard_worker_main(
+    worker_id: int,
+    plan_spec: PlanSpec,
+    specialized_specs: Dict[str, PlanSpec],
+    in_name: str,
+    out_name: str,
+    in_slot_bytes: int,
+    out_slot_bytes: int,
+    input_shape: Tuple[int, int, int],
+    dtype_name: str,
+    task_queue,
+    result_queue,
+) -> None:
+    """Entry point of one spawned shard worker.
+
+    Builds private plans from the shipped specs (fresh kernels, empty
+    workspace pool — nothing is inherited from the parent), then serves
+    descriptors until the ``None`` sentinel arrives, finally shipping its
+    recorder snapshot home.
+    """
+    try:
+        plan = plan_spec.build()
+        specialized = {name: spec.build() for name, spec in specialized_specs.items()}
+        in_shm = _attach_shm(in_name)
+        out_shm = _attach_shm(out_name)
+    except Exception as error:  # pragma: no cover - startup failure path
+        result_queue.put(("fatal", worker_id, repr(error)))
+        return
+    dtype = np.dtype(dtype_name)
+    pool = WorkspacePool()
+    recorder = SparsityRecorder()
+    result_queue.put(("ready", worker_id))
+    try:
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            if message == "reset":
+                # reset_stats() marker: ordered with the batch descriptors,
+                # so the worker's window boundary matches dispatch order.
+                recorder.reset()
+                continue
+            slot, task, n = message
+            images = np.ndarray(
+                (n,) + tuple(input_shape),
+                dtype=dtype,
+                buffer=in_shm.buf,
+                offset=slot * in_slot_bytes,
+            )
+            started = time.perf_counter()
+            try:
+                exec_plan = specialized.get(task, plan)
+                logits = run_plan_batch(exec_plan, plan.dynamic, images, task, recorder, pool)
+            except Exception as error:
+                result_queue.put(("error", worker_id, slot, repr(error)))
+                continue
+            classes = logits.shape[1]
+            out = np.ndarray(
+                (n, classes), dtype=dtype, buffer=out_shm.buf, offset=slot * out_slot_bytes
+            )
+            out[:] = logits
+            service = time.perf_counter() - started
+            result_queue.put(("done", worker_id, slot, n, classes, service))
+    finally:
+        result_queue.put(("stats", worker_id, recorder.snapshot()))
+        in_shm.close()
+        out_shm.close()
+
+
+class _Shard:
+    """Parent-side handle on one worker process and its rings."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "task_queue",
+        "in_shm",
+        "out_shm",
+        "free_slots",
+        "inflight",
+        "last_task",
+        "dead",
+    )
+
+    def __init__(self, index: int, ring_slots: int) -> None:
+        self.index = index
+        self.process = None
+        self.task_queue = None
+        self.in_shm: Optional[shared_memory.SharedMemory] = None
+        self.out_shm: Optional[shared_memory.SharedMemory] = None
+        self.free_slots: List[int] = list(range(ring_slots))
+        self.inflight = 0
+        self.last_task: Optional[str] = None
+        self.dead = False
+
+
+class ShardedRuntime(BaseRuntime):
+    """Process-parallel serving over spawn-safe copies of one compiled plan.
+
+    Construction mirrors :class:`~repro.serving.ServingRuntime`; the extra
+    knobs are ``mp_context`` (``"spawn"`` by default — the only start method
+    that is safe everywhere; ``"fork"``/``"forkserver"`` are accepted where
+    the platform offers them), ``ring_slots`` (micro-batches in flight per
+    worker before the dispatcher backpressures) and ``start_timeout``
+    (seconds to wait for every spawned worker to finish rebuilding its plan).
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        plan: EnginePlan,
+        *,
+        mp_context: str = "spawn",
+        ring_slots: int = 4,
+        start_timeout: float = 120.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(plan, **kwargs)
+        if ring_slots <= 0:
+            raise ValueError("ring_slots must be positive")
+        self._mp_context = get_context(mp_context)
+        self._ring_slots = ring_slots
+        self._start_timeout = start_timeout
+        itemsize = np.dtype(plan.dtype).itemsize
+        per_image = int(np.prod(plan.input_shape))
+        self._in_slot_bytes = self.micro_batch * per_image * itemsize
+        self._max_classes = max(task.num_classes for task in plan.tasks.values())
+        self._out_slot_bytes = self.micro_batch * self._max_classes * itemsize
+        self._shards: List[_Shard] = []
+        self._result_queue = None
+        self._route_lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._route_lock)
+        #: (worker_id, slot) -> (requests, dispatch_time, switched)
+        self._inflight: Dict[Tuple[int, int], Tuple[List[ServingRequest], float, bool]] = {}
+        self._stats_pending: set = set()
+        self._collector_done = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._collector: Optional[threading.Thread] = None
+
+    # --------------------------------------------------------- backend hooks --
+    def _launch_workers(self) -> None:
+        plan_spec = PlanSpec.from_plan(self.plan)
+        specialized_specs = {
+            name: PlanSpec.from_plan(spec) for name, spec in self.specialized.items()
+        }
+        ctx = self._mp_context
+        self._result_queue = ctx.Queue()
+        self._stats_pending = set(range(self.workers))
+        for index in range(self.workers):
+            shard = _Shard(index, self._ring_slots)
+            shard.in_shm = shared_memory.SharedMemory(
+                create=True, size=self._ring_slots * self._in_slot_bytes
+            )
+            shard.out_shm = shared_memory.SharedMemory(
+                create=True, size=self._ring_slots * self._out_slot_bytes
+            )
+            shard.task_queue = ctx.Queue()
+            shard.process = ctx.Process(
+                target=_shard_worker_main,
+                name=f"serving-shard-{index}",
+                args=(
+                    index,
+                    plan_spec,
+                    specialized_specs,
+                    shard.in_shm.name,
+                    shard.out_shm.name,
+                    self._in_slot_bytes,
+                    self._out_slot_bytes,
+                    tuple(self.plan.input_shape),
+                    np.dtype(self.plan.dtype).name,
+                    shard.task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            shard.process.start()
+            self._shards.append(shard)
+        self._await_ready()
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="serving-shard-collector", daemon=True
+        )
+        self._collector.start()
+        self._dispatcher = threading.Thread(
+            target=self._worker_loop, args=(None,), name="serving-shard-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def _await_ready(self) -> None:
+        """Block until every worker rebuilt its plan (so reported throughput
+        measures serving, not interpreter spawn + NumPy import time)."""
+        deadline = time.monotonic() + self._start_timeout
+        waiting = set(range(self.workers))
+        while waiting:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                kind = message[0]
+                if kind == "ready":
+                    waiting.discard(message[1])
+                    continue
+                if kind == "fatal":
+                    self._teardown_processes(force=True)
+                    raise RuntimeError(
+                        f"shard worker {message[1]} failed to start: {message[2]}"
+                    )
+            for shard in self._shards:
+                if shard.index in waiting and not shard.process.is_alive():
+                    self._teardown_processes(force=True)
+                    raise RuntimeError(
+                        f"shard worker {shard.index} died during startup "
+                        f"(exitcode {shard.process.exitcode})"
+                    )
+            if time.monotonic() > deadline:
+                self._teardown_processes(force=True)
+                raise RuntimeError(
+                    f"shard workers not ready within {self._start_timeout}s"
+                )
+
+    # ----------------------------------------------------------------- routing --
+    def _home_shard(self, task: str) -> int:
+        """Stable task→shard affinity (keeps a task's weights cache-hot)."""
+        return zlib.crc32(task.encode("utf-8")) % len(self._shards)
+
+    def _pick_shard(self, task: str) -> Optional[_Shard]:
+        """Home shard unless it is busy and someone else is idle.  Lock held."""
+        live = [shard for shard in self._shards if not shard.dead]
+        if not live:
+            return None
+        home = self._shards[self._home_shard(task)]
+        if home.dead:
+            # Re-home deterministically among the survivors.
+            home = live[self._home_shard(task) % len(live)]
+        if home.inflight == 0 and home.free_slots:
+            return home
+        idle = [shard for shard in live if shard.inflight == 0 and shard.free_slots]
+        if idle:
+            # Work stealing: the home shard is busy and these are not.
+            return idle[0]
+        return home
+
+    def _execute(self, batch: MicroBatch, state, last_task: Optional[str]) -> None:
+        """Route one closed micro-batch to a shard (dispatcher thread)."""
+        requests: List[ServingRequest] = batch.requests  # type: ignore[assignment]
+        with self._route_lock:
+            while True:
+                shard = self._pick_shard(batch.task)
+                if shard is None:
+                    break
+                if shard.free_slots:
+                    slot = shard.free_slots.pop()
+                    break
+                # Chosen shard's ring is full: wait for the collector to free
+                # a slot (or mark a shard dead), then re-route.
+                self._slot_freed.wait(0.25)
+            if shard is not None and shard.in_shm is not None:
+                switched = shard.last_task is not None and shard.last_task != batch.task
+                shard.last_task = batch.task
+                shard.inflight += 1
+                dispatch_time = self._clock()
+                self._inflight[(shard.index, slot)] = (requests, dispatch_time, switched)
+                # Ring write under the lock: a timed-out stop() tears rings
+                # down under the same lock, so the segment cannot vanish
+                # mid-copy.  The copy is one micro-batch — microseconds.
+                view = np.ndarray(
+                    (len(requests),) + tuple(self.plan.input_shape),
+                    dtype=self.plan.dtype,
+                    buffer=shard.in_shm.buf,
+                    offset=slot * self._in_slot_bytes,
+                )
+                for row, request in enumerate(requests):
+                    view[row] = request.image  # cast to the plan dtype lands in the ring
+                del view
+                shard.task_queue.put((slot, batch.task, len(requests)))
+                return
+        self._fail_batch(
+            requests, RuntimeError("no live shard worker to execute the batch")
+        )
+
+    # --------------------------------------------------------------- collector --
+    def _collector_loop(self) -> None:
+        while self._stats_pending:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                self._reap_dead_shards()
+                continue
+            kind = message[0]
+            if kind == "done":
+                _, worker_id, slot, n, classes, service = message
+                self._finish_batch(worker_id, slot, n, classes, service)
+            elif kind == "error":
+                _, worker_id, slot, error_repr = message
+                self._abort_batch(worker_id, slot, RuntimeError(error_repr))
+            elif kind == "stats":
+                _, worker_id, snapshot = message
+                self.recorder.merge_snapshot(snapshot)
+                self._stats_pending.discard(worker_id)
+        self._collector_done.set()
+
+    def _finish_batch(self, worker_id: int, slot: int, n: int, classes: int, service: float) -> None:
+        shard = self._shards[worker_id]
+        finish = self._clock()
+        # The ring read happens under the route lock so a timed-out stop()
+        # cannot unlink the segment mid-copy (teardown takes the same lock).
+        with self._route_lock:
+            entry = self._inflight.pop((worker_id, slot), None)
+            if entry is None or shard.out_shm is None:
+                return  # already failed by teardown/reaper
+            requests, dispatch_time, switched = entry
+            out = np.ndarray(
+                (n, classes),
+                dtype=self.plan.dtype,
+                buffer=shard.out_shm.buf,
+                offset=slot * self._out_slot_bytes,
+            )
+            logits = np.array(out)  # copy out before the slot is recycled
+            shard.free_slots.append(slot)
+            shard.inflight -= 1
+            self._slot_freed.notify_all()
+        start = max(dispatch_time, finish - service)
+        self._complete_batch(
+            requests, logits, requests[0].task, start, finish, switched=switched
+        )
+
+    def _abort_batch(self, worker_id: int, slot: int, error: BaseException) -> None:
+        shard = self._shards[worker_id]
+        with self._route_lock:
+            entry = self._inflight.pop((worker_id, slot), None)
+            if entry is None:
+                return
+            requests, _, _ = entry
+            shard.free_slots.append(slot)
+            shard.inflight -= 1
+            self._slot_freed.notify_all()
+        self._fail_batch(requests, error)
+
+    def _reap_dead_shards(self) -> None:
+        """Fail the inflight work of any worker that died without reporting."""
+        for shard in self._shards:
+            if shard.dead or shard.process is None or shard.process.is_alive():
+                continue
+            if shard.index not in self._stats_pending:
+                continue  # exited cleanly after its stats message
+            with self._route_lock:
+                shard.dead = True
+                stranded = [
+                    key for key in self._inflight if key[0] == shard.index
+                ]
+                batches = [self._inflight.pop(key) for key in stranded]
+                self._slot_freed.notify_all()
+            self._stats_pending.discard(shard.index)
+            for requests, _, _ in batches:
+                self._fail_batch(
+                    requests,
+                    RuntimeError(
+                        f"shard worker {shard.index} died "
+                        f"(exitcode {shard.process.exitcode})"
+                    ),
+                )
+
+    # ----------------------------------------------------------------- stats --
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window across the whole fleet.
+
+        Clears the parent's metrics/recorder and sends each worker a reset
+        marker through its control queue, so worker-side recorders (merged
+        into the parent at ``stop()``) drop everything dispatched before the
+        reset.  The marker is ordered with the batch descriptors: batches
+        dispatched before the reset land in the old window even if they are
+        still executing when this returns — the same in-progress blur the
+        thread backend's reset has.
+        """
+        super().reset_stats()
+        if self._started and not self._stopped:
+            for shard in self._shards:
+                if not shard.dead and shard.task_queue is not None:
+                    shard.task_queue.put("reset")
+
+    # ---------------------------------------------------------------- shutdown --
+    def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
+        give_up = None if timeout is None else time.monotonic() + timeout
+
+        def remaining(default: Optional[float] = None) -> Optional[float]:
+            if give_up is None:
+                return default
+            return max(0.0, give_up - time.monotonic())
+
+        # 1. The dispatcher drains the batcher (closed by stop()) and exits.
+        if self._dispatcher is not None:
+            self._dispatcher.join(remaining())
+        # 2. Sentinels let each worker finish its queue, report stats, exit.
+        for shard in self._shards:
+            if not shard.dead:
+                shard.task_queue.put(None)
+        # 3. The collector exits once every worker's stats snapshot arrived.
+        self._collector_done.wait(remaining())
+        stragglers = [
+            shard
+            for shard in self._shards
+            if shard.process is not None and shard.process.is_alive()
+        ]
+        for shard in stragglers:
+            shard.process.join(remaining())
+        self._teardown_processes(force=True)
+        if self._collector is not None:
+            self._collector.join(remaining(1.0))
+
+    def _teardown_processes(self, force: bool) -> None:
+        """Terminate stragglers, fail their futures, release the rings.
+
+        Marks every shard dead under the route lock and wakes the
+        dispatcher's slot-wait loop: after a timed-out ``stop()`` the
+        dispatcher may still be blocked waiting for a free slot, and it must
+        observe a fleet with no live shard so the batch it is holding (and
+        everything still queued) fails fast instead of hanging its futures.
+        """
+        for shard in self._shards:
+            if shard.process is not None and shard.process.is_alive():
+                if not force:
+                    continue
+                shard.process.terminate()
+                shard.process.join(5.0)
+            with self._route_lock:
+                shard.dead = True
+                stranded = [key for key in self._inflight if key[0] == shard.index]
+                batches = [self._inflight.pop(key) for key in stranded]
+                for shm in (shard.in_shm, shard.out_shm):
+                    if shm is None:
+                        continue
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover - already gone
+                        pass
+                shard.in_shm = shard.out_shm = None
+                self._slot_freed.notify_all()
+            for requests, _, _ in batches:
+                self._fail_batch(
+                    requests, RuntimeError(f"shard worker {shard.index} terminated at stop()")
+                )
+            if shard.task_queue is not None:
+                shard.task_queue.close()
+                shard.task_queue = None
+        self._stats_pending = set()
+        self._collector_done.set()

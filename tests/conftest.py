@@ -15,6 +15,22 @@ from repro.models import vgg_tiny
 from repro.mime import MimeNetwork
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden JSON snapshots under tests/golden/ "
+        "instead of asserting against them (review the diff before committing)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden files (``--update-golden``)."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -69,10 +69,33 @@ class TestCommands:
             "--micro-batch", "4", "--tasks", "2",
         ]) == 0
         output = capsys.readouterr().out
-        assert "policy=fifo-deadline workers=2" in output
+        assert "policy=fifo-deadline backend=thread workers=2" in output
         assert "images/sec" in output
         assert "p50/p95/p99" in output
         assert "systolic-array estimate" in output
+
+
+class TestBackendFlags:
+    def test_parser_accepts_backend_arguments(self):
+        args = build_parser().parse_args(["serve", "--backend", "process", "--workers", "4"])
+        assert args.backend == "process" and args.workers == 4
+        args = build_parser().parse_args(["serve-bench", "--backend", "thread"])
+        assert args.backend == "thread" and args.workers == 2
+        assert build_parser().parse_args(["serve"]).backend == "thread"
+        assert build_parser().parse_args(["serve-bench"]).backend == "engine"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "engine"])  # serve is online-only
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--backend", "bogus"])
+
+    def test_serve_bench_thread_backend_prints_serving_report(self, capsys):
+        assert main([
+            "serve-bench", "--backend", "thread", "--workers", "2",
+            "--requests", "16", "--micro-batch", "4", "--tasks", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "backend=thread workers=2" in output
+        assert "images/sec" in output
 
 
 class TestSpecializationFlags:

@@ -1,0 +1,123 @@
+"""Golden regression fixtures for the systolic-array simulator.
+
+Two canned scenarios — singular task mode under the MIME config and
+pipelined task mode under the Case-1 baseline config, both on the paper's
+VGG16 shapes and Table II/III sparsity — are snapshotted as JSON under
+``tests/golden/``.  A simulator refactor that drifts any per-layer energy
+term, access count or cycle estimate fails loudly against the snapshot
+instead of silently re-baselining the paper-figure reproductions.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_hardware.py --update-golden
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import paper_sparsity_profiles
+from repro.hardware.scenario import (
+    case1_config,
+    mime_config,
+    pipelined_task_schedule,
+    singular_task_schedule,
+)
+from repro.hardware.simulator import BatchResult, SystolicArraySimulator
+from repro.models import vgg16_layer_shapes
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+TASKS = ("cifar10", "cifar100", "fmnist")
+
+
+def _singular_mime() -> BatchResult:
+    mime_profile, _ = paper_sparsity_profiles()
+    schedule = singular_task_schedule(["cifar10", "cifar100"], images_per_task=3)
+    return SystolicArraySimulator().run(
+        vgg16_layer_shapes(), schedule, mime_profile, mime_config()
+    )
+
+
+def _pipelined_case1() -> BatchResult:
+    _, baseline_profile = paper_sparsity_profiles()
+    schedule = pipelined_task_schedule(TASKS, rounds=2)
+    return SystolicArraySimulator().run(
+        vgg16_layer_shapes(), schedule, baseline_profile, case1_config()
+    )
+
+
+SCENARIOS = {
+    "singular_mime": _singular_mime,
+    "pipelined_case1": _pipelined_case1,
+}
+
+
+def batch_result_to_dict(result: BatchResult) -> dict:
+    """A stable plain-data projection of everything the figures consume."""
+    return {
+        "scenario": result.scenario,
+        "total_cycles": result.total_cycles(),
+        "total_energy": result.total_energy().as_dict(),
+        "layers": [
+            {
+                "name": layer.name,
+                "energy": layer.energy.as_dict(),
+                "macs": layer.macs,
+                "dram_words": layer.dram_words,
+                "param_dram_words": layer.param_dram_words,
+                "act_dram_words": layer.act_dram_words,
+                "cache_accesses": layer.cache_accesses,
+                "reg_accesses": layer.reg_accesses,
+                "cycles": layer.cycles,
+                "weight_load_events": layer.weight_load_events,
+                "threshold_load_events": layer.threshold_load_events,
+            }
+            for layer in result.layers
+        ],
+    }
+
+
+def assert_matches_golden(payload, golden, path: str = "") -> None:
+    """Recursive comparison with a tight relative tolerance on floats."""
+    if isinstance(golden, dict):
+        assert isinstance(payload, dict), f"{path}: expected mapping"
+        assert sorted(payload) == sorted(golden), f"{path}: key set changed"
+        for key in golden:
+            assert_matches_golden(payload[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(payload, list), f"{path}: expected list"
+        assert len(payload) == len(golden), f"{path}: length changed"
+        for index, (lhs, rhs) in enumerate(zip(payload, golden)):
+            assert_matches_golden(lhs, rhs, f"{path}[{index}]")
+    elif isinstance(golden, float):
+        assert payload == pytest.approx(golden, rel=1e-9, abs=1e-12), (
+            f"{path}: {payload!r} drifted from golden {golden!r}"
+        )
+    else:
+        assert payload == golden, f"{path}: {payload!r} != golden {golden!r}"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_hardware_report_matches_golden(name, update_golden):
+    payload = batch_result_to_dict(SCENARIOS[name]())
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert path.exists(), (
+        f"golden file {path} missing; generate it with --update-golden and "
+        "commit it"
+    )
+    golden = json.loads(path.read_text())
+    assert_matches_golden(payload, golden, name)
+
+
+def test_golden_files_are_committed():
+    """Both snapshots must exist in the repo (not rely on --update-golden)."""
+    for name in SCENARIOS:
+        assert (GOLDEN_DIR / f"{name}.json").exists()

@@ -20,6 +20,7 @@ from repro.mime import MimeNetwork
 from repro.models import extract_layer_shapes, vgg_tiny
 from repro.serving import (
     LoadGenerator,
+    ManualClock,
     QueueFullError,
     RequestCancelledError,
     RuntimeClosedError,
@@ -89,14 +90,22 @@ def test_futures_resolve_with_correct_shapes_and_timestamps(served):
 
 def test_partial_batch_closes_on_max_wait(served):
     _, _, plan = served
-    # One request, micro_batch far larger: only the max-wait timer can close it.
-    with ServingRuntime(plan, micro_batch=64, max_wait=0.05, workers=1) as runtime:
-        start = time.monotonic()
+    clock = ManualClock()
+    # One request, micro_batch far larger: only the max-wait timer can close
+    # it.  On the fake clock the batch *cannot* close until time is advanced
+    # past max_wait, and once it executes every timestamp is deterministic.
+    with ServingRuntime(
+        plan, micro_batch=64, max_wait=0.05, workers=1, clock=clock
+    ) as runtime:
         future = runtime.submit("alpha", np.zeros((3, 16, 16)))
+        assert not future.done(), "batch closed although fake time never advanced"
+        clock.advance(0.06)
         future.result(timeout=10.0)
-        elapsed = time.monotonic() - start
-    assert future.queue_wait >= 0.04, "batch closed before the max-wait deadline"
-    assert elapsed < 5.0, "max-wait timer never fired"
+    assert future.queue_wait == pytest.approx(0.06), (
+        "batch must close exactly when the advanced clock passed max_wait"
+    )
+    assert future.latency == pytest.approx(0.06)
+    assert future.queue_wait >= 0.05, "batch closed before the max-wait deadline"
 
 
 # ------------------------------------------------------------ admission -------
@@ -269,11 +278,17 @@ def test_metrics_and_hardware_report_round_trip(served):
 
 def test_deadline_accounting(served):
     _, _, plan = served
-    with ServingRuntime(plan, micro_batch=4, max_wait=0.001, workers=2) as runtime:
+    clock = ManualClock(start=100.0)
+    # Deadlines and finish times live on the same fake clock, so met/missed
+    # is decided by arithmetic, not by how fast this machine executes.
+    with ServingRuntime(
+        plan, micro_batch=4, max_wait=0.001, workers=2, clock=clock
+    ) as runtime:
         generous = runtime.submit("alpha", np.zeros((3, 16, 16)),
-                                  deadline=time.monotonic() + 60.0)
+                                  deadline=clock() + 60.0)
         hopeless = runtime.submit("beta", np.zeros((3, 16, 16)),
-                                  deadline=time.monotonic() - 1.0)
+                                  deadline=clock() - 1.0)
+        clock.advance(0.01)  # past max_wait: both partial batches close
         generous.result(timeout=10.0)
         hopeless.result(timeout=10.0)
     assert generous.deadline_met is True
@@ -315,6 +330,37 @@ def test_load_generator_mix_and_scenarios():
         LoadGenerator(TASK_NAMES, rate=10.0, burst_factor=2.0)  # no period
     with pytest.raises(ValueError):
         LoadGenerator.skewed(TASK_NAMES, rate=10.0, hot_fraction=1.5)
+
+
+def test_replay_paces_and_stamps_deadlines_on_the_runtime_clock(served):
+    _, _, plan = served
+    clock = ManualClock()
+    runtime = ServingRuntime(plan, micro_batch=4, max_wait=0.001, workers=1, clock=clock)
+    generator = LoadGenerator.uniform(TASK_NAMES, rate=100.0, seed=3)
+    sleeps = []
+
+    def fake_sleep(seconds: float) -> None:
+        sleeps.append(seconds)
+        clock.advance(seconds)
+
+    runtime.start()
+    futures = generator.replay(
+        runtime,
+        lambda task, number: np.zeros((3, 16, 16)),
+        num_requests=8,
+        deadline_slack=30.0,
+        sleep=fake_sleep,
+    )
+    submitted_by = clock()
+    runtime.stop(drain=True)
+    assert sleeps, "pacing must flow through the injectable sleep"
+    assert all(future.done() for future in futures)
+    # Deadlines were stamped on the fake clock: arrival + slack, far beyond
+    # any finish time this run can produce.
+    for future in futures:
+        assert future.deadline is not None
+        assert 30.0 <= future.deadline <= submitted_by + 30.0
+    assert runtime.report().deadline_misses == 0
 
 
 def test_load_generator_replay_end_to_end(served):
