@@ -9,8 +9,6 @@ architectural assumption (called out in DESIGN.md as a design-choice ablation).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.figures import paper_sparsity_profiles, paper_vgg16_shapes
 from repro.experiments.report import render_table
 from repro.hardware import (

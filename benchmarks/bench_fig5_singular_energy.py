@@ -6,8 +6,6 @@ E_DRAM is slightly *higher* than Case-2 because thresholds must also be fetched.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.figures import figure5_singular_energy
 from repro.experiments.report import render_energy_report, render_ratio_table
 from benchmarks.conftest import run_once

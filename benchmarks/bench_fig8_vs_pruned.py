@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.figures import figure8_vs_pruned
-from repro.experiments.report import render_ratio_table, render_table
+from repro.experiments.report import render_table
 from benchmarks.conftest import run_once
 
 

@@ -25,7 +25,6 @@ Run standalone with ``pytest benchmarks/bench_serving_latency.py -s``; pass
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest

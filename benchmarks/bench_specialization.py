@@ -31,7 +31,6 @@ import time
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 from repro.engine import (
     MultiTaskEngine,

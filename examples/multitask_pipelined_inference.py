@@ -23,7 +23,7 @@ from repro.hardware import (
     pipelined_task_schedule,
 )
 from repro.mime import MimeNetwork, ThresholdTrainer, average_sparsity_over_loader
-from repro.models import extract_layer_shapes, vgg_small
+from repro.models import vgg_small
 
 
 def main() -> None:

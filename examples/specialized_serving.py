@@ -102,7 +102,7 @@ def main() -> None:
         for future in futures:
             future.result(timeout=30.0)
     report = runtime.hardware_report(extract_layer_shapes(network.backbone), conv_only=True)
-    print(f"\nsystolic-array estimate over the measured online schedule:")
+    print("\nsystolic-array estimate over the measured online schedule:")
     print(f"  total energy {report.total_energy().total:,.0f} units, "
           f"{report.total_cycles():,.0f} cycles")
     print(f"  engine-side effective MACs: {report.measured_effective_macs:,} of "

@@ -1,0 +1,34 @@
+"""Versioned model artifacts: the serving stack's unit of deployment.
+
+Everything the engine needs to serve one model — backbone weights and
+per-task thresholds, the measured :class:`~repro.engine.CalibrationProfile`,
+the compiled dense :class:`~repro.engine.PlanSpec` and its per-task
+specialized variants — travels together as one :class:`ModelArtifact`: an
+on-disk bundle with a schema-versioned JSON manifest whose content hashes
+make corruption and partial writes detectable (:meth:`ModelArtifact.verify`).
+
+A :class:`ModelStore` keeps many named artifact versions under one root with
+an atomically-updated ``latest`` pointer, which is what turns the serving
+runtimes' hot-swap control plane (:meth:`repro.serving.BaseRuntime.swap`)
+into a zero-downtime deployment story: export a version with ``repro
+export``, publish it, and a live runtime swaps to it between micro-batches
+without restarting.
+"""
+
+from repro.artifacts.artifact import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    ModelArtifact,
+)
+from repro.artifacts.store import ModelStore
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "ModelArtifact",
+    "ModelStore",
+]

@@ -1,0 +1,131 @@
+"""A directory of named artifact versions with an atomic ``latest`` pointer.
+
+Layout::
+
+    <root>/
+        versions/
+            v001/           one ModelArtifact bundle per version
+            v002/
+            canary/         versions may also carry explicit names
+        latest              text file naming the current version
+
+Publishing stages the bundle into a hidden temporary directory and renames it
+into place (one ``os.replace`` — atomic on POSIX), then rewrites the
+``latest`` pointer the same way, so a reader never observes a half-written
+version and ``load("latest")`` always resolves to a complete bundle.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import List, Optional
+
+from repro.artifacts.artifact import ArtifactError, ModelArtifact
+
+__all__ = ["ModelStore"]
+
+_LATEST_FILE = "latest"
+_VERSIONS_DIR = "versions"
+_AUTO_VERSION = re.compile(r"^v(\d+)$")
+
+
+class ModelStore:
+    """Multiple named :class:`ModelArtifact` versions under one root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._versions_dir = self.root / _VERSIONS_DIR
+
+    # --------------------------------------------------------------- paths --
+    def path(self, version: str) -> Path:
+        """Directory of ``version`` (which need not exist yet)."""
+        if not version or "/" in version or version.startswith("."):
+            raise ArtifactError(f"invalid version name {version!r}")
+        return self._versions_dir / version
+
+    def versions(self) -> List[str]:
+        """Every published version name, sorted."""
+        if not self._versions_dir.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self._versions_dir.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        )
+
+    def latest(self) -> Optional[str]:
+        """The version the ``latest`` pointer names, or ``None`` when unset."""
+        pointer = self.root / _LATEST_FILE
+        if not pointer.is_file():
+            return None
+        name = pointer.read_text().strip()
+        return name or None
+
+    def _next_auto_version(self) -> str:
+        highest = 0
+        for name in self.versions():
+            match = _AUTO_VERSION.match(name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"v{highest + 1:03d}"
+
+    # ------------------------------------------------------------- publish --
+    def publish(
+        self, artifact: ModelArtifact, version: Optional[str] = None, set_latest: bool = True
+    ) -> str:
+        """Save ``artifact`` as a new version; returns the version name.
+
+        ``version=None`` auto-numbers (``v001``, ``v002``, ...).  The bundle
+        is staged under a dotted temporary name and renamed into place, so
+        concurrent readers never see a partial version.
+        """
+        version = version if version is not None else self._next_auto_version()
+        destination = self.path(version)
+        if destination.exists():
+            raise ArtifactError(f"version '{version}' already exists in {self.root}")
+        self._versions_dir.mkdir(parents=True, exist_ok=True)
+        staging = self._versions_dir / f".staging-{version}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        try:
+            artifact.save(staging)
+            os.replace(staging, destination)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if set_latest:
+            self.set_latest(version)
+        return version
+
+    def set_latest(self, version: str) -> None:
+        """Point ``latest`` at an existing version (atomic rewrite)."""
+        if not self.path(version).is_dir():
+            raise ArtifactError(f"cannot set latest: version '{version}' does not exist")
+        pointer = self.root / _LATEST_FILE
+        staging = self.root / f".{_LATEST_FILE}.tmp"
+        staging.write_text(version + "\n")
+        os.replace(staging, pointer)
+
+    # ---------------------------------------------------------------- load --
+    def resolve(self, version: str = "latest") -> Path:
+        """Directory of ``version``, following the ``latest`` pointer."""
+        if version == "latest":
+            name = self.latest()
+            if name is None:
+                raise ArtifactError(f"store {self.root} has no latest version")
+            version = name
+        directory = self.path(version)
+        if not directory.is_dir():
+            raise ArtifactError(f"no version '{version}' in {self.root}")
+        return directory
+
+    def load(self, version: str = "latest", verify: bool = True) -> ModelArtifact:
+        """Load a published version (``"latest"`` follows the pointer)."""
+        return ModelArtifact.load(self.resolve(version), verify=verify)
+
+    def verify(self, version: str = "latest") -> dict:
+        """Integrity-check one version; returns its manifest."""
+        return ModelArtifact.verify(self.resolve(version))

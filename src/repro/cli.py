@@ -10,6 +10,7 @@ can regenerate the paper's artefacts without writing Python:
 ``python -m repro train``        — train the surrogate workload and print Tables II/III
 ``python -m repro serve-bench``  — compiled multi-task engine vs training-path throughput
 ``python -m repro serve``        — online serving runtime under synthetic Poisson traffic
+``python -m repro export``       — publish a versioned model artifact to a ModelStore
 ``python -m repro all``          — everything above (training uses the fast configuration)
 """
 
@@ -18,6 +19,15 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict
 
+from repro.experiments.builders import (
+    add_workload_arguments,
+    append_bench_entry,
+    build_runtime,
+    build_serving_network,
+    load_artifact_plans,
+    maybe_specialize,
+    positive_int,
+)
 from repro.experiments.config import fast_config, full_config
 from repro.experiments.figures import (
     figure4_dram_storage,
@@ -122,62 +132,6 @@ def _cmd_train(args: argparse.Namespace) -> None:
     ))
 
 
-def _build_serving_network(args: argparse.Namespace):
-    """A randomly-initialised multi-task network + compiled plan for benchmarks."""
-    import numpy as np
-
-    from repro.engine import compile_network
-    from repro.mime import MimeNetwork, add_structured_sparsity_task
-    from repro.models import vgg_small, vgg_tiny
-
-    rng = np.random.default_rng(args.seed)
-    builder = {"vgg_tiny": vgg_tiny, "vgg_small": vgg_small}[args.model]
-    backbone = builder(num_classes=8, input_size=args.input_size, in_channels=3, rng=rng)
-    network = MimeNetwork(backbone)
-    network.eval()
-    for index in range(args.tasks):
-        # Jittered thresholds give each task a distinct sparsity level;
-        # --dead-fraction additionally kills a per-task channel subset (the
-        # paper's structured sparsity that specialization exploits).
-        add_structured_sparsity_task(
-            network, f"task{index}", num_classes=10, rng=rng,
-            dead_fraction=getattr(args, "dead_fraction", 0.0), threshold_jitter=0.2,
-        )
-    plan = compile_network(network, dtype=np.dtype(args.dtype))
-    return network, backbone, plan, rng
-
-
-def _maybe_specialize(args: argparse.Namespace, plan):
-    """Calibrate + specialize per-task plans when ``--specialize`` was given."""
-    from repro.engine import autotune_dynamic_crossover, specialize_tasks
-
-    dynamic = getattr(args, "dynamic", False)
-    if dynamic:
-        config = autotune_dynamic_crossover(plan, batch=args.micro_batch, seed=args.seed)
-        tuned = ", ".join(f"{name}={value:.2f}" for name, value in config.crossover.items())
-        print(f"dynamic sparse fast path: autotuned crossovers {{{tuned}}}")
-    if not getattr(args, "specialize", False):
-        return {}
-    specialized = specialize_tasks(
-        plan,
-        dead_threshold=args.dead_threshold,
-        compact_reduction=not getattr(args, "exact_specialize", False),
-        calibration_seed=args.seed,
-    )
-    for name, spec in sorted(specialized.items()):
-        if dynamic:
-            # Crossovers are geometry-specific: the compacted GEMMs have
-            # different gather-vs-dense economics than the dense plan's, so
-            # each specialized plan gets its own measured config.
-            autotune_dynamic_crossover(spec, batch=args.micro_batch, seed=args.seed)
-        dead = sum(spec.dead_channel_counts().values())
-        print(
-            f"specialized plan for {name}: {dead} dead channels eliminated, "
-            f"{100.0 * spec.mac_reduction():.1f}% of dense MACs avoided"
-        )
-    return specialized
-
-
 def _cmd_serve_bench(args: argparse.Namespace) -> None:
     import time
 
@@ -190,7 +144,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         _serve_bench_runtime(args)
         return
 
-    network, backbone, plan, rng = _build_serving_network(args)
+    network, backbone, plan, rng = build_serving_network(args)
     print(
         f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
         f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch} "
@@ -209,7 +163,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
                 network.forward(images[rows], task=task_name)
         return args.requests / (time.perf_counter() - start)
 
-    specialized = _maybe_specialize(args, plan)
+    specialized = maybe_specialize(args, plan)
     results = [["training forward", "-", run_training_path(), 1.0]]
     engines = {}
     variants = [("singular", {}), ("pipelined", {})]
@@ -254,6 +208,31 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
             f"{report.measured_dense_macs:,} dense "
             f"({100.0 * report.measured_mac_reduction():.1f}% avoided in software)"
         )
+    if getattr(args, "json", None):
+        path = append_bench_entry(args.json, {
+            **_bench_entry_header(args),
+            "paths": [
+                {"path": name, "task_switches": switches, "images_per_sec": tput,
+                 "speedup": speed}
+                for name, switches, tput, speed in results
+            ],
+        })
+        print(f"\nappended engine trajectory entry to {path}")
+
+
+def _bench_entry_header(args: argparse.Namespace) -> dict:
+    import time as time_module
+
+    return {
+        "date": time_module.strftime("%Y-%m-%d"),
+        "command": "serve-bench",
+        "workload": f"{args.model}@{args.input_size} x{args.tasks}tasks "
+                    f"dead={getattr(args, 'dead_fraction', 0.0)}",
+        "requests": args.requests,
+        "micro_batch": args.micro_batch,
+        "backend": getattr(args, "backend", "engine"),
+        "specialize": bool(getattr(args, "specialize", False)),
+    }
 
 
 def _serve_bench_runtime(args: argparse.Namespace) -> None:
@@ -264,26 +243,15 @@ def _serve_bench_runtime(args: argparse.Namespace) -> None:
     configuration the thread-vs-process scaling benchmark uses
     (``benchmarks/bench_serving_latency.py``).
     """
-    import numpy as np
-
-    from repro.serving import BACKENDS
-
-    network, backbone, plan, rng = _build_serving_network(args)
-    specialized = _maybe_specialize(args, plan)
+    network, backbone, plan, rng = build_serving_network(args)
+    specialized = maybe_specialize(args, plan)
     print(
         f"serve-bench: {args.model} @ {args.input_size}x{args.input_size}, "
         f"{args.tasks} tasks, {args.requests} requests, micro-batch {args.micro_batch}, "
         f"backend={args.backend}, workers={args.workers} "
         "(randomly initialised backbone — this benchmarks the serving path, not accuracy)"
     )
-    runtime = BACKENDS[args.backend](
-        plan,
-        policy="fifo-deadline",
-        micro_batch=args.micro_batch,
-        max_wait=0.02,
-        workers=args.workers,
-        specialized=specialized,
-    )
+    runtime = build_runtime(args, plan, specialized)
     images = rng.normal(size=(args.requests, 3, args.input_size, args.input_size))
     tasks = [f"task{i % args.tasks}" for i in range(args.requests)]
     futures = [
@@ -295,21 +263,47 @@ def _serve_bench_runtime(args: argparse.Namespace) -> None:
         future.result(timeout=60.0)
     print()
     print(report.summary())
+    if getattr(args, "json", None):
+        path = append_bench_entry(args.json, {
+            **_bench_entry_header(args),
+            "workers": args.workers,
+            "report": report.to_dict(),
+        })
+        print(f"\nappended serving trajectory entry to {path}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
-    from repro.models import extract_layer_shapes
-    from repro.serving import BACKENDS, LoadGenerator
+    import numpy as np
 
-    network, backbone, plan, rng = _build_serving_network(args)
+    from repro.models import extract_layer_shapes
+    from repro.serving import LoadGenerator
+
+    store = None
+    backbone = None
+    baseline = None
+    if args.artifact:
+        if args.specialize or args.dynamic or args.dead_fraction:
+            print(
+                "note: --artifact supplies the plans as published; the workload/"
+                "specialization flags (--model/--tasks/--dead-fraction/"
+                "--specialize/--dynamic/...) are ignored"
+            )
+        artifact, store = load_artifact_plans(args.artifact)
+        plan, specialized = artifact.build_plans()
+        baseline = artifact.calibration
+        rng = np.random.default_rng(args.seed)
+        source = f"artifact '{artifact.name}' from {args.artifact}"
+    else:
+        network, backbone, plan, rng = build_serving_network(args)
+        specialized = maybe_specialize(args, plan)
+        source = "randomly initialised backbone"
     task_names = plan.task_names()
     print(
-        f"serve: {args.model} @ {args.input_size}x{args.input_size}, "
-        f"{args.tasks} tasks, policy={args.policy}, backend={args.backend}, "
-        f"workers={args.workers}, "
+        f"serve: {len(task_names)} tasks @ input {plan.input_shape}, "
+        f"policy={args.policy}, backend={args.backend}, workers={args.workers}, "
         f"micro-batch {args.micro_batch}, max-wait {1e3 * args.max_wait:.1f} ms, "
         f"{args.scenario} Poisson traffic at {args.rate:.0f} req/s "
-        "(randomly initialised backbone — this exercises the serving path, not accuracy)"
+        f"({source} — this exercises the serving path, not accuracy)"
     )
     generators = {
         "uniform": LoadGenerator.uniform,
@@ -318,32 +312,62 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     }
     generator = generators[args.scenario](task_names, args.rate, seed=args.seed)
     images = {
-        task: rng.normal(size=(16, 3, args.input_size, args.input_size))
-        for task in task_names
+        task: rng.normal(size=(16,) + tuple(plan.input_shape)) for task in task_names
     }
-    specialized = _maybe_specialize(args, plan)
-    runtime = BACKENDS[args.backend](
-        plan,
-        policy=args.policy,
-        micro_batch=args.micro_batch,
-        max_wait=args.max_wait,
-        workers=args.workers,
-        max_pending=args.max_queue,
-        specialized=specialized,
+    recorder = None
+    if args.recalibrate:
+        from repro.engine import SparsityRecorder, calibrate_plan
+
+        recorder = SparsityRecorder(channel_tracking=True)
+        if baseline is None:
+            baseline = calibrate_plan(plan, batch_size=32, seed=args.seed)
+    runtime = build_runtime(
+        args, plan, specialized, recorder=recorder, max_pending=args.max_queue
     )
-    with runtime:
-        futures = generator.replay(
+    loop = None
+    if args.recalibrate:
+        from repro.serving import RecalibrationLoop
+
+        loop = RecalibrationLoop(
             runtime,
-            images,
-            num_requests=args.requests,
-            deadline_slack=args.deadline,
+            baseline,
+            interval=args.recalibrate_interval,
+            drift_threshold=args.drift_threshold,
+            dead_threshold=getattr(args, "dead_threshold", 0.0),
+            min_images=args.recalibrate_min_images,
+            store=store,
         )
-        for future in futures:
-            if future is not None:
-                future.result(timeout=60.0)
+    with runtime:
+        if loop is not None:
+            loop.start()
+        try:
+            futures = generator.replay(
+                runtime,
+                images,
+                num_requests=args.requests,
+                deadline_slack=args.deadline,
+            )
+            for future in futures:
+                if future is not None:
+                    future.result(timeout=60.0)
+            if loop is not None:
+                loop.check_once()  # one final deterministic pass before shutdown
+        finally:
+            if loop is not None:
+                loop.stop()
     print()
     print(runtime.report().summary())
+    if loop is not None:
+        if loop.swaps():
+            print(
+                "(report covers the measurement window since the last "
+                "recalibration swap — each swap starts a fresh window)"
+            )
+        print("\nrecalibration events:")
+        print(loop.summary())
 
+    if backbone is None:
+        return  # artifact serving: no training network to derive layer shapes from
     report = runtime.hardware_report(extract_layer_shapes(backbone), conv_only=True)
     energy = report.total_energy()
     print(
@@ -357,6 +381,44 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             f"{report.measured_dense_macs:,} dense "
             f"({100.0 * report.measured_mac_reduction():.1f}% avoided in software)"
         )
+
+
+def _cmd_export(args: argparse.Namespace) -> None:
+    """Build, calibrate, (optionally) specialize and publish a model artifact."""
+    from repro.artifacts import ModelArtifact, ModelStore
+    from repro.engine import calibrate_plan
+
+    network, backbone, plan, rng = build_serving_network(args)
+    profile = calibrate_plan(plan, batch_size=32, seed=args.seed)
+    specialized = maybe_specialize(args, plan, profile=profile)
+    artifact = ModelArtifact.from_plans(
+        args.name,
+        plan,
+        specialized,
+        calibration=profile,
+        network=network,
+        metadata={
+            "model": args.model,
+            "input_size": args.input_size,
+            "tasks": args.tasks,
+            "seed": args.seed,
+            "dead_fraction": args.dead_fraction,
+            "specialize": bool(specialized),
+            "exact_specialize": bool(getattr(args, "exact_specialize", False)),
+        },
+    )
+    store = ModelStore(args.store)
+    version = store.publish(artifact, version=args.version)
+    manifest = store.verify(version)
+    total_bytes = sum(entry["bytes"] for entry in manifest["files"].values())
+    print(f"published '{artifact.name}' as version {version} (latest -> {version})")
+    print(f"  store: {store.root}")
+    print(
+        f"  {len(manifest['files'])} files, {total_bytes / 1e6:.2f} MB, "
+        f"tasks: {', '.join(manifest['tasks'])}, "
+        f"specialized: {', '.join(manifest['specialized_tasks']) or 'none'}"
+    )
+    print(f"  serve it with: repro serve --artifact {store.root} --backend process")
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -380,6 +442,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "train": _cmd_train,
     "serve-bench": _cmd_serve_bench,
     "serve": _cmd_serve,
+    "export": _cmd_export,
     "all": _cmd_all,
 }
 
@@ -401,45 +464,6 @@ def build_parser() -> argparse.ArgumentParser:
     train = subparsers.add_parser("train", help="train the surrogate workload (Tables II/III)")
     train.add_argument("--fast", action="store_true", help="use the seconds-scale fast configuration")
 
-    def positive_int(value: str) -> int:
-        parsed = int(value)
-        if parsed <= 0:
-            raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
-        return parsed
-
-    def unit_float(value: str) -> float:
-        parsed = float(value)
-        if not 0.0 <= parsed < 1.0:
-            raise argparse.ArgumentTypeError(f"expected a float in [0, 1), got {value}")
-        return parsed
-
-    def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) -> None:
-        sub.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
-        sub.add_argument("--input-size", type=positive_int, default=16,
-                         help="square input resolution")
-        sub.add_argument("--tasks", type=positive_int, default=3,
-                         help="number of child tasks to register")
-        sub.add_argument("--requests", type=positive_int, default=default_requests,
-                         help="total images in the request stream")
-        sub.add_argument("--micro-batch", type=positive_int, default=8,
-                         help="engine micro-batch size")
-        sub.add_argument("--dtype", choices=["float32", "float64"], default="float32",
-                         help="engine compute dtype (training path is always float64)")
-        sub.add_argument("--seed", type=int, default=7)
-        sub.add_argument("--dead-fraction", type=unit_float, default=0.0,
-                         help="fraction of each masked layer's channels made structurally "
-                              "dead per task (models the paper's per-task structured sparsity)")
-        sub.add_argument("--specialize", action="store_true",
-                         help="calibrate and serve per-task dead-channel-eliminated plans")
-        sub.add_argument("--dead-threshold", type=unit_float, default=0.0,
-                         help="calibrated survival rate at or below which a channel "
-                              "counts as dead (used with --specialize)")
-        sub.add_argument("--exact-specialize", action="store_true",
-                         help="bit-exact specialization (scatter mode): logits match the "
-                              "dense plan bit for bit, at the cost of the throughput win")
-        sub.add_argument("--dynamic", action="store_true",
-                         help="autotune and enable the dynamic sparse row-gather fast path")
-
     serve_bench = subparsers.add_parser(
         "serve-bench", help="benchmark the compiled multi-task inference engine"
     )
@@ -451,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
              "serving runtime with that worker backend")
     serve_bench.add_argument("--workers", type=positive_int, default=2,
                              help="workers for the thread/process serving backends")
+    serve_bench.add_argument("--json", metavar="OUT", default=None,
+                             help="append a machine-readable entry for this run to a "
+                                  "BENCH_*.json trajectory file")
 
     from repro.engine.scheduling import SCHEDULING_MODES
 
@@ -475,6 +502,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optional per-request latency deadline in seconds")
     serve.add_argument("--scenario", choices=["uniform", "skewed", "bursty"],
                        default="uniform", help="traffic shape of the load generator")
+    serve.add_argument("--artifact", metavar="PATH", default=None,
+                       help="serve a published model artifact (an artifact directory or "
+                            "a model-store root, whose 'latest' version is loaded) "
+                            "instead of building a fresh random workload")
+    serve.add_argument("--recalibrate", action="store_true",
+                       help="run the online recalibration loop: watch live per-channel "
+                            "survival, re-specialize on drift, hot-swap the result "
+                            "(publishes new versions when --artifact names a store)")
+    serve.add_argument("--recalibrate-interval", type=float, default=2.0,
+                       help="seconds between recalibration drift checks")
+    serve.add_argument("--drift-threshold", type=float, default=0.1,
+                       help="max |live - baseline| survival delta tolerated before "
+                            "re-specializing")
+    serve.add_argument("--recalibrate-min-images", type=positive_int, default=64,
+                       help="images a task must have served before it is re-specialized")
+
+    export = subparsers.add_parser(
+        "export", help="publish a versioned model artifact to a ModelStore"
+    )
+    add_workload_arguments(export, default_requests=48)
+    export.add_argument("--store", required=True, metavar="DIR",
+                        help="model-store root directory (created if missing)")
+    export.add_argument("--name", default="mime", help="artifact/model name in the manifest")
+    export.add_argument("--version", default=None,
+                        help="explicit version name (default: auto-numbered v001, v002, ...)")
 
     subparsers.add_parser("all", help="run every artefact (training uses the fast configuration)")
     return parser

@@ -13,8 +13,6 @@ per-sample amplitude jitter and white noise.  This gives datasets that
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from repro.datasets.base import ArrayDataset

@@ -115,6 +115,26 @@ class WorkspacePool:
             self._buffers[key] = buf
         return buf
 
+    def retain(self, owners) -> None:
+        """Drop every buffer whose owning kernel uid is not in ``owners``.
+
+        The hot-swap control plane calls this after replacing a runtime's
+        plans: the old plans' kernels (and their uids) are gone, so their
+        buffers would otherwise accumulate forever across swaps.  Safe to
+        call while another thread executes over this pool — the dict is
+        rebuilt and swapped in one assignment, and a concurrently-running
+        kernel that loses a buffer mid-batch simply gets a fresh zeroed one
+        on its next ``get`` (fresh zeroed buffers are always valid: the
+        pad-border and scatter kernels rely only on zero-from-allocation).
+        """
+        owners = set(owners)
+        # Iterate a snapshot: a concurrent get() may insert mid-rebuild, and
+        # iterating the live dict would raise.  An insert that races the
+        # reassignment is simply recreated on the owner's next get().
+        self._buffers = {
+            key: buf for key, buf in list(self._buffers.items()) if key[0] in owners
+        }
+
     def __len__(self) -> int:
         return len(self._buffers)
 

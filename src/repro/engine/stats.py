@@ -20,6 +20,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List
 
+import numpy as np
+
 from repro.hardware.scenario import InferencePass, LayerSparsityProfile
 from repro.utils.ratios import fraction_saved
 
@@ -30,15 +32,30 @@ class SparsityRecorder:
     Recording is guarded by a lock so the serving runtime's worker threads
     can share one recorder: read-modify-write accumulation would otherwise
     race between concurrent micro-batches.
+
+    ``channel_tracking=True`` additionally accumulates **per-channel** live
+    counts from every masked kernel (the hook the kernels feed is only
+    exposed when tracking is on, so the per-channel reduction costs nothing
+    otherwise).  The accumulated counts export as a live
+    :class:`~repro.engine.calibrate.CalibrationProfile` via
+    :meth:`survival_profile` — the signal the online recalibration loop
+    watches for drift against the profile a model was specialized from.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, channel_tracking: bool = False) -> None:
         self._totals: Dict[str, Dict[str, float]] = {}
         self._counts: Dict[str, Dict[str, int]] = {}
         self._passes: List[InferencePass] = []
         self._dense_macs = 0
         self._effective_macs = 0
+        self._channel_counts: Dict[str, Dict[str, object]] = {}
+        self._channel_slots: Dict[str, Dict[str, int]] = {}
         self._lock = threading.Lock()
+        self.channel_tracking = channel_tracking
+        if channel_tracking:
+            # The masked kernels look this attribute up with getattr, so the
+            # per-channel accumulation only happens when it is exposed.
+            self.record_channels = self._record_channels
 
     # ------------------------------------------------------------- recording --
     def record(self, task: str, layer_name: str, sparsity: float, num_images: int) -> None:
@@ -71,6 +88,28 @@ class SparsityRecorder:
             self._dense_macs += int(dense_macs)
             self._effective_macs += int(effective_macs)
 
+    def _record_channels(
+        self, task: str, layer_name: str, live_counts, num_slots: int
+    ) -> None:
+        """Add one micro-batch's per-channel live-slot counts (tracking on).
+
+        A hot-swap can change a layer's compacted channel width mid-window
+        (re-specialization keeps a different live set); counts measured on
+        the old geometry are meaningless against the new one, so a width
+        change restarts that layer's accumulation instead of summing
+        incompatible axes.
+        """
+        with self._lock:
+            counts = self._channel_counts.setdefault(task, {})
+            slots = self._channel_slots.setdefault(task, {})
+            live = np.asarray(live_counts, dtype=np.int64)
+            if layer_name in counts and counts[layer_name].shape == live.shape:
+                counts[layer_name] = counts[layer_name] + live
+                slots[layer_name] += int(num_slots)
+            else:
+                counts[layer_name] = live.copy()
+                slots[layer_name] = int(num_slots)
+
     def reset(self) -> None:
         with self._lock:
             self._totals.clear()
@@ -78,6 +117,8 @@ class SparsityRecorder:
             self._passes.clear()
             self._dense_macs = 0
             self._effective_macs = 0
+            self._channel_counts.clear()
+            self._channel_slots.clear()
 
     # ----------------------------------------------------- cross-process merge --
     def snapshot(self) -> Dict[str, object]:
@@ -95,6 +136,13 @@ class SparsityRecorder:
                 "passes": [entry.task for entry in self._passes],
                 "dense_macs": self._dense_macs,
                 "effective_macs": self._effective_macs,
+                "channel_counts": {
+                    task: {name: np.array(counts) for name, counts in layers.items()}
+                    for task, layers in self._channel_counts.items()
+                },
+                "channel_slots": {
+                    task: dict(layers) for task, layers in self._channel_slots.items()
+                },
             }
 
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
@@ -117,6 +165,25 @@ class SparsityRecorder:
             self._passes.extend(InferencePass(task) for task in snapshot["passes"])
             self._dense_macs += int(snapshot["dense_macs"])
             self._effective_macs += int(snapshot["effective_macs"])
+            replaced = set()
+            for task, layers in snapshot.get("channel_counts", {}).items():
+                counts = self._channel_counts.setdefault(task, {})
+                for name, value in layers.items():
+                    value = np.asarray(value, dtype=np.int64)
+                    if name in counts and counts[name].shape == value.shape:
+                        counts[name] = counts[name] + value
+                    else:
+                        # Width changed across a swap: keep the newer geometry
+                        # (the matching slot total is replaced below, too).
+                        counts[name] = value.copy()
+                        replaced.add((task, name))
+            for task, layers in snapshot.get("channel_slots", {}).items():
+                slots = self._channel_slots.setdefault(task, {})
+                for name, value in layers.items():
+                    if (task, name) in replaced:
+                        slots[name] = int(value)
+                    else:
+                        slots[name] = slots.get(name, 0) + int(value)
 
     # --------------------------------------------------------------- queries --
     def tasks(self) -> List[str]:
@@ -150,6 +217,37 @@ class SparsityRecorder:
         if not per_layer:
             return 0.0
         return sum(per_layer.values()) / len(per_layer)
+
+    def survival_profile(self):
+        """Per-channel survival measured on live traffic, as a calibration profile.
+
+        Requires ``channel_tracking=True`` at construction (otherwise the
+        kernels never fed the per-channel accumulators).  The returned
+        :class:`~repro.engine.calibrate.CalibrationProfile` is directly
+        comparable to — and substitutable for — an offline
+        :func:`~repro.engine.calibrate.calibrate_plan` profile, which is how
+        the online recalibration loop re-specializes from what traffic
+        actually looks like.
+        """
+        from repro.engine.calibrate import CalibrationProfile
+
+        if not self.channel_tracking:
+            raise RuntimeError(
+                "survival_profile() needs a recorder built with channel_tracking=True"
+            )
+        with self._lock:
+            survival = {
+                task: {
+                    name: np.asarray(counts, dtype=float)
+                    / max(1, self._channel_slots[task][name])
+                    for name, counts in layers.items()
+                }
+                for task, layers in self._channel_counts.items()
+            }
+            num_images = {}
+            for entry in self._passes:
+                num_images[entry.task] = num_images.get(entry.task, 0) + 1
+        return CalibrationProfile(survival=survival, num_images=num_images)
 
     # --------------------------------------------------------- hardware glue --
     def to_profile(self, default_sparsity: float = 0.0) -> LayerSparsityProfile:

@@ -1,0 +1,171 @@
+"""Shared workload builders behind the serving-facing CLI commands.
+
+``serve``, ``serve-bench`` and ``export`` all need the same three steps —
+declare the workload knobs, build a randomly-initialised multi-task network
+plus its compiled plan, and optionally calibrate/specialize per-task plans.
+This module is the single home for that plumbing (it used to be duplicated
+inside ``repro.cli``), plus the small JSON-trajectory helper the benchmark
+files and ``serve-bench --json`` share.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return parsed
+
+
+def unit_float(value: str) -> float:
+    parsed = float(value)
+    if not 0.0 <= parsed < 1.0:
+        raise argparse.ArgumentTypeError(f"expected a float in [0, 1), got {value}")
+    return parsed
+
+
+def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) -> None:
+    """The model/traffic/specialization knobs every serving command shares."""
+    sub.add_argument("--model", choices=["vgg_tiny", "vgg_small"], default="vgg_tiny")
+    sub.add_argument("--input-size", type=positive_int, default=16,
+                     help="square input resolution")
+    sub.add_argument("--tasks", type=positive_int, default=3,
+                     help="number of child tasks to register")
+    sub.add_argument("--requests", type=positive_int, default=default_requests,
+                     help="total images in the request stream")
+    sub.add_argument("--micro-batch", type=positive_int, default=8,
+                     help="engine micro-batch size")
+    sub.add_argument("--dtype", choices=["float32", "float64"], default="float32",
+                     help="engine compute dtype (training path is always float64)")
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument("--dead-fraction", type=unit_float, default=0.0,
+                     help="fraction of each masked layer's channels made structurally "
+                          "dead per task (models the paper's per-task structured sparsity)")
+    sub.add_argument("--specialize", action="store_true",
+                     help="calibrate and serve per-task dead-channel-eliminated plans")
+    sub.add_argument("--dead-threshold", type=unit_float, default=0.0,
+                     help="calibrated survival rate at or below which a channel "
+                          "counts as dead (used with --specialize)")
+    sub.add_argument("--exact-specialize", action="store_true",
+                     help="bit-exact specialization (scatter mode): logits match the "
+                          "dense plan bit for bit, at the cost of the throughput win")
+    sub.add_argument("--dynamic", action="store_true",
+                     help="autotune and enable the dynamic sparse row-gather fast path")
+
+
+def build_serving_network(args: argparse.Namespace):
+    """A randomly-initialised multi-task network + compiled plan for benchmarks."""
+    import numpy as np
+
+    from repro.engine import compile_network
+    from repro.mime import MimeNetwork, add_structured_sparsity_task
+    from repro.models import vgg_small, vgg_tiny
+
+    rng = np.random.default_rng(args.seed)
+    builder = {"vgg_tiny": vgg_tiny, "vgg_small": vgg_small}[args.model]
+    backbone = builder(num_classes=8, input_size=args.input_size, in_channels=3, rng=rng)
+    network = MimeNetwork(backbone)
+    network.eval()
+    for index in range(args.tasks):
+        # Jittered thresholds give each task a distinct sparsity level;
+        # --dead-fraction additionally kills a per-task channel subset (the
+        # paper's structured sparsity that specialization exploits).
+        add_structured_sparsity_task(
+            network, f"task{index}", num_classes=10, rng=rng,
+            dead_fraction=getattr(args, "dead_fraction", 0.0), threshold_jitter=0.2,
+        )
+    plan = compile_network(network, dtype=np.dtype(args.dtype))
+    return network, backbone, plan, rng
+
+
+def maybe_specialize(args: argparse.Namespace, plan, profile=None) -> Dict[str, object]:
+    """Calibrate + specialize per-task plans when ``--specialize`` was given.
+
+    ``profile`` short-circuits the calibration pass with an existing
+    :class:`~repro.engine.CalibrationProfile` (the export command calibrates
+    once and ships the same profile inside the artifact).
+    """
+    from repro.engine import autotune_dynamic_crossover, specialize_tasks
+
+    dynamic = getattr(args, "dynamic", False)
+    if dynamic:
+        config = autotune_dynamic_crossover(plan, batch=args.micro_batch, seed=args.seed)
+        tuned = ", ".join(f"{name}={value:.2f}" for name, value in config.crossover.items())
+        print(f"dynamic sparse fast path: autotuned crossovers {{{tuned}}}")
+    if not getattr(args, "specialize", False):
+        return {}
+    specialized = specialize_tasks(
+        plan,
+        profile=profile,
+        dead_threshold=args.dead_threshold,
+        compact_reduction=not getattr(args, "exact_specialize", False),
+        calibration_seed=args.seed,
+    )
+    for name, spec in sorted(specialized.items()):
+        if dynamic:
+            # Crossovers are geometry-specific: the compacted GEMMs have
+            # different gather-vs-dense economics than the dense plan's, so
+            # each specialized plan gets its own measured config.
+            autotune_dynamic_crossover(spec, batch=args.micro_batch, seed=args.seed)
+        dead = sum(spec.dead_channel_counts().values())
+        print(
+            f"specialized plan for {name}: {dead} dead channels eliminated, "
+            f"{100.0 * spec.mac_reduction():.1f}% of dense MACs avoided"
+        )
+    return specialized
+
+
+def load_artifact_plans(path: str):
+    """Resolve ``path`` to a (artifact, store-or-None) pair for serving.
+
+    ``path`` may be one artifact directory (contains ``manifest.json``) or a
+    :class:`~repro.artifacts.ModelStore` root, in which case the ``latest``
+    version is loaded and the store is returned so a recalibration loop can
+    publish follow-up versions back into it.
+    """
+    from repro.artifacts import MANIFEST_NAME, ArtifactError, ModelArtifact, ModelStore
+
+    root = Path(path)
+    if (root / MANIFEST_NAME).is_file():
+        return ModelArtifact.load(root), None
+    store = ModelStore(root)
+    if store.latest() is None:
+        raise ArtifactError(
+            f"{path} is neither an artifact directory nor a model store with a "
+            "latest version"
+        )
+    return store.load(), store
+
+
+def append_bench_entry(path: str | Path, entry: dict) -> Path:
+    """Append one machine-readable entry to a ``BENCH_*.json`` trajectory file."""
+    file = Path(path)
+    payload = json.loads(file.read_text()) if file.exists() else {"entries": []}
+    payload["entries"].append(entry)
+    file.write_text(json.dumps(payload, indent=2) + "\n")
+    return file
+
+
+def build_runtime(args: argparse.Namespace, plan, specialized, recorder=None,
+                  max_pending: Optional[int] = None):
+    """Construct the serving backend the CLI flags select."""
+    from repro.serving import BACKENDS
+
+    kwargs = dict(
+        policy=getattr(args, "policy", "fifo-deadline"),
+        micro_batch=args.micro_batch,
+        max_wait=getattr(args, "max_wait", 0.02),
+        workers=args.workers,
+        specialized=specialized,
+    )
+    if recorder is not None:
+        kwargs["recorder"] = recorder
+    if max_pending is not None:
+        kwargs["max_pending"] = max_pending
+    return BACKENDS[args.backend](plan, **kwargs)

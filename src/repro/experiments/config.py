@@ -15,7 +15,7 @@ the crossover happens at conv5 (Fig. 8) — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -359,7 +359,7 @@ def figure9_ablation(
         "totals": totals,
         "case_b_over_a": ratio_b,
         "case_c_over_a": ratio_c,
-        "case_b_middle_mean": float(np.mean([ratio_b[l] for l in middle_layers if l in ratio_b])),
-        "case_c_middle_mean": float(np.mean([ratio_c[l] for l in middle_layers if l in ratio_c])),
+        "case_b_middle_mean": float(np.mean([ratio_b[name] for name in middle_layers if name in ratio_b])),
+        "case_c_middle_mean": float(np.mean([ratio_c[name] for name in middle_layers if name in ratio_c])),
         "paper_pe_increase_range": paper_data.PE_ABLATION_ENERGY_INCREASE,
     }

@@ -20,7 +20,6 @@ from repro.hardware.scenario import (
     ExecutionConfig,
     InferencePass,
     LayerSparsityProfile,
-    ParameterSharing,
     parameter_load_events,
     threshold_load_events,
 )

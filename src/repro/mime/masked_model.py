@@ -17,11 +17,11 @@ the property the pipelined-mode hardware analysis exploits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Linear, ReLU
 from repro.nn.module import Module, Parameter
 from repro.nn import init as nn_init
 from repro.models.vgg import VGG

@@ -21,10 +21,11 @@ Quick start::
     print(runtime.report().summary())
 """
 
-from repro.serving.base import BaseRuntime, run_plan_batch
+from repro.serving.base import BaseRuntime, PlanSet, run_plan_batch
 from repro.serving.batcher import DynamicBatcher
 from repro.serving.loadgen import Arrival, LoadGenerator, ManualClock
 from repro.serving.metrics import LatencyDigest, ServingMetrics, ServingReport, percentile
+from repro.serving.recalibrate import DriftReport, RecalibrationEvent, RecalibrationLoop
 from repro.serving.request import (
     AdmissionError,
     QueueFullError,
@@ -47,6 +48,7 @@ BACKENDS = {
 __all__ = [
     "BACKENDS",
     "BaseRuntime",
+    "PlanSet",
     "run_plan_batch",
     "DynamicBatcher",
     "Arrival",
@@ -56,6 +58,9 @@ __all__ = [
     "ServingMetrics",
     "ServingReport",
     "percentile",
+    "DriftReport",
+    "RecalibrationEvent",
+    "RecalibrationLoop",
     "AdmissionError",
     "QueueFullError",
     "RequestCancelledError",

@@ -18,18 +18,37 @@ hooks:
 :func:`run_plan_batch` is the other shared core: the plan-execution step a
 worker performs for one micro-batch, identical whether that worker is a
 thread in this process or a loop in a spawned child.
+
+**Control plane.**  A runtime's model is no longer fixed at construction:
+the executable plans live in one immutable :class:`PlanSet` snapshot, and
+:meth:`BaseRuntime.swap` replaces that snapshot while traffic flows — intake
+pauses briefly, every admitted micro-batch drains against the old plans,
+the backend cuts over (atomic assignment for threads, a rebuild control
+message plus readiness acks for the process fleet), and intake resumes
+against the new plans.  No request is ever dropped or executed against a
+plan that does not know its task.  :meth:`BaseRuntime.add_task` and
+:meth:`BaseRuntime.remove_task` ride the same path, and ``swap`` accepts a
+:class:`~repro.artifacts.ModelArtifact` directly, which is what makes a
+store-published artifact a zero-downtime deployment unit.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.engine import recorder_hardware_report
-from repro.engine.plan import DynamicSparseConfig, EnginePlan, RunContext, WorkspacePool
+from repro.engine.plan import (
+    DynamicSparseConfig,
+    EnginePlan,
+    RunContext,
+    TaskPlan,
+    WorkspacePool,
+)
 from repro.engine.scheduling import MicroBatch, SchedulingPolicy, get_policy
 from repro.engine.stats import SparsityRecorder
 from repro.hardware.scenario import ExecutionConfig
@@ -69,6 +88,43 @@ def run_plan_batch(
     return logits
 
 
+class PlanSet:
+    """One immutable (dense plan, per-task specialized plans) snapshot.
+
+    The runtime holds exactly one ``PlanSet`` at a time and workers read it
+    once per micro-batch, so replacing the whole set is a single reference
+    assignment — the atomic unit of the hot-swap control plane.  The plans
+    inside are immutable by the engine's contract; building a new set never
+    mutates a live one.
+    """
+
+    __slots__ = ("plan", "specialized")
+
+    def __init__(
+        self, plan: EnginePlan, specialized: Optional[Dict[str, EnginePlan]] = None
+    ) -> None:
+        self.plan = plan
+        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
+        for name in self.specialized:
+            if name not in plan.tasks:
+                raise KeyError(f"specialized plan for unknown task '{name}'")
+
+    def plan_for(self, task: str) -> EnginePlan:
+        """The plan a batch of ``task`` executes (specialized when available)."""
+        return self.specialized.get(task, self.plan)
+
+    def task_names(self) -> List[str]:
+        return self.plan.task_names()
+
+    def __contains__(self, task: str) -> bool:
+        return task in self.plan.tasks
+
+    def kernel_uids(self) -> set:
+        """Workspace-owner uids of every kernel across the whole set."""
+        plans = [self.plan, *self.specialized.values()]
+        return {kernel.uid for plan in plans for kernel in plan.kernels}
+
+
 class BaseRuntime:
     """Common intake/batching/metrics core of the serving backends."""
 
@@ -90,19 +146,15 @@ class BaseRuntime:
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
-        self.plan = plan
+        #: Per-task specialized plans (:func:`repro.engine.specialize.
+        #: specialize_tasks`) ride next to the dense plan in one PlanSet.
+        #: All plans are immutable, and every worker's private WorkspacePool
+        #: keys buffers by kernel identity, so the same pool serves whichever
+        #: plan a batch's task selects.
+        self._plans = PlanSet(plan, specialized)
         self.policy = get_policy(policy)
         self.micro_batch = micro_batch
         self.workers = workers
-        #: Per-task specialized plans (:func:`repro.engine.specialize.
-        #: specialize_tasks`).  All specialized plans are immutable like the
-        #: dense plan, and every worker's private WorkspacePool keys buffers
-        #: by kernel identity, so the same pool serves whichever plan a
-        #: batch's task selects.
-        self.specialized: Dict[str, EnginePlan] = dict(specialized) if specialized else {}
-        for name in self.specialized:
-            if name not in plan.tasks:
-                raise KeyError(f"specialized plan for unknown task '{name}'")
         self.recorder = recorder if recorder is not None else SparsityRecorder()
         self.metrics = ServingMetrics()
         self._clock = clock
@@ -117,6 +169,34 @@ class BaseRuntime:
         self._submitted = 0
         self._started = False
         self._stopped = False
+        # Control plane: one swap/add/remove at a time, plus an intake gate
+        # that briefly pauses submit() while a swap drains the old plans.
+        # Reentrant so swap_with() can derive a new set from the current one
+        # and install it without another control operation interleaving.
+        self._control_lock = threading.RLock()
+        self._intake_gate = threading.Condition()
+        self._intake_paused = False
+        self._intake_active = 0
+
+    # ------------------------------------------------------------------ plans --
+    @property
+    def plans(self) -> PlanSet:
+        """The current plan snapshot (replaced wholesale by :meth:`swap`)."""
+        return self._plans
+
+    @property
+    def plan(self) -> EnginePlan:
+        """The current dense plan."""
+        return self._plans.plan
+
+    @property
+    def specialized(self) -> Dict[str, EnginePlan]:
+        """The current per-task specialized plans."""
+        return self._plans.specialized
+
+    def plan_for(self, task: str) -> EnginePlan:
+        """The plan a batch of ``task`` executes (specialized when available)."""
+        return self._plans.plan_for(task)
 
     # ------------------------------------------------------------------- clock --
     @property
@@ -185,6 +265,207 @@ class BaseRuntime:
     def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------ control plane --
+    def _coerce_plans(
+        self, target, specialized: Optional[Dict[str, EnginePlan]]
+    ) -> PlanSet:
+        """Normalise a swap target to a :class:`PlanSet`.
+
+        Accepts a ``PlanSet``, a dense :class:`EnginePlan` (optionally with a
+        ``specialized`` dict), or anything exposing ``build_plans()`` — i.e. a
+        :class:`~repro.artifacts.ModelArtifact` (duck-typed to keep this
+        module free of an artifacts dependency).
+        """
+        if isinstance(target, PlanSet):
+            if specialized is not None:
+                raise ValueError("pass specialized plans inside the PlanSet")
+            return target
+        if isinstance(target, EnginePlan):
+            return PlanSet(target, specialized)
+        build_plans = getattr(target, "build_plans", None)
+        if callable(build_plans):
+            plan, artifact_specialized = build_plans()
+            return PlanSet(
+                plan, specialized if specialized is not None else artifact_specialized
+            )
+        raise TypeError(
+            f"cannot swap to {type(target).__name__}: expected an EnginePlan, "
+            "a PlanSet, or a ModelArtifact"
+        )
+
+    def _validate_swap(self, plans: PlanSet) -> None:
+        """Reject plan sets the live runtime cannot serve in place."""
+        current = self._plans.plan
+        if tuple(plans.plan.input_shape) != tuple(current.input_shape):
+            raise ValueError(
+                f"cannot swap: input shape {tuple(plans.plan.input_shape)} != "
+                f"{tuple(current.input_shape)} the runtime was built for"
+            )
+        if np.dtype(plans.plan.dtype) != np.dtype(current.dtype):
+            raise ValueError(
+                f"cannot swap: dtype {np.dtype(plans.plan.dtype)} != "
+                f"{np.dtype(current.dtype)} the runtime was built for"
+            )
+
+    def swap(
+        self,
+        target,
+        specialized: Optional[Dict[str, EnginePlan]] = None,
+        timeout: Optional[float] = None,
+    ) -> PlanSet:
+        """Hot-swap the runtime's plans with zero dropped or misrouted requests.
+
+        ``target`` is an :class:`~repro.engine.EnginePlan` (with an optional
+        ``specialized`` dict), a prebuilt :class:`PlanSet`, or a
+        :class:`~repro.artifacts.ModelArtifact`.  The new plans must share the
+        current input shape and dtype (process backends additionally bound
+        the head width by their output-ring geometry).
+
+        On a live runtime the sequence is: pause intake (submitters block for
+        the duration, nothing is rejected) → flush and drain every admitted
+        micro-batch against the **old** plans → backend cutover
+        (:meth:`_apply_swap`: atomic snapshot replacement for threads; a
+        rebuild control message + readiness ack per shard for processes) →
+        resume intake against the **new** plans.  Requests admitted after the
+        swap returns are guaranteed to execute on the new plans; requests
+        admitted before are guaranteed to have executed on the old ones.
+
+        ``timeout`` bounds the drain + cutover; on expiry a
+        :class:`TimeoutError` is raised and the old plans keep serving.
+        """
+        plans = self._coerce_plans(target, specialized)
+        self._validate_swap(plans)
+        # One deadline covers every phase (batcher drain, in-flight drain,
+        # backend cutover), so `timeout` bounds the whole call, not each step.
+        give_up = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> Optional[float]:
+            return None if give_up is None else max(0.0, give_up - time.monotonic())
+
+        with self._control_lock:
+            if self._stopped:
+                raise RuntimeClosedError("cannot swap plans on a stopped runtime")
+            if not self._started:
+                self._plans = plans
+                return plans
+            self._pause_intake()
+            try:
+                self._batcher.flush()
+                if not self._batcher.quiescent(remaining()):
+                    raise TimeoutError(
+                        f"swap drain did not quiesce within {timeout}s; "
+                        "the old plans are still serving"
+                    )
+                self._drain_in_flight(remaining())
+                self._apply_swap(plans, remaining())
+            finally:
+                self._resume_intake()
+        return plans
+
+    def swap_with(self, build, timeout: Optional[float] = None) -> PlanSet:
+        """Atomically derive a new plan set from the current one and swap to it.
+
+        ``build(current: PlanSet)`` returns the swap target (anything
+        :meth:`swap` accepts).  The control lock is held across the read and
+        the swap, so two concurrent control operations (say, an operator's
+        :meth:`add_task` and the recalibration loop's re-specialization)
+        cannot both derive from the same snapshot and silently revert each
+        other — the classic lost update.  A plain :meth:`swap` with a
+        pre-built target does not need this; use ``swap_with`` whenever the
+        new set is a function of the current one.
+        """
+        with self._control_lock:
+            return self.swap(build(self._plans), timeout=timeout)
+
+    def add_task(
+        self,
+        task,
+        specialized_plan: Optional[EnginePlan] = None,
+        timeout: Optional[float] = None,
+    ) -> PlanSet:
+        """Register a new task on the live runtime (a swap under the hood).
+
+        ``task`` is either a training-side
+        :class:`~repro.mime.task_manager.TaskParameters` (snapshotted exactly
+        like :func:`~repro.engine.compile_network` does) or a prebuilt
+        :class:`~repro.engine.TaskPlan`.  The dense plan's kernels are shared
+        with the new snapshot — only the task dictionary grows.
+        """
+        name = task.name
+
+        def build(current: PlanSet) -> PlanSet:
+            if name in current.plan.tasks:
+                raise KeyError(f"task '{name}' is already registered")
+            new_plan = replace(current.plan, tasks=dict(current.plan.tasks))
+            if isinstance(task, TaskPlan):
+                new_plan.tasks[name] = task
+            else:
+                # Snapshots the TaskParameters exactly like compile_network;
+                # only the new plan's (fresh) tasks dict grows — the live one
+                # is shared with executing workers and never mutated.
+                new_plan.add_task(task)
+            new_specialized = dict(current.specialized)
+            if specialized_plan is not None:
+                new_specialized[name] = specialized_plan
+            return PlanSet(new_plan, new_specialized)
+
+        return self.swap_with(build, timeout=timeout)
+
+    def remove_task(self, name: str, timeout: Optional[float] = None) -> PlanSet:
+        """Unregister ``name`` from the live runtime (a swap under the hood).
+
+        Requests for the task admitted before this call complete normally —
+        the swap drains them against the old plans; requests submitted after
+        it returns are rejected at admission with :class:`KeyError`.
+        """
+
+        def build(current: PlanSet) -> PlanSet:
+            if name not in current.plan.tasks:
+                raise KeyError(
+                    f"unknown task '{name}'; compiled: {current.task_names()}"
+                )
+            if len(current.plan.tasks) == 1:
+                raise ValueError("cannot remove the only task of a serving runtime")
+            tasks = {
+                key: value for key, value in current.plan.tasks.items() if key != name
+            }
+            specialized = {
+                key: value for key, value in current.specialized.items() if key != name
+            }
+            return PlanSet(replace(current.plan, tasks=tasks), specialized)
+
+        return self.swap_with(build, timeout=timeout)
+
+    def _apply_swap(self, plans: PlanSet, timeout: Optional[float]) -> None:
+        """Backend cutover, called with intake paused and the batcher drained."""
+        self._plans = plans
+
+    def _drain_in_flight(self, timeout: Optional[float]) -> None:
+        """Extra backend drain beyond the batcher (process backends override)."""
+
+    def current_recorder(self) -> SparsityRecorder:
+        """A recorder view covering everything measured so far, fleet-wide.
+
+        The thread backend's workers share :attr:`recorder`, so this is that
+        object; the process backend overrides it to merge live worker
+        snapshots fetched over the command channel.  The online recalibration
+        loop reads survival statistics through this method so it works
+        unchanged on either backend.
+        """
+        return self.recorder
+
+    def _pause_intake(self) -> None:
+        """Block new :meth:`submit` calls and wait out the ones in progress."""
+        with self._intake_gate:
+            self._intake_paused = True
+            while self._intake_active:
+                self._intake_gate.wait()
+
+    def _resume_intake(self) -> None:
+        with self._intake_gate:
+            self._intake_paused = False
+            self._intake_gate.notify_all()
+
     # ----------------------------------------------------------------- intake --
     def submit(
         self,
@@ -200,30 +481,65 @@ class BaseRuntime:
         (``time.monotonic()`` by default), consulted by deadline-aware
         policies and scored in the metrics.  On a full bounded queue,
         ``block=False`` raises :class:`QueueFullError` immediately, otherwise
-        the call waits (up to ``timeout`` seconds).
+        the call waits (up to ``timeout`` seconds).  During a plan hot-swap
+        the call blocks briefly while the old plans drain, then validates
+        against the new plans — the same ``block``/``timeout`` semantics
+        apply at the swap gate, so a non-blocking submit fails fast instead
+        of stalling for the drain.
         """
-        if task not in self.plan.tasks:
-            raise KeyError(f"unknown task '{task}'; compiled: {self.plan.task_names()}")
-        image = np.asarray(image)
-        if image.shape != self.plan.input_shape:
-            raise ValueError(
-                f"expected one image of shape {self.plan.input_shape}, got {image.shape}"
-            )
-        now = self._clock()
-        with self._submit_lock:
-            index = self._submitted
-            self._submitted += 1
-        result = ServingResult(index, task, now, deadline)
-        # Copy so callers may reuse their staging buffer after submit().
-        request = ServingRequest(index, task, image.copy(), now, deadline, result)
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._intake_gate:
+            while self._intake_paused:
+                if not block:
+                    self.metrics.observe_rejection()
+                    raise QueueFullError(
+                        "intake is paused for a plan swap; retry after the cutover"
+                    )
+                remaining = None if give_up is None else give_up - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.metrics.observe_rejection()
+                    raise QueueFullError(
+                        f"intake still paused for a plan swap after waiting {timeout}s"
+                    )
+                self._intake_gate.wait(remaining)
+            self._intake_active += 1
         try:
-            self._batcher.submit(request, block=block, timeout=timeout)
-        except QueueFullError:
-            # Only genuine overload counts as a rejection in the report;
-            # RuntimeClosedError during shutdown is not a capacity signal.
-            self.metrics.observe_rejection()
-            raise
-        return result
+            plans = self._plans
+            if task not in plans.plan.tasks:
+                raise KeyError(
+                    f"unknown task '{task}'; compiled: {plans.task_names()}"
+                )
+            image = np.asarray(image)
+            if image.shape != plans.plan.input_shape:
+                raise ValueError(
+                    f"expected one image of shape {plans.plan.input_shape}, "
+                    f"got {image.shape}"
+                )
+            now = self._clock()
+            with self._submit_lock:
+                index = self._submitted
+                self._submitted += 1
+            result = ServingResult(index, task, now, deadline)
+            # Copy so callers may reuse their staging buffer after submit().
+            request = ServingRequest(index, task, image.copy(), now, deadline, result)
+            # Whatever the swap gate consumed comes out of the same budget, so
+            # the total wait stays bounded by the caller's timeout.
+            remaining = (
+                None if give_up is None else max(0.0, give_up - time.monotonic())
+            )
+            try:
+                self._batcher.submit(request, block=block, timeout=remaining)
+            except QueueFullError:
+                # Only genuine overload counts as a rejection in the report;
+                # RuntimeClosedError during shutdown is not a capacity signal.
+                self.metrics.observe_rejection()
+                raise
+            return result
+        finally:
+            with self._intake_gate:
+                self._intake_active -= 1
+                if not self._intake_active:
+                    self._intake_gate.notify_all()
 
     def submit_many(
         self, items: Sequence[Tuple[str, np.ndarray]], **kwargs
@@ -241,18 +557,19 @@ class BaseRuntime:
         ``state`` is whatever per-worker context the backend passed when it
         launched the loop (a :class:`~repro.engine.WorkspacePool` for thread
         workers, the router state for the process backend's dispatcher).
+        ``task_done`` runs under a ``finally`` so a batch that fails still
+        releases the swap drain barrier.
         """
         last_task: Optional[str] = None
         while True:
             batch = self._batcher.next_batch(last_task)
             if batch is None:
                 return
-            self._execute(batch, state, last_task)
+            try:
+                self._execute(batch, state, last_task)
+            finally:
+                self._batcher.task_done()
             last_task = batch.task
-
-    def plan_for(self, task: str) -> EnginePlan:
-        """The plan a batch of ``task`` executes (specialized when available)."""
-        return self.specialized.get(task, self.plan)
 
     def _complete_batch(
         self,

@@ -56,11 +56,13 @@ class DynamicBatcher:
         self._lock = Lock()
         self._can_submit = Condition(self._lock)
         self._work = Condition(self._lock)
+        self._quiet = Condition(self._lock)
         self._open: Dict[str, List[ServingRequest]] = {}
         self._close_at: Dict[str, float] = {}
         self._ready: List[MicroBatch] = []
         self._seq: Dict[str, int] = {}
         self._pending = 0
+        self._in_flight = 0
         self._served: Dict[str, int] = {}
         self._closed = False
 
@@ -146,6 +148,7 @@ class DynamicBatcher:
                     batch = self.policy.pick(self._ready, last_task)
                     self._ready.remove(batch)
                     self._pending -= len(batch)
+                    self._in_flight += 1
                     self._served[batch.task] = self._served.get(batch.task, 0) + len(batch)
                     self._can_submit.notify_all()
                     return batch
@@ -155,6 +158,36 @@ class DynamicBatcher:
                 if self._close_at:
                     wait = max(0.0, min(self._close_at.values()) - now)
                 self._work.wait(wait)
+
+    def task_done(self) -> None:
+        """Mark one batch returned by :meth:`next_batch` as fully handled.
+
+        Consumers call this after executing (or routing) the batch; it is
+        what lets :meth:`quiescent` distinguish "queue empty" from "queue
+        empty *and* nothing in a worker's hands" — the barrier the hot-swap
+        control plane drains on.
+        """
+        with self._lock:
+            self._in_flight -= 1
+            self._quiet.notify_all()
+
+    def quiescent(self, timeout: Optional[float] = None) -> bool:
+        """Wait until nothing is pending and no handed-out batch is unfinished.
+
+        Only meaningful while intake is externally paused (new submissions
+        would re-arm the condition).  Returns ``False`` on timeout.  The wait
+        is wall-clock chunked rather than derived from the injectable clock:
+        it is woken by :meth:`task_done`/:meth:`next_batch` notifications, not
+        by time passing.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._pending or self._in_flight:
+                remaining = None if give_up is None else give_up - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._quiet.wait(0.25 if remaining is None else min(0.25, remaining))
+            return True
 
     # -------------------------------------------------------------- shutdown --
     def flush(self) -> None:
@@ -183,4 +216,5 @@ class DynamicBatcher:
             self._pending = 0
             self._work.notify_all()
             self._can_submit.notify_all()
+            self._quiet.notify_all()
             return cancelled

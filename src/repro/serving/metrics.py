@@ -8,9 +8,10 @@ operator-facing text block the CLI and benchmarks print.
 
 from __future__ import annotations
 
+import json
 import math
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.utils.ratios import fraction_saved
@@ -104,6 +105,32 @@ class ServingReport:
     def mac_reduction(self) -> float:
         """Fraction of dense MACs the fleet avoided (0.0 without measurements)."""
         return fraction_saved(self.dense_macs, self.effective_macs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form of the report, JSON-ready.
+
+        Derived figures (throughput, mean batch size, MAC reduction) are
+        included next to the raw counters so trajectory files are directly
+        plottable, and NaN latencies (empty runs) are mapped to ``None`` —
+        ``NaN`` is not valid JSON.
+        """
+
+        def _clean(value):
+            if isinstance(value, float) and math.isnan(value):
+                return None
+            return value
+
+        payload = {key: value for key, value in asdict(self).items()}
+        payload["latency"] = {k: _clean(v) for k, v in payload["latency"].items()}
+        payload["queue_wait"] = {k: _clean(v) for k, v in payload["queue_wait"].items()}
+        payload["throughput"] = self.throughput
+        payload["mean_batch_size"] = self.mean_batch_size
+        payload["mac_reduction"] = self.mac_reduction()
+        return payload
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Machine-readable report (what ``serve-bench --json`` appends)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def summary(self) -> str:
         """Multi-line human-readable report."""

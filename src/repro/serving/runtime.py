@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.engine.plan import WorkspacePool
 from repro.engine.scheduling import MicroBatch
-from repro.serving.base import BaseRuntime, run_plan_batch
+from repro.serving.base import BaseRuntime, PlanSet, run_plan_batch
 from repro.serving.request import ServingRequest
 
 
@@ -47,15 +47,32 @@ class ServingRuntime(BaseRuntime):
     # --------------------------------------------------------- backend hooks --
     def _launch_workers(self) -> None:
         self._threads: List[threading.Thread] = []
+        self._pools: List[WorkspacePool] = []
         for index in range(self.workers):
+            pool = WorkspacePool()
             thread = threading.Thread(
                 target=self._worker_loop,
-                args=(WorkspacePool(),),
+                args=(pool,),
                 name=f"serving-worker-{index}",
                 daemon=True,
             )
             thread.start()
             self._threads.append(thread)
+            self._pools.append(pool)
+
+    def _apply_swap(self, plans: PlanSet, timeout) -> None:
+        """Cut over between micro-batches: one atomic snapshot assignment.
+
+        Workers read the plan set once per batch, the batcher is drained and
+        intake is paused, so no batch can straddle the assignment.  Old
+        plans' workspace buffers are pruned from the worker pools by kernel
+        uid — repeated swaps (the recalibration loop's steady state) would
+        otherwise grow every pool without bound.
+        """
+        self._plans = plans
+        live = plans.kernel_uids()
+        for pool in self._pools:
+            pool.retain(live)
 
     def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
         # ``timeout`` bounds the *total* wait; if it elapses with workers
@@ -71,10 +88,13 @@ class ServingRuntime(BaseRuntime):
         requests: List[ServingRequest] = batch.requests  # type: ignore[assignment]
         images = np.stack([request.image for request in requests])
         start = self._clock()
-        plan = self.plan_for(batch.task)
+        # One snapshot read per batch: the whole batch executes against a
+        # single consistent plan set even if a swap lands mid-flight.
+        plans = self.plans
+        plan = plans.plan_for(batch.task)
         try:
             logits = run_plan_batch(
-                plan, self.plan.dynamic, images, batch.task, self.recorder, pool
+                plan, plans.plan.dynamic, images, batch.task, self.recorder, pool
             )
         except Exception as error:  # pragma: no cover - defensive: surface, don't die
             self._fail_batch(requests, error)

@@ -38,6 +38,7 @@ requests fail, rather than completing in the background.
 
 from __future__ import annotations
 
+import itertools
 import queue as queue_module
 import threading
 import time
@@ -51,7 +52,7 @@ from repro.engine.plan import EnginePlan, WorkspacePool
 from repro.engine.planspec import PlanSpec
 from repro.engine.scheduling import MicroBatch
 from repro.engine.stats import SparsityRecorder
-from repro.serving.base import BaseRuntime, run_plan_batch
+from repro.serving.base import BaseRuntime, PlanSet, run_plan_batch
 from repro.serving.request import ServingRequest
 
 __all__ = ["ShardedRuntime"]
@@ -96,6 +97,7 @@ def _shard_worker_main(
     out_slot_bytes: int,
     input_shape: Tuple[int, int, int],
     dtype_name: str,
+    channel_tracking: bool,
     task_queue,
     result_queue,
 ) -> None:
@@ -104,7 +106,13 @@ def _shard_worker_main(
     Builds private plans from the shipped specs (fresh kernels, empty
     workspace pool — nothing is inherited from the parent), then serves
     descriptors until the ``None`` sentinel arrives, finally shipping its
-    recorder snapshot home.
+    recorder snapshot home.  Control messages ride the same ordered queue as
+    the batch descriptors: ``"reset"`` starts a fresh stats window,
+    ``("snapshot", token)`` ships a live recorder snapshot home, and
+    ``("swap", generation, plan_spec, specialized_specs)`` rebuilds the
+    worker's plans in place — every descriptor enqueued before the swap has
+    already executed against the old plans by the time it is processed,
+    which is the per-shard half of the hot-swap ordering guarantee.
     """
     try:
         plan = plan_spec.build()
@@ -116,7 +124,9 @@ def _shard_worker_main(
         return
     dtype = np.dtype(dtype_name)
     pool = WorkspacePool()
-    recorder = SparsityRecorder()
+    recorder = SparsityRecorder(channel_tracking=channel_tracking)
+    #: generation -> (plan, specialized) built but not yet committed.
+    pending_swaps: Dict[int, Tuple[EnginePlan, Dict[str, EnginePlan]]] = {}
     result_queue.put(("ready", worker_id))
     try:
         while True:
@@ -127,6 +137,44 @@ def _shard_worker_main(
                 # reset_stats() marker: ordered with the batch descriptors,
                 # so the worker's window boundary matches dispatch order.
                 recorder.reset()
+                continue
+            if isinstance(message[0], str):
+                kind = message[0]
+                if kind == "snapshot":
+                    result_queue.put(
+                        ("snapshot", worker_id, message[1], recorder.snapshot())
+                    )
+                elif kind == "swap":
+                    # Phase 1 of the two-phase swap: build the new plans but
+                    # keep serving the old ones.  Installation waits for the
+                    # parent's commit, which it only sends once *every* shard
+                    # built successfully — a failed build on any shard aborts
+                    # the whole fleet's swap, so shards can never disagree on
+                    # which plans serve.
+                    _, generation, new_plan_spec, new_specialized_specs = message
+                    try:
+                        pending_swaps[generation] = (
+                            new_plan_spec.build(),
+                            {
+                                name: spec.build()
+                                for name, spec in new_specialized_specs.items()
+                            },
+                        )
+                    except Exception as error:
+                        result_queue.put(
+                            ("swap_failed", worker_id, generation, repr(error))
+                        )
+                    else:
+                        result_queue.put(("swap_built", worker_id, generation))
+                elif kind == "swap_commit":
+                    staged = pending_swaps.pop(message[1], None)
+                    if staged is not None:
+                        plan, specialized = staged
+                        # Fresh pool: the old plans' kernels (and their
+                        # workspace uids) are gone for good.
+                        pool = WorkspacePool()
+                elif kind == "swap_abort":
+                    pending_swaps.pop(message[1], None)
                 continue
             slot, task, n = message
             images = np.ndarray(
@@ -225,6 +273,13 @@ class ShardedRuntime(BaseRuntime):
         self._collector_done = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
         self._collector: Optional[threading.Thread] = None
+        # Control-plane state: swap readiness acks and live snapshot probes
+        # arriving on the result queue, keyed by generation/token.
+        self._control_cv = threading.Condition()
+        self._swap_generations = itertools.count(1)
+        self._swap_acks: Dict[int, Dict[int, Optional[str]]] = {}
+        self._probe_tokens = itertools.count(1)
+        self._probe_results: Dict[int, Dict[int, dict]] = {}
 
     # --------------------------------------------------------- backend hooks --
     def _launch_workers(self) -> None:
@@ -257,6 +312,7 @@ class ShardedRuntime(BaseRuntime):
                     self._out_slot_bytes,
                     tuple(self.plan.input_shape),
                     np.dtype(self.plan.dtype).name,
+                    getattr(self.recorder, "channel_tracking", False),
                     shard.task_queue,
                     self._result_queue,
                 ),
@@ -386,6 +442,24 @@ class ShardedRuntime(BaseRuntime):
                 _, worker_id, snapshot = message
                 self.recorder.merge_snapshot(snapshot)
                 self._stats_pending.discard(worker_id)
+            elif kind in ("swap_built", "swap_failed"):
+                _, worker_id, generation = message[:3]
+                failure = message[3] if kind == "swap_failed" else None
+                with self._control_cv:
+                    # Only record acks someone is still waiting for: a reply
+                    # landing after the waiter's timeout cleanup must not
+                    # recreate (and permanently leak) the entry.
+                    acks = self._swap_acks.get(generation)
+                    if acks is not None:
+                        acks[worker_id] = failure
+                        self._control_cv.notify_all()
+            elif kind == "snapshot":
+                _, worker_id, token, snapshot = message
+                with self._control_cv:
+                    results = self._probe_results.get(token)
+                    if results is not None:
+                        results[worker_id] = snapshot
+                        self._control_cv.notify_all()
         self._collector_done.set()
 
     def _finish_batch(self, worker_id: int, slot: int, n: int, classes: int, service: float) -> None:
@@ -448,6 +522,194 @@ class ShardedRuntime(BaseRuntime):
                         f"(exitcode {shard.process.exitcode})"
                     ),
                 )
+
+    # ------------------------------------------------------------ control plane --
+    def _wait_control(self, predicate, timeout: Optional[float], describe):
+        """Wait on the control condition until ``predicate()`` returns non-None.
+
+        The single deadline-arithmetic loop behind every control-plane
+        acknowledgement wait (swap acks, stats probes).  ``predicate`` runs
+        under the condition lock and may raise to abort the wait;
+        ``describe()`` renders the :class:`TimeoutError` message.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._control_cv:
+            while True:
+                result = predicate()
+                if result is not None:
+                    return result
+                remaining = None if give_up is None else give_up - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(describe())
+                self._control_cv.wait(
+                    0.25 if remaining is None else min(0.25, remaining)
+                )
+
+    def _validate_swap(self, plans: PlanSet) -> None:
+        """Input/dtype checks plus the ring-geometry bound of this backend."""
+        super()._validate_swap(plans)
+        widest = max(task.num_classes for task in plans.plan.tasks.values())
+        if widest > self._max_classes:
+            raise ValueError(
+                f"cannot swap: task head width {widest} exceeds the output-ring "
+                f"slot geometry ({self._max_classes} classes) this fleet was "
+                "sized for at start()"
+            )
+
+    def _drain_in_flight(self, timeout: Optional[float]) -> None:
+        """Wait until every batch dispatched to a shard has come home.
+
+        Called with intake paused and the batcher quiescent, so no new
+        descriptor can appear; the collector empties :attr:`_inflight` as the
+        workers finish against the old plans.
+        """
+        give_up = None if timeout is None else time.monotonic() + timeout
+        with self._slot_freed:
+            while self._inflight:
+                if all(shard.dead for shard in self._shards):
+                    return  # teardown already failed everything in flight
+                remaining = None if give_up is None else give_up - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"in-flight batches did not drain within {timeout}s; "
+                        "the old plans are still serving"
+                    )
+                self._slot_freed.wait(0.25 if remaining is None else min(0.25, remaining))
+
+    def _apply_swap(self, plans: PlanSet, timeout: Optional[float]) -> None:
+        """Two-phase cutover: every shard builds, then all commit — or none.
+
+        Phase 1 ships the rebuild specs down each shard's ordered command
+        channel (processed strictly after every batch descriptor enqueued
+        before it — the queues are empty anyway after
+        :meth:`_drain_in_flight`); workers build the new plans but keep
+        serving the old ones, acking success or failure.  Only when **every**
+        live shard has built does the parent send the commit and update its
+        own plan set; on any build failure or ack timeout it sends an abort
+        instead and raises, so the fleet can never split between old and new
+        plans — shards agree with each other and with the intake side in
+        every outcome.
+        """
+        generation = next(self._swap_generations)
+        plan_spec = PlanSpec.from_plan(plans.plan)
+        specialized_specs = {
+            name: PlanSpec.from_plan(spec) for name, spec in plans.specialized.items()
+        }
+        with self._control_cv:
+            # Registered before the first message can be answered; the
+            # collector drops acks for generations nobody waits on.
+            self._swap_acks[generation] = {}
+        with self._route_lock:
+            targets = [shard for shard in self._shards if not shard.dead]
+            for shard in targets:
+                shard.task_queue.put(("swap", generation, plan_spec, specialized_specs))
+        if not targets:
+            self._swap_acks.pop(generation, None)
+            raise RuntimeError("no live shard worker to swap plans on")
+
+        def abort() -> None:
+            with self._route_lock:
+                for shard in targets:
+                    if not shard.dead and shard.task_queue is not None:
+                        shard.task_queue.put(("swap_abort", generation))
+
+        still_waiting: List[int] = []
+
+        def all_built():
+            acks = self._swap_acks.get(generation, {})
+            failures = {
+                worker: error for worker, error in acks.items() if error is not None
+            }
+            if failures:
+                raise RuntimeError(
+                    "plan swap failed in shard worker(s) "
+                    + ", ".join(f"{w}: {e}" for w, e in sorted(failures.items()))
+                    + " — the swap was aborted fleet-wide; the old plans "
+                    "keep serving everywhere"
+                )
+            still_waiting[:] = [
+                shard.index
+                for shard in targets
+                if shard.index not in acks
+                and not shard.dead
+                and shard.process is not None
+                and shard.process.is_alive()
+            ]
+            return True if not still_waiting else None
+
+        try:
+            self._wait_control(
+                all_built,
+                timeout,
+                lambda: (
+                    f"shard workers {still_waiting} did not acknowledge the swap "
+                    f"within {timeout}s — the swap was aborted fleet-wide; "
+                    "the old plans keep serving everywhere"
+                ),
+            )
+        except BaseException:
+            abort()
+            raise
+        finally:
+            self._swap_acks.pop(generation, None)
+        # Phase 2: every shard is staged; commit messages are ordered before
+        # any batch descriptor dispatched after intake resumes, so a request
+        # admitted against the new plan set always executes on it.
+        with self._route_lock:
+            for shard in targets:
+                if not shard.dead and shard.task_queue is not None:
+                    shard.task_queue.put(("swap_commit", generation))
+        self._plans = plans
+
+    def current_recorder(self, timeout: float = 30.0) -> SparsityRecorder:
+        """A merged live view of every worker's recorder plus the parent's own.
+
+        Sends a snapshot probe down each shard's ordered command channel and
+        folds the replies (plus whatever the parent recorder already merged
+        from dead workers) into a **fresh** recorder — the parent's recorder
+        itself is left untouched, so the final merge at ``stop()`` cannot
+        double count.
+        """
+        if not self._started or self._stopped:
+            return self.recorder
+        token = next(self._probe_tokens)
+        with self._control_cv:
+            # Registered before the first probe can be answered; the
+            # collector drops replies for tokens nobody waits on.
+            self._probe_results[token] = {}
+        with self._route_lock:
+            targets = [shard for shard in self._shards if not shard.dead]
+            for shard in targets:
+                shard.task_queue.put(("snapshot", token))
+        merged = SparsityRecorder(
+            channel_tracking=getattr(self.recorder, "channel_tracking", False)
+        )
+        merged.merge_snapshot(self.recorder.snapshot())
+        still_waiting: List[int] = []
+
+        def all_answered():
+            results = self._probe_results.get(token, {})
+            still_waiting[:] = [
+                shard.index
+                for shard in targets
+                if shard.index not in results
+                and not shard.dead
+                and shard.process is not None
+                and shard.process.is_alive()
+            ]
+            return dict(results) if not still_waiting else None
+
+        try:
+            results = self._wait_control(
+                all_answered,
+                timeout,
+                lambda: f"shard workers {still_waiting} did not answer the stats probe",
+            )
+        finally:
+            self._probe_results.pop(token, None)
+        for snapshot in results.values():
+            merged.merge_snapshot(snapshot)
+        return merged
 
     # ----------------------------------------------------------------- stats --
     def reset_stats(self) -> None:

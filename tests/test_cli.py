@@ -14,6 +14,7 @@ class TestParser:
                         "serve-bench", "serve", "all"):
             args = parser.parse_args([command] if command != "train" else [command, "--fast"])
             assert args.command == command
+        assert parser.parse_args(["export", "--store", "s"]).command == "export"
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -133,3 +134,57 @@ class TestSpecializationFlags:
         assert "dynamic sparse fast path: autotuned crossovers" in output
         assert "specialized plan for task0" in output
         assert "% avoided in software" in output
+
+
+class TestLifecycleCommands:
+    def test_export_publishes_a_verifiable_version(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main([
+            "export", "--store", str(store_dir), "--tasks", "2",
+            "--dead-fraction", "0.5", "--specialize", "--name", "demo",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "published 'demo' as version v001" in output
+        from repro.artifacts import ModelStore
+
+        store = ModelStore(store_dir)
+        assert store.versions() == ["v001"]
+        manifest = store.verify("v001")
+        assert manifest["specialized_tasks"] == ["task0", "task1"]
+
+    def test_serve_from_artifact_with_recalibration(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(["export", "--store", str(store_dir), "--tasks", "2",
+                     "--dead-fraction", "0.5", "--specialize"]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--artifact", str(store_dir), "--requests", "12",
+            "--rate", "2000", "--workers", "2", "--micro-batch", "4",
+            "--recalibrate", "--recalibrate-min-images", "512",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "artifact 'mime'" in output
+        assert "recalibration events" in output
+        assert "insufficient traffic" in output  # min-images far above the run
+
+    def test_serve_bench_json_appends_trajectory_entry(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_serving.json"
+        assert main([
+            "serve-bench", "--backend", "thread", "--workers", "2",
+            "--requests", "16", "--micro-batch", "4", "--tasks", "2",
+            "--json", str(out),
+        ]) == 0
+        assert main([
+            "serve-bench", "--requests", "12", "--micro-batch", "4",
+            "--tasks", "2", "--json", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["entries"]) == 2
+        runtime_entry, engine_entry = payload["entries"]
+        assert runtime_entry["backend"] == "thread"
+        assert runtime_entry["report"]["completed"] == 16
+        assert runtime_entry["report"]["throughput"] > 0
+        assert engine_entry["backend"] == "engine"
+        assert any(row["path"] == "training forward" for row in engine_entry["paths"])

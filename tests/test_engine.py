@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.engine import (
-    CompileError,
     MultiTaskEngine,
     SparsityRecorder,
     compile_network,

@@ -206,7 +206,10 @@ class TestFigure9:
         assert result["case_b_middle_mean"] > 1.02
         assert ratio_b["conv1"] == pytest.approx(1.0, abs=1e-6)
         assert ratio_b["conv13"] == pytest.approx(1.0, abs=1e-6)
-        assert max(ratio_b.values()) == max(ratio_b[l] for l in ("conv4", "conv5", "conv6", "conv7", "conv8", "conv9", "conv10"))
+        assert max(ratio_b.values()) == max(
+            ratio_b[name]
+            for name in ("conv4", "conv5", "conv6", "conv7", "conv8", "conv9", "conv10")
+        )
 
     def test_reduced_cache_much_milder_than_reduced_pe(self):
         result = figure9_ablation()

@@ -9,7 +9,6 @@ schedule, and so on).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

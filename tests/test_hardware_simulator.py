@@ -8,7 +8,6 @@ PE-array/cache ablation penalises the middle layers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.hardware import (
@@ -51,7 +50,7 @@ class TestBatchResult:
         layer = result.layer("conv2")
         assert layer.energy.total > 0
         assert result.total_energy().total == pytest.approx(
-            sum(l.energy.total for l in result.layers)
+            sum(layer.energy.total for layer in result.layers)
         )
         with pytest.raises(KeyError):
             result.layer("conv99")

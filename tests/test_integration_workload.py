@@ -8,7 +8,6 @@ the hardware model.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import fast_config

@@ -7,7 +7,6 @@ import pytest
 
 from repro.datasets import DataLoader
 from repro.mime import MimeNetwork, ThresholdTrainer
-from repro.models import vgg_tiny
 
 RNG = np.random.default_rng(9)
 

@@ -18,7 +18,7 @@ from repro.mime import (
     storage_vs_num_tasks,
 )
 from repro.mime.storage import count_threshold_parameters, count_weight_parameters, head_parameters
-from repro.models import vgg16_layer_shapes, vgg_tiny
+from repro.models import vgg16_layer_shapes
 from repro.models.shapes import vgg_layer_shapes
 
 RNG = np.random.default_rng(21)

@@ -311,13 +311,19 @@ def test_every_registry_model_specializes_bit_identically(model_name):
 
 def test_serving_runtime_4_workers_specialized_matches_dense(plan, batch):
     profile = _profile_on(plan, batch)
+    # Per-task counts are exact multiples of micro_batch and max_wait is far
+    # above the drain time, so every batch closes on its *size* trigger with
+    # a composition fixed by submission order.  That makes the dense and
+    # specialized runs group identically — a bit-exact comparison is only
+    # meaningful for identical GEMM row counts (BLAS may reassociate a row's
+    # reduction differently for different batch heights).
     items = [(TASKS[i % len(TASKS)], batch[i % batch.shape[0]]) for i in range(36)]
-    with ServingRuntime(plan, workers=4, micro_batch=4, max_wait=0.002) as dense_runtime:
+    with ServingRuntime(plan, workers=4, micro_batch=4, max_wait=30.0) as dense_runtime:
         dense_results = [f.result(timeout=30.0) for f in dense_runtime.submit_many(items)]
 
     # Bit-exact specialization: logits must match the dense plan bit for bit.
     exact = specialize_tasks(plan, profile=profile, compact_reduction=False)
-    runtime = ServingRuntime(plan, workers=4, micro_batch=4, max_wait=0.002, specialized=exact)
+    runtime = ServingRuntime(plan, workers=4, micro_batch=4, max_wait=30.0, specialized=exact)
     with runtime:
         exact_results = [f.result(timeout=30.0) for f in runtime.submit_many(items)]
     for index, (lhs, rhs) in enumerate(zip(dense_results, exact_results)):
@@ -326,7 +332,7 @@ def test_serving_runtime_4_workers_specialized_matches_dense(plan, batch):
     # Default (throughput) specialization: ULP-equivalent, and the recorder
     # must see the executed MACs drop below the dense baseline.
     fast = specialize_tasks(plan, profile=profile)
-    runtime = ServingRuntime(plan, workers=4, micro_batch=4, max_wait=0.002, specialized=fast)
+    runtime = ServingRuntime(plan, workers=4, micro_batch=4, max_wait=30.0, specialized=fast)
     with runtime:
         fast_results = [f.result(timeout=30.0) for f in runtime.submit_many(items)]
     for lhs, rhs in zip(dense_results, fast_results):
