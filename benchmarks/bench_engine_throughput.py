@@ -1,13 +1,21 @@
 """Engine throughput: compiled float32 serving path vs the training forward.
 
 Not a paper figure — this benchmarks the repo's own inference engine on the
-VGG surrogate workload.  Two properties are asserted:
+VGG surrogate workload.  Four properties are asserted:
 
 * the compiled float32 engine delivers at least 2x the images/sec of
-  ``MimeNetwork.forward`` on the same request stream, and
+  ``MimeNetwork.forward`` on the same request stream,
 * the sparsity the engine *measures* while serving round-trips into a
   :class:`~repro.hardware.LayerSparsityProfile` that the systolic-array
-  simulator accepts, with every masked conv layer covered by a measurement.
+  simulator accepts, with every masked conv layer covered by a measurement,
+* the per-layer kernel chooser (``autotune_kernel_variants``) beats the
+  generic im2col baseline by ``KERNEL_BENCH_MIN_SPEEDUP`` (default 1.3x) on
+  the same pipelined drain, and
+* the int8 kernel variant holds its declared accuracy contract (argmax
+  agreement with the float32 reference) on the sparse-weight ablation.
+
+``--json OUT`` appends each run's machine-readable entry to a
+``BENCH_*.json`` trajectory file (see ``benchmarks/BENCH_kernels.json``).
 """
 
 from __future__ import annotations
@@ -18,7 +26,15 @@ import time
 import numpy as np
 import pytest
 
-from repro.engine import MultiTaskEngine, compile_network
+from repro.engine import (
+    MultiTaskEngine,
+    PlanSpec,
+    autotune_kernel_variants,
+    calibrate_plan,
+    compile_network,
+    quantize_plan_kernels,
+)
+from repro.experiments.builders import append_bench_entry
 from repro.mime import MimeNetwork
 from repro.models import extract_layer_shapes, vgg_small
 
@@ -29,6 +45,20 @@ MICRO_BATCH = 8
 # avoid spurious failures from machine noise (locally it defaults to the 2x
 # acceptance criterion; typical measurements land at 3-4x).
 MIN_SPEEDUP = float(os.environ.get("ENGINE_BENCH_MIN_SPEEDUP", "2.0"))
+# Chooser-selected kernels vs the generic im2col baseline, same pipelined
+# drain.  1.3x is the acceptance criterion; CI smoke relaxes it and shared
+# runners can override via the environment.
+KERNEL_MIN_SPEEDUP = float(os.environ.get("KERNEL_BENCH_MIN_SPEEDUP", "1.3"))
+# The int8 accuracy contract, measured on the trained surrogate workload:
+# the quantized plan's aggregate top-1 accuracy may differ from the float32
+# plan's by at most 0.5pp, with a per-image argmax-agreement sanity floor
+# (threshold-masked networks flip near-threshold channels under
+# quantization noise; the guard-band refinement epilogue keeps decisions
+# exact per layer, but propagated value noise still perturbs a small
+# fraction of predictions — symmetrically, which is what the delta bound
+# captures).
+INT8_MAX_DELTA_PP = 0.5
+INT8_MIN_AGREEMENT = 0.90
 
 
 @pytest.fixture(scope="module")
@@ -93,6 +123,150 @@ def test_engine_throughput_vs_training_forward(benchmark, served_network, smoke)
     assert engine_ips >= min_speedup * baseline_ips, (
         f"compiled engine ({engine_ips:.1f} img/s) is not {min_speedup}x the "
         f"training forward ({baseline_ips:.1f} img/s)"
+    )
+
+
+def _drain_throughput(plan, images, tasks) -> float:
+    """Images/sec for one pipelined drain of the request stream on ``plan``."""
+    engine = MultiTaskEngine(plan, micro_batch=MICRO_BATCH)
+    for index, task_name in enumerate(tasks):
+        engine.submit(task_name, images[index])
+    start = time.perf_counter()
+    engine.run_pending(mode="pipelined")
+    return NUM_REQUESTS / (time.perf_counter() - start)
+
+
+def test_kernel_chooser_vs_im2col_baseline(served_network, smoke, bench_json):
+    """Chooser-selected kernel variants beat the generic im2col engine path."""
+    # An explicit KERNEL_BENCH_MIN_SPEEDUP wins even in smoke mode — that is
+    # how CI pins its shared-runner gate; otherwise smoke relaxes to 1.05.
+    if "KERNEL_BENCH_MIN_SPEEDUP" in os.environ:
+        min_speedup = KERNEL_MIN_SPEEDUP
+    else:
+        min_speedup = 1.05 if smoke else KERNEL_MIN_SPEEDUP
+    rng = np.random.default_rng(7)
+    images, tasks = _request_stream(rng)
+
+    baseline = compile_network(served_network, dtype=np.float32)
+    tuned = PlanSpec.from_plan(baseline).build()
+    choices = autotune_kernel_variants(tuned, batch=MICRO_BATCH, seed=0)
+
+    # Warm both plans (BLAS threads, workspace pools), then interleave the
+    # measured rounds so machine noise hits both plans symmetrically.
+    _drain_throughput(baseline, images, tasks)
+    _drain_throughput(tuned, images, tasks)
+    rounds = 1 if smoke else 3
+    baseline_ips = tuned_ips = 0.0
+    for _ in range(rounds):
+        baseline_ips = max(baseline_ips, _drain_throughput(baseline, images, tasks))
+        tuned_ips = max(tuned_ips, _drain_throughput(tuned, images, tasks))
+    speedup = tuned_ips / baseline_ips
+
+    print()
+    print("Per-layer kernel chooser on the vgg_small @ 32x32 workload:")
+    print(f"  im2col baseline  : {baseline_ips:10.1f} images/sec")
+    print(f"  chooser-selected : {tuned_ips:10.1f} images/sec  ({speedup:.2f}x)")
+    print("  choices: " + ", ".join(f"{k}={v}" for k, v in choices.items()))
+    if bench_json:
+        append_bench_entry(bench_json, {
+            "pr": 6,
+            "date": time.strftime("%Y-%m-%d"),
+            "command": "pytest benchmarks/bench_engine_throughput.py::"
+                       "test_kernel_chooser_vs_im2col_baseline",
+            "workload": "vgg_small@32 x3tasks",
+            "requests": NUM_REQUESTS,
+            "micro_batch": MICRO_BATCH,
+            "report": {
+                "baseline_images_per_sec": baseline_ips,
+                "tuned_images_per_sec": tuned_ips,
+                "speedup": speedup,
+                "kernel_choices": choices,
+            },
+        })
+    assert tuned_ips >= min_speedup * baseline_ips, (
+        f"chooser-selected kernels ({tuned_ips:.1f} img/s) are not "
+        f"{min_speedup}x the im2col baseline ({baseline_ips:.1f} img/s)"
+    )
+
+
+def test_int8_accuracy_delta_on_sparse_weight_workload(trained_workload, smoke, bench_json):
+    """Int8 holds the declared <= 0.5pp aggregate accuracy delta vs float32.
+
+    Measured on the trained surrogate MIME workload (real thresholds, real
+    per-task structured sparsity — the workload behind the sparse-weight
+    ablation's accuracy baselines), against a large freshly-sampled
+    evaluation set from the identical class generators: the synthetic task
+    builders draw class prototypes from the per-task seed before any
+    samples, so rebuilding the child tasks with a larger ``samples_per_class``
+    yields more held-out images of the *same* classification problems.
+    """
+    from repro.datasets import DataLoader, build_child_tasks
+    from repro.utils.rng import new_rng
+
+    workload = trained_workload
+    network = workload.mime_network
+    network.eval()
+    plan = compile_network(network, dtype=np.float32)
+    profile = calibrate_plan(plan, batch_size=32, seed=5)
+    quantized = PlanSpec.from_plan(plan).build()
+    quantize_plan_kernels(quantized, profile)
+
+    config = workload.config
+    eval_tasks = build_child_tasks(
+        scale=config.task_scale,
+        backbone_size=config.backbone_input_size,
+        samples_per_class=64 if smoke else 256,
+    )
+    rng = new_rng(123)
+    totals = {"images": 0, "float32": 0, "int8": 0, "agree": 0}
+    per_task = {}
+    for task in eval_tasks:
+        loader = DataLoader(task.test, batch_size=32, shuffle=False, rng=rng)
+        n = f32_ok = int8_ok = agree = 0
+        for images, labels in loader:
+            ref = plan.run(images, task.name).argmax(axis=1)
+            out = quantized.run(images, task.name).argmax(axis=1)
+            n += len(labels)
+            agree += int((ref == out).sum())
+            f32_ok += int((ref == labels).sum())
+            int8_ok += int((out == labels).sum())
+        per_task[task.name] = (n, f32_ok / n, int8_ok / n, agree / n)
+        for key, value in zip(("images", "float32", "int8", "agree"),
+                              (n, f32_ok, int8_ok, agree)):
+            totals[key] += value
+    delta_pp = 100.0 * (totals["int8"] - totals["float32"]) / totals["images"]
+    agreement = totals["agree"] / totals["images"]
+
+    print()
+    print("Int8 accuracy contract on the trained sparse-weight workload:")
+    for name, (n, f32_acc, int8_acc, task_agree) in per_task.items():
+        print(f"  {name:10s} n={n:4d}  acc(f32)={f32_acc:.4f}  acc(int8)={int8_acc:.4f}  "
+              f"argmax agreement={task_agree:.4f}")
+    print(f"  aggregate delta: {delta_pp:+.3f}pp over {totals['images']} images  "
+          f"[contract: |delta| <= {INT8_MAX_DELTA_PP}pp]")
+    if bench_json:
+        append_bench_entry(bench_json, {
+            "pr": 6,
+            "date": time.strftime("%Y-%m-%d"),
+            "command": "pytest benchmarks/bench_engine_throughput.py::"
+                       "test_int8_accuracy_delta_on_sparse_weight_workload",
+            "workload": "trained fast_config surrogate",
+            "report": {
+                "accuracy_delta_pp": delta_pp,
+                "argmax_agreement": agreement,
+                "per_task": {
+                    name: {"n": n, "acc_float32": f, "acc_int8": q, "agreement": a}
+                    for name, (n, f, q, a) in per_task.items()
+                },
+            },
+        })
+    assert abs(delta_pp) <= INT8_MAX_DELTA_PP, (
+        f"int8 aggregate accuracy delta {delta_pp:+.3f}pp breaks the declared "
+        f"<= {INT8_MAX_DELTA_PP}pp contract"
+    )
+    assert agreement >= INT8_MIN_AGREEMENT, (
+        f"int8 argmax agreement {agreement:.4f} fell below the "
+        f">= {INT8_MIN_AGREEMENT} sanity floor"
     )
 
 

@@ -25,12 +25,25 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="seconds-scale benchmark settings with relaxed perf assertions "
         "(used by CI to catch regressions without flaking on shared runners)",
     )
+    parser.addoption(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="append each benchmark's machine-readable result entry to this "
+        "BENCH_*.json trajectory file (benchmarks that support it)",
+    )
 
 
 @pytest.fixture(scope="session")
 def smoke(request: pytest.FixtureRequest) -> bool:
     """True when the benchmarks run in CI smoke mode (``--smoke``)."""
     return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def bench_json(request: pytest.FixtureRequest):
+    """The ``--json OUT`` trajectory path, or ``None`` when not recording."""
+    return request.config.getoption("--json")
 
 
 @pytest.fixture(scope="session")

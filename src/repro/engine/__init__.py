@@ -30,6 +30,12 @@ package provides the dedicated inference path:
   and the FC head (:func:`specialize_tasks`), plus the dynamic sparse
   row-gather fast path and its autotuner
   (:func:`autotune_dynamic_crossover`).
+* :mod:`repro.engine.kernels` holds the kernel variant subsystem: the
+  cache-blocked fused-epilogue GEMM, the im2col-free direct convolution, the
+  opt-in int8 quantized path (:func:`quantize_plan_kernels`), and the
+  per-layer kernel chooser (:func:`autotune_kernel_variants` /
+  :func:`apply_kernel_choices`) whose choices ride on the plan and through
+  :class:`PlanSpec` into spawned serving workers.
 """
 
 from repro.engine.plan import (
@@ -50,6 +56,19 @@ from repro.engine.calibrate import (
     ChannelSurvivalRecorder,
     calibrate_plan,
     profile_from_network,
+)
+from repro.engine.kernels import (
+    CONV_VARIANTS,
+    LINEAR_VARIANTS,
+    POOL_VARIANTS,
+    QuantizedGemm,
+    apply_kernel_choices,
+    autotune_kernel_variants,
+    force_kernel_variant,
+    quantize_gemm,
+    quantize_plan_kernels,
+    set_kernel_variant,
+    variant_candidates,
 )
 from repro.engine.planspec import PlanSpec, TaskSpec
 from repro.engine.specialize import (
@@ -102,6 +121,17 @@ __all__ = [
     "profile_from_network",
     "specialize_plan",
     "specialize_tasks",
+    "CONV_VARIANTS",
+    "LINEAR_VARIANTS",
+    "POOL_VARIANTS",
+    "QuantizedGemm",
+    "apply_kernel_choices",
+    "autotune_kernel_variants",
+    "force_kernel_variant",
+    "quantize_gemm",
+    "quantize_plan_kernels",
+    "set_kernel_variant",
+    "variant_candidates",
     "POLICIES",
     "SCHEDULING_MODES",
     "FifoDeadlinePolicy",

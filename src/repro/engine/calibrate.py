@@ -47,6 +47,7 @@ class ChannelSurvivalRecorder:
         self._slots: Dict[str, Dict[str, int]] = {}
         self._images: Dict[str, int] = {}
         self._first_layer: Dict[str, str] = {}
+        self._ranges: Dict[str, Dict[str, float]] = {}
 
     # -- kernel-facing hooks -------------------------------------------------
     def record(self, task: str, layer_name: str, sparsity: float, num_images: int) -> None:
@@ -69,6 +70,19 @@ class ChannelSurvivalRecorder:
             counts[layer_name] = np.asarray(live_counts, dtype=np.int64).copy()
             slots[layer_name] = int(num_slots)
 
+    def record_range(self, task: str, kernel_name: str, absmax: float) -> None:
+        """Track the peak input activation magnitude seen by a GEMM kernel.
+
+        The GEMM kernels feed this hook (discovered with ``getattr``, so
+        serving recorders that do not expose it pay nothing) with
+        ``abs(x).max()`` of every batch they run; the accumulated per-task
+        maxima become :attr:`CalibrationProfile.ranges` — the activation
+        scales of the int8 variant (:func:`repro.engine.kernels.
+        quantize_gemm`).
+        """
+        ranges = self._ranges.setdefault(task, {})
+        ranges[kernel_name] = max(ranges.get(kernel_name, 0.0), float(absmax))
+
     # -- export --------------------------------------------------------------
     def to_profile(self) -> "CalibrationProfile":
         survival = {
@@ -78,7 +92,11 @@ class ChannelSurvivalRecorder:
             }
             for task in self._counts
         }
-        return CalibrationProfile(survival=survival, num_images=dict(self._images))
+        return CalibrationProfile(
+            survival=survival,
+            num_images=dict(self._images),
+            ranges={task: dict(ranges) for task, ranges in self._ranges.items()},
+        )
 
 
 @dataclass
@@ -94,6 +112,11 @@ class CalibrationProfile:
 
     survival: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
     num_images: Dict[str, int] = field(default_factory=dict)
+    #: ``ranges[task][kernel_name]`` — peak |activation| entering each GEMM
+    #: kernel during calibration; the input scales of the engine's int8
+    #: variant.  Empty for profiles produced before range recording existed
+    #: (and for :func:`profile_from_network`, which never runs the kernels).
+    ranges: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def tasks(self) -> List[str]:
         return list(self.survival)
@@ -132,6 +155,11 @@ class CalibrationProfile:
             },
             "num_images": self.num_images,
         }
+        if self.ranges:
+            payload["ranges"] = {
+                task: {name: float(value) for name, value in ranges.items()}
+                for task, ranges in self.ranges.items()
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
@@ -143,6 +171,10 @@ class CalibrationProfile:
                 for task, layers in payload["survival"].items()
             },
             num_images={task: int(n) for task, n in payload.get("num_images", {}).items()},
+            ranges={
+                task: {name: float(value) for name, value in ranges.items()}
+                for task, ranges in payload.get("ranges", {}).items()
+            },
         )
 
     def save(self, path: str | Path) -> Path:

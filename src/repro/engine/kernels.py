@@ -1,0 +1,905 @@
+"""Kernel variants for the fused GEMM engine, plus the per-layer chooser.
+
+The compiled plan's default execution path (``ConvGemmMaskKernel.run``'s
+im2col → one monolithic GEMM → ``apply_threshold_mask``) is simple and
+bit-stable, but it is not always the fastest way to run a layer on a given
+machine.  This module adds alternative lowerings of the *same* layer
+semantics, selectable per kernel instance via its ``variant`` attribute:
+
+Convolutions (``ConvGemmMaskKernel``)
+  * ``"im2col"`` (default) — the original path, untouched, so existing plans
+    behave exactly as before and the dynamic row-gather fast path keeps its
+    bit-exactness story.
+  * ``"blocked"`` — cache-blocked fused GEMM: images are processed in blocks
+    whose im2col panel fits in cache (:data:`_COLS_BLOCK_BYTES`), the panel
+    is built with one long-run strided copy per kernel row
+    (:func:`copy_window_strips` — ``k`` copies of ``k*C_in``-wide runs
+    instead of ``k*k`` copies of ``C_in``-wide runs), and the bias +
+    threshold-mask epilogue is applied to each output tile while it is still
+    cache-hot.  The panel is **bit-identical** to the monolithic im2col
+    matrix and each block's GEMM sees the same per-row reduction order, so
+    this variant reproduces the default path bit for bit.
+  * ``"direct"`` — im2col-free shift-and-add convolution: one full-plane
+    GEMM per filter tap, accumulated into the output through shifted
+    ``as_strided``-style window views.  No ``cols`` workspace exists at all.
+    1x1/stride-1 layers degenerate to a single GEMM over the input itself
+    (bit-identical to im2col, whose column matrix *is* the input); for k>1
+    the per-pixel reduction is regrouped from ``(ky, kx, c)`` order into
+    per-tap partial sums, so the contract is ULP-level (``allclose``), not
+    bitwise.  Eligible for stride-1 layers (the dominant VGG shapes).
+  * ``"int8"`` — opt-in symmetric-quantized inference (see
+    :class:`QuantizedGemm`): activations are quantized on the fly with a
+    per-kernel scale calibrated from :class:`~repro.engine.calibrate.
+    CalibrationProfile` activation ranges, weights carry per-output-channel
+    scales, the integer GEMM accumulates exactly (values are stored in a
+    float container wide enough that every int32-range accumulation is
+    representable — this machine has no int8 BLAS, so the float unit *is*
+    the exact integer datapath), and the epilogue dequantizes, adds the
+    float bias and applies the threshold mask.  Accuracy contract: declared
+    tolerance measured by the differential suite, not bit-exactness.
+
+Fully-connected layers (``LinearMaskKernel``)
+  ``"dense"`` (default, original path), ``"blocked"`` (row-blocked GEMM with
+  the bias+mask epilogue fused per block — bit-identical), ``"int8"``.
+
+Max pooling (``MaxPoolKernel``)
+  ``"reshape"`` (default, original path: reshape-reduce for aligned
+  non-overlapping windows) and ``"views"`` (strided-window ``np.maximum``
+  cascade — bit-identical, and measurably faster on this machine's
+  single-core OpenBLAS build because it avoids the 6-D reduction).
+
+:func:`autotune_kernel_variants` times every eligible variant of every
+kernel on synthetic inputs of the kernel's true geometry (through the real
+``kernel.run`` entry point, epilogue included) and caches the winning
+choices on ``plan.kernel_choices``; :func:`apply_kernel_choices` replays a
+cached choice map onto any plan whose kernels share names — which is how
+choices survive :class:`~repro.engine.planspec.PlanSpec` round-trips into
+spawned workers and re-specialization during online recalibration.
+
+This module deliberately imports nothing from :mod:`repro.engine.plan`
+(``plan.py`` imports *us*); every entry point takes the kernel object and
+duck-types against the attributes all plan kernels carry (``uid``, ``kind``,
+``variant``, geometry, ``mask``, ``dense_macs_per_image``...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+__all__ = [
+    "CONV_VARIANTS",
+    "LINEAR_VARIANTS",
+    "POOL_VARIANTS",
+    "QuantizedGemm",
+    "quantize_gemm",
+    "quantize_plan_kernels",
+    "variant_candidates",
+    "set_kernel_variant",
+    "force_kernel_variant",
+    "apply_kernel_choices",
+    "autotune_kernel_variants",
+    "apply_threshold_mask",
+    "report_mask_stats",
+    "record_variant_traffic",
+]
+
+#: Target byte size of one cache-blocked im2col panel.  512 KB keeps the
+#: panel + the weight panel + the output tile inside a typical shared L2/L3
+#: slice while staying large enough that BLAS still runs full-width panels.
+_COLS_BLOCK_BYTES = 1 << 19
+
+CONV_VARIANTS = ("im2col", "blocked", "direct", "int8")
+LINEAR_VARIANTS = ("dense", "blocked", "int8")
+POOL_VARIANTS = ("reshape", "views")
+
+#: int8 symmetric quantization range (zero-point-free).
+_QMAX = 127.0
+
+#: Guard band of the int8 decision-refinement epilogue, in standard
+#: deviations of the per-slot quantization noise.  Output slots whose
+#: dequantized value lands within ``guard * sigma`` of the task threshold
+#: are recomputed from the retained float weights, so near-threshold mask
+#: decisions are exact and quantization error cannot compound through the
+#: layer stack (see ``_refine_conv_int8``).
+_INT8_GUARD = 8.0
+
+
+# ---------------------------------------------------------------------------
+# Shared epilogue: threshold mask + sparsity reporting.
+# ---------------------------------------------------------------------------
+def report_mask_stats(
+    kernel, task, recorder, ctx, images: int, slots_per_image: int,
+    channel_live: Optional[np.ndarray], live: float, mask_size: int,
+) -> None:
+    """Sparsity-reporting tail shared by every masked-GEMM variant.
+
+    ``live`` is the total number of surviving (image, position, channel)
+    slots; ``channel_live`` the per-channel breakdown when the caller
+    computed one (required whenever the recorder exposes the
+    ``record_channels`` calibration hook).  The recorded sparsity is
+    normalised by the layer's **dense** channel count (``kernel.
+    dense_channels``) so dense and specialized runs of the same traffic stay
+    comparable, while the ``ctx`` gate signal uses the stream's own
+    geometry (``mask_size``) — it describes the data the next kernel sees.
+    """
+    record_channels = getattr(recorder, "record_channels", None) if recorder is not None else None
+    if record_channels is not None and channel_live is not None:
+        record_channels(task.name, kernel.mask.layer_name, channel_live, images * slots_per_image)
+    if recorder is not None:
+        dense_slots = images * slots_per_image * kernel.dense_channels
+        recorder.record(task.name, kernel.mask.layer_name, 1.0 - live / dense_slots, images)
+    if ctx is not None:
+        ctx.prev_sparsity = 1.0 - live / mask_size
+
+
+def apply_threshold_mask(
+    kernel, gemm: np.ndarray, task, ws, recorder, ctx, slots_per_image: int
+) -> None:
+    """Monolithic threshold-mask step of the fused GEMM kernels.
+
+    ``gemm`` is the (batch, ..., channels) pre-activation view; the mask
+    buffer comes from the workspace pool and is rewritten in place with
+    ``np.greater_equal(..., out=...)``, so steady-state serving allocates
+    nothing here.  Survival statistics flow through
+    :func:`report_mask_stats`; the blocked variants skip this function and
+    mask per cache-hot tile instead, feeding the same reporting tail with
+    their accumulated counts.
+    """
+    n = gemm.shape[0]
+    mask = ws.get(kernel.uid, "mask", n, gemm.shape, np.bool_)
+    np.greater_equal(gemm, task.thresholds[kernel.mask.slot], out=mask)
+    gemm *= mask
+    survival_needed = recorder is not None or (ctx is not None and ctx.dynamic is not None)
+    if survival_needed:
+        if recorder is not None and getattr(recorder, "record_channels", None) is not None:
+            # Per-channel live-slot counts (channels are the last axis); the
+            # scalar total falls out of them for free.
+            channel_live = mask.sum(axis=tuple(range(mask.ndim - 1)), dtype=np.int64)
+            live = float(channel_live.sum())
+        else:
+            channel_live = None
+            live = float(np.count_nonzero(mask))
+        report_mask_stats(
+            kernel, task, recorder, ctx, n, slots_per_image, channel_live, live, mask.size
+        )
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Per-variant MAC/byte accounting (physical traffic, not semantic MACs).
+# ---------------------------------------------------------------------------
+def record_variant_traffic(recorder, variant: str, macs: int, nbytes: int) -> None:
+    """Feed a recorder's optional ``record_variant`` hook (physical totals).
+
+    The :class:`~repro.engine.plan.RunContext` MAC counters stay *semantic*
+    (rows x reduction x width of the layer's math) so MAC-reduction ratios
+    remain comparable across variants; this hook carries what the variant
+    physically executed — e.g. the direct path's per-tap full-plane GEMMs
+    run ~``(H+2p)(W+2p)/(HW)`` more MACs than the im2col lowering of the
+    same layer — plus a simple bytes-touched model of its memory traffic.
+    """
+    if recorder is None:
+        return
+    hook = getattr(recorder, "record_variant", None)
+    if hook is not None:
+        hook(variant, int(macs), int(nbytes))
+
+
+def conv_variant_traffic(kernel, n: int, variant: str) -> tuple:
+    """(physical MACs, modelled bytes touched) of one conv batch."""
+    item = kernel.weight_t.dtype.itemsize
+    c_in, h, w = kernel.in_shape
+    c_out, h_out, w_out = kernel.out_shape
+    k, s, p = kernel.kernel_size, kernel.stride, kernel.padding
+    rows = n * h_out * w_out
+    reduction = kernel.weight_t.shape[0]
+    plane = n * (h + 2 * p) * (w + 2 * p)
+    input_bytes = item * n * h * w * c_in + (item * plane * c_in if p > 0 else 0)
+    weight_bytes = item * reduction * c_out
+    out_bytes = item * rows * c_out
+    mask_bytes = (2 * rows * c_out + item * rows * c_out) if kernel.mask is not None else 0
+    if variant == "direct":
+        if k == 1 and p == 0 and s == 1:
+            macs = rows * reduction * c_out
+            nbytes = input_bytes + weight_bytes + out_bytes + mask_bytes
+        else:
+            taps = k * k
+            macs = taps * plane * c_in * c_out
+            # per tap: read the plane, write the tap output, accumulate out
+            nbytes = input_bytes + weight_bytes + mask_bytes + taps * item * (
+                plane * c_in + plane * c_out + 2 * rows * c_out
+            )
+        return macs, nbytes
+    macs = rows * reduction * c_out
+    # im2col/blocked/int8: cols written once and re-read by the GEMM.
+    cols_bytes = 2 * item * rows * reduction
+    nbytes = input_bytes + cols_bytes + weight_bytes + out_bytes + mask_bytes
+    if variant == "int8":
+        nbytes += item * plane * c_in  # the extra quantize pass
+    return macs, nbytes
+
+
+def linear_variant_traffic(kernel, n: int, variant: str) -> tuple:
+    """(physical MACs, modelled bytes touched) of one FC batch."""
+    item = kernel.weight_t.dtype.itemsize
+    reduction, width = kernel.weight_t.shape
+    macs = n * reduction * width
+    nbytes = item * (n * reduction + reduction * width + n * width)
+    if kernel.mask is not None:
+        nbytes += 2 * n * width + item * n * width
+    if variant == "int8":
+        nbytes += item * n * reduction
+    return macs, nbytes
+
+
+def pool_variant_traffic(kernel, x: np.ndarray, out: np.ndarray) -> tuple:
+    return 0, x.nbytes + out.nbytes
+
+
+# ---------------------------------------------------------------------------
+# im2col panel construction via overlapping window strips.
+# ---------------------------------------------------------------------------
+def copy_window_strips(
+    cols: np.ndarray, src: np.ndarray, n: int,
+    h_out: int, w_out: int, k: int, s: int, c_in: int,
+) -> None:
+    """Fill an im2col panel with ``k`` long-run strided copies.
+
+    Adjacent output positions' windows overlap in memory: for a fixed kernel
+    row ``ky``, the ``(kx, c)`` face of the window at output column ``j`` is
+    the *contiguous* run of ``k*c_in`` values starting at input pixel
+    ``(ky + i*s, j*s)``.  One ``as_strided`` view per ``ky`` therefore
+    exposes all of that row's window faces at once, and copying it lands
+    ``k*c_in``-wide runs instead of the naive double loop's ``c_in``-wide
+    runs — same panel, bit for bit, at a fraction of the copy overhead.
+
+    ``src`` must be C-contiguous NHWC (the padded workspace buffer always
+    is); the last window's run ends at input column ``(w_out-1)*s + k <= W``
+    by conv geometry, so the view never reads out of bounds.
+    """
+    sn, sh, sw, sc = src.strides
+    shape = (n, h_out, w_out, k * c_in)
+    panel = cols.reshape(n, h_out, w_out, k, k * c_in)
+    for ky in range(k):
+        strip = as_strided(src[:, ky:], shape=shape, strides=(sn, s * sh, s * sw, sc))
+        panel[:, :, :, ky, :] = strip
+
+
+def _padded_input(kernel, x: np.ndarray, ws) -> np.ndarray:
+    """The conv source plane: the zero-bordered pad buffer, or ``x`` itself."""
+    p = kernel.padding
+    if p == 0:
+        return x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
+    n = x.shape[0]
+    c_in, h, w = kernel.in_shape
+    padded = ws.get(
+        kernel.uid, "pad", n, (n, h + 2 * p, w + 2 * p, c_in), kernel.weight_t.dtype
+    )
+    # The border stays zero from allocation time; only the interior is
+    # rewritten (same invariant as the default im2col path).
+    padded[:, p : p + h, p : p + w, :] = x
+    return padded
+
+
+# ---------------------------------------------------------------------------
+# Convolution variants.
+# ---------------------------------------------------------------------------
+def run_conv_blocked(kernel, x, task, ws, recorder, ctx):
+    """Cache-blocked im2col GEMM with the bias+mask epilogue fused per block.
+
+    Bit-identical to the default path: the strip-copied panel equals the
+    monolithic im2col matrix and blocking over *images* never splits a GEMM
+    row, so every output element sees the same reduction order.
+    """
+    n = x.shape[0]
+    c_in, _, _ = kernel.in_shape
+    c_out, h_out, w_out = kernel.out_shape
+    k, s = kernel.kernel_size, kernel.stride
+    dtype = kernel.weight_t.dtype
+    src = _padded_input(kernel, x, ws)
+    spi = h_out * w_out
+    reduction = kernel.weight_t.shape[0]
+    # Round (not floor) to the nearest image count whose panel hits the byte
+    # target: a 1.1-panel-sized budget should still pair images up — the
+    # measured sweet spot sits at the target, not strictly under it.
+    panel_bytes = max(1, spi * reduction * dtype.itemsize)
+    block = max(1, min(n, (_COLS_BLOCK_BYTES + panel_bytes // 2) // panel_bytes))
+
+    out = ws.get(kernel.uid, "out", n, (n * spi, c_out), dtype)
+    cols = ws.get(kernel.uid, "bcols", block, (block * spi, reduction), dtype)
+    survival_needed = recorder is not None or (ctx is not None and ctx.dynamic is not None)
+    need_channels = (
+        recorder is not None and getattr(recorder, "record_channels", None) is not None
+    )
+    thresholds = mask = channel_live = None
+    live_total = 0
+    if kernel.mask is not None:
+        thresholds = task.thresholds[kernel.mask.slot]
+        mask = ws.get(kernel.uid, "mask", n, (n, spi, c_out), np.bool_)
+        if need_channels:
+            channel_live = np.zeros(c_out, dtype=np.int64)
+
+    for b0 in range(0, n, block):
+        nb = min(n, b0 + block) - b0
+        panel = cols[: nb * spi]
+        copy_window_strips(panel, src[b0 : b0 + nb], nb, h_out, w_out, k, s, c_in)
+        tile = out[b0 * spi : (b0 + nb) * spi]
+        np.matmul(panel, kernel.weight_t, out=tile)
+        np.add(tile, kernel.bias, out=tile)
+        if kernel.mask is not None:
+            gemm = tile.reshape(nb, spi, c_out)
+            tile_mask = mask[b0 : b0 + nb]
+            np.greater_equal(gemm, thresholds, out=tile_mask)
+            gemm *= tile_mask
+            if channel_live is not None:
+                channel_live += tile_mask.sum(axis=(0, 1), dtype=np.int64)
+            elif survival_needed:
+                live_total += np.count_nonzero(tile_mask)
+
+    if ctx is not None:
+        ctx.effective_macs += n * spi * reduction * c_out
+        ctx.dense_macs += n * kernel.dense_macs_per_image
+    record_variant_traffic(recorder, "blocked", *conv_variant_traffic(kernel, n, "blocked"))
+    if kernel.mask is not None:
+        if survival_needed:
+            live = float(channel_live.sum()) if channel_live is not None else float(live_total)
+            report_mask_stats(
+                kernel, task, recorder, ctx, n, spi,
+                channel_live, live, n * spi * c_out,
+            )
+        elif ctx is not None:
+            ctx.prev_sparsity = 0.0
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+    return out.reshape(n, h_out, w_out, c_out)
+
+
+def run_conv_direct(kernel, x, task, ws, recorder, ctx):
+    """im2col-free shift-and-add convolution (one GEMM per filter tap).
+
+    Each tap's weights form a contiguous ``(C_in, C_out)`` row slice of
+    ``weight_t`` (rows are in ``(ky, kx, c)`` order), so the tap GEMM runs
+    over the raw padded plane and its output is accumulated into the result
+    through a shifted window view — no column matrix is ever materialised.
+    1x1/stride-1 collapses to a single GEMM over the input itself and is
+    bit-identical to im2col; k>1 regroups the reduction per tap (ULP-level).
+    """
+    n = x.shape[0]
+    c_in, h, w = kernel.in_shape
+    c_out, h_out, w_out = kernel.out_shape
+    k, s, p = kernel.kernel_size, kernel.stride, kernel.padding
+    dtype = kernel.weight_t.dtype
+    spi = h_out * w_out
+    reduction = kernel.weight_t.shape[0]
+    out = ws.get(kernel.uid, "out", n, (n * spi, c_out), dtype)
+    src = _padded_input(kernel, x, ws)
+    if k == 1 and p == 0 and s == 1:
+        np.matmul(src.reshape(n * h * w, c_in), kernel.weight_t, out=out)
+    else:
+        h2, w2 = h + 2 * p, w + 2 * p
+        plane = n * h2 * w2
+        tap_out = ws.get(kernel.uid, "tap", n, (plane, c_out), dtype)
+        src2d = src.reshape(plane, c_in)
+        out4 = out.reshape(n, h_out, w_out, c_out)
+        tap4 = tap_out.reshape(n, h2, w2, c_out)
+        for tap in range(k * k):
+            ky, kx = divmod(tap, k)
+            np.matmul(src2d, kernel.weight_t[tap * c_in : (tap + 1) * c_in], out=tap_out)
+            shifted = tap4[:, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :]
+            if tap == 0:
+                np.copyto(out4, shifted)
+            else:
+                np.add(out4, shifted, out=out4)
+    np.add(out, kernel.bias, out=out)
+
+    if ctx is not None:
+        ctx.effective_macs += n * spi * reduction * c_out
+        ctx.dense_macs += n * kernel.dense_macs_per_image
+    record_variant_traffic(recorder, "direct", *conv_variant_traffic(kernel, n, "direct"))
+    if kernel.mask is not None:
+        apply_threshold_mask(kernel, out.reshape(n, spi, c_out), task, ws, recorder, ctx, spi)
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+    return out.reshape(n, h_out, w_out, c_out)
+
+
+def _refine_conv_int8(kernel, q, x, cols, out, task, ws, n):
+    """Recompute near-threshold int8 conv outputs from the float weights.
+
+    The threshold mask is a hard decision, so a per-slot error of one
+    quantization step can flip a channel dead/live and the flip *compounds*
+    through every later masked layer — this, not the value noise itself, is
+    what dominates int8 accuracy loss on threshold-masked networks.  The
+    fix: estimate the per-slot noise sigma from the quantization model
+    (input rounding ~ U(-in_scale/2, in_scale/2) against the weight column,
+    weight rounding ~ U(-w_scale/2, w_scale/2) against the quantized input
+    row), flag slots within ``_INT8_GUARD`` sigmas of the threshold, and
+    recompute exactly those slots with the kernel's retained float weights
+    via strided window gathers of the float input.  Flagged slots get exact
+    values *and* exact decisions; unflagged slots are provably far enough
+    from the threshold that their decision is already correct.  Typical
+    flagged fraction is a few percent, so the extra float MACs are noise
+    next to the layer GEMM.
+    """
+    c_in, h, w = kernel.in_shape
+    c_out, h_out, w_out = kernel.out_shape
+    k, s, p = kernel.kernel_size, kernel.stride, kernel.padding
+    spi = h_out * w_out
+    weight_t = kernel.weight_t
+    thresholds = task.thresholds[kernel.mask.slot]
+    row_sumsq = np.einsum("ij,ij->i", cols, cols)
+    w_sumsq = np.einsum("ij,ij->j", weight_t, weight_t)
+    variance = (q.in_scale ** 2 / 12.0) * (
+        (q.w_scale.astype(np.float64) ** 2) * row_sumsq.reshape(n, spi, 1) + w_sumsq
+    )
+    out3 = out.reshape(n, spi, c_out)
+    flagged = (out3 - thresholds) ** 2 <= (_INT8_GUARD ** 2) * variance
+    img, pos, chan = np.nonzero(flagged)
+    if img.size == 0:
+        return
+    if p:
+        fplane = ws.get(kernel.uid, "fpad", n, (n, h + 2 * p, w + 2 * p, c_in), x.dtype)
+        fplane[:, p : p + h, p : p + w, :] = x
+    else:
+        fplane = np.ascontiguousarray(x)
+    sn, sh, sw, sc = fplane.strides
+    windows = as_strided(
+        fplane,
+        shape=(n, h_out, w_out, k, k, c_in),
+        strides=(sn, s * sh, s * sw, sh, sw, sc),
+    )
+    # Window layout (ky, kx, c) matches weight_t's row order exactly.
+    patches = windows[img, pos // w_out, pos % w_out].reshape(-1, k * k * c_in)
+    for c in np.unique(chan):
+        rows_c = chan == c
+        out3[img[rows_c], pos[rows_c], c] = patches[rows_c] @ weight_t[:, c] + kernel.bias[c]
+
+
+def run_conv_int8(kernel, x, task, ws, recorder, ctx):
+    """Symmetric int8 convolution: quantize → exact integer GEMM → dequantize.
+
+    The padded plane is quantized in place (zero borders map to exactly 0,
+    so the zero-from-allocation invariant survives quantization), the panel
+    is strip-copied like the blocked path, and the epilogue dequantizes with
+    the fused ``in_scale * w_scale[c]`` factors, adds the float bias,
+    refines near-threshold slots (:func:`_refine_conv_int8`) and masks.
+    Accumulation exactness: see :func:`quantize_gemm`.
+    """
+    q = kernel.quant
+    if q is None:
+        raise RuntimeError(
+            f"kernel '{kernel.name}' has variant 'int8' but carries no quantized "
+            "weights; run quantize_plan_kernels first"
+        )
+    n = x.shape[0]
+    c_in, h, w = kernel.in_shape
+    c_out, h_out, w_out = kernel.out_shape
+    k, s, p = kernel.kernel_size, kernel.stride, kernel.padding
+    dtype = kernel.weight_t.dtype
+    acc_dtype = q.weight_q.dtype
+    h2, w2 = h + 2 * p, w + 2 * p
+    qplane = ws.get(kernel.uid, "qpad", n, (n, h2, w2, c_in), acc_dtype)
+    interior = qplane[:, p : p + h, p : p + w, :]
+    np.divide(x, q.in_scale, out=interior)
+    np.rint(interior, out=interior)
+    np.clip(interior, -_QMAX, _QMAX, out=interior)
+
+    spi = h_out * w_out
+    rows = n * spi
+    reduction = q.weight_q.shape[0]
+    cols = ws.get(kernel.uid, "qcols", n, (rows, reduction), acc_dtype)
+    copy_window_strips(cols, qplane, n, h_out, w_out, k, s, c_in)
+    out = ws.get(kernel.uid, "out", n, (rows, c_out), dtype)
+    if acc_dtype == dtype:
+        np.matmul(cols, q.weight_q, out=out)
+        np.multiply(out, q.scale, out=out)
+    else:
+        wide = ws.get(kernel.uid, "qacc", n, (rows, c_out), acc_dtype)
+        np.matmul(cols, q.weight_q, out=wide)
+        np.multiply(wide, q.scale, out=wide)
+        out[:] = wide
+    np.add(out, kernel.bias, out=out)
+
+    if ctx is not None:
+        ctx.effective_macs += rows * reduction * c_out
+        ctx.dense_macs += n * kernel.dense_macs_per_image
+    record_variant_traffic(recorder, "int8", *conv_variant_traffic(kernel, n, "int8"))
+    if kernel.mask is not None:
+        _refine_conv_int8(kernel, q, x, cols, out, task, ws, n)
+        apply_threshold_mask(kernel, out.reshape(n, spi, c_out), task, ws, recorder, ctx, spi)
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+    return out.reshape(n, h_out, w_out, c_out)
+
+
+def run_conv_variant(kernel, x, task, ws, recorder, ctx):
+    variant = kernel.variant
+    if variant == "blocked":
+        return run_conv_blocked(kernel, x, task, ws, recorder, ctx)
+    if variant == "direct":
+        return run_conv_direct(kernel, x, task, ws, recorder, ctx)
+    if variant == "int8":
+        return run_conv_int8(kernel, x, task, ws, recorder, ctx)
+    raise ValueError(f"unknown conv variant '{variant}' on kernel '{kernel.name}'")
+
+
+# ---------------------------------------------------------------------------
+# Fully-connected variants.
+# ---------------------------------------------------------------------------
+def _linear_epilogue(kernel, out, task, ws, recorder, ctx, n):
+    if kernel.mask is not None:
+        apply_threshold_mask(kernel, out, task, ws, recorder, ctx, 1)
+    else:
+        if kernel.relu:
+            np.maximum(out, 0.0, out=out)
+        if ctx is not None:
+            ctx.prev_sparsity = 0.0
+
+
+def run_linear_blocked(kernel, x, task, ws, recorder, ctx):
+    """Row-blocked FC GEMM with the bias+mask epilogue fused per block.
+
+    Sample rows are independent, so blocking them never regroups a
+    reduction: bit-identical to the dense path.
+    """
+    n = x.shape[0]
+    reduction, width = kernel.weight_t.shape
+    dtype = kernel.weight_t.dtype
+    out = ws.get(kernel.uid, "fc", n, (n, width), dtype)
+    block = max(1, _COLS_BLOCK_BYTES // max(1, reduction * dtype.itemsize))
+    thresholds = task.thresholds[kernel.mask.slot] if kernel.mask is not None else None
+    survival_needed = recorder is not None or (ctx is not None and ctx.dynamic is not None)
+    mask = channel_live = None
+    if kernel.mask is not None:
+        mask = ws.get(kernel.uid, "mask", n, (n, width), np.bool_)
+        if survival_needed:
+            channel_live = np.zeros(width, dtype=np.int64)
+    for b0 in range(0, n, block):
+        b1 = min(n, b0 + block)
+        tile = out[b0:b1]
+        np.matmul(x[b0:b1], kernel.weight_t, out=tile)
+        np.add(tile, kernel.bias, out=tile)
+        if kernel.mask is not None:
+            tile_mask = mask[b0:b1]
+            np.greater_equal(tile, thresholds, out=tile_mask)
+            tile *= tile_mask
+            if channel_live is not None:
+                channel_live += tile_mask.sum(axis=0, dtype=np.int64)
+        elif kernel.relu:
+            np.maximum(tile, 0.0, out=tile)
+    if ctx is not None:
+        ctx.effective_macs += n * reduction * width
+        ctx.dense_macs += n * kernel.dense_macs_per_image
+    record_variant_traffic(recorder, "blocked", *linear_variant_traffic(kernel, n, "blocked"))
+    if kernel.mask is not None:
+        if survival_needed:
+            report_mask_stats(
+                kernel, task, recorder, ctx, n, 1,
+                channel_live, float(channel_live.sum()), n * width,
+            )
+        elif ctx is not None:
+            ctx.prev_sparsity = 0.0
+    elif ctx is not None:
+        ctx.prev_sparsity = 0.0
+    return out
+
+
+def _refine_linear_int8(kernel, q, x, qx, out, task, n):
+    """FC counterpart of :func:`_refine_conv_int8` (float input is at hand)."""
+    weight_t = kernel.weight_t
+    thresholds = task.thresholds[kernel.mask.slot]
+    row_sumsq = np.einsum("ij,ij->i", qx, qx)
+    w_sumsq = np.einsum("ij,ij->j", weight_t, weight_t)
+    variance = (q.in_scale ** 2 / 12.0) * (
+        (q.w_scale.astype(np.float64) ** 2) * row_sumsq[:, None] + w_sumsq
+    )
+    flagged = (out - thresholds) ** 2 <= (_INT8_GUARD ** 2) * variance
+    rows, chan = np.nonzero(flagged)
+    if rows.size == 0:
+        return
+    for c in np.unique(chan):
+        rows_c = rows[chan == c]
+        out[rows_c, c] = x[rows_c] @ weight_t[:, c] + kernel.bias[c]
+
+
+def run_linear_int8(kernel, x, task, ws, recorder, ctx):
+    """Symmetric int8 FC layer (same contract as :func:`run_conv_int8`)."""
+    q = kernel.quant
+    if q is None:
+        raise RuntimeError(
+            f"kernel '{kernel.name}' has variant 'int8' but carries no quantized "
+            "weights; run quantize_plan_kernels first"
+        )
+    n = x.shape[0]
+    reduction, width = q.weight_q.shape
+    dtype = kernel.weight_t.dtype
+    acc_dtype = q.weight_q.dtype
+    qx = ws.get(kernel.uid, "qin", n, (n, reduction), acc_dtype)
+    np.divide(x, q.in_scale, out=qx)
+    np.rint(qx, out=qx)
+    np.clip(qx, -_QMAX, _QMAX, out=qx)
+    out = ws.get(kernel.uid, "fc", n, (n, width), dtype)
+    if acc_dtype == dtype:
+        np.matmul(qx, q.weight_q, out=out)
+        np.multiply(out, q.scale, out=out)
+    else:
+        wide = ws.get(kernel.uid, "qacc", n, (n, width), acc_dtype)
+        np.matmul(qx, q.weight_q, out=wide)
+        np.multiply(wide, q.scale, out=wide)
+        out[:] = wide
+    np.add(out, kernel.bias, out=out)
+    if ctx is not None:
+        ctx.effective_macs += n * reduction * width
+        ctx.dense_macs += n * kernel.dense_macs_per_image
+    record_variant_traffic(recorder, "int8", *linear_variant_traffic(kernel, n, "int8"))
+    if kernel.mask is not None:
+        _refine_linear_int8(kernel, q, x, qx, out, task, n)
+    _linear_epilogue(kernel, out, task, ws, recorder, ctx, n)
+    return out
+
+
+def run_linear_variant(kernel, x, task, ws, recorder, ctx):
+    variant = kernel.variant
+    if variant == "blocked":
+        return run_linear_blocked(kernel, x, task, ws, recorder, ctx)
+    if variant == "int8":
+        return run_linear_int8(kernel, x, task, ws, recorder, ctx)
+    raise ValueError(f"unknown linear variant '{variant}' on kernel '{kernel.name}'")
+
+
+# ---------------------------------------------------------------------------
+# int8 quantization.
+# ---------------------------------------------------------------------------
+@dataclass
+class QuantizedGemm:
+    """Symmetric per-output-channel quantization of one GEMM's weights.
+
+    ``weight_q`` holds the integer weight values ``round(w / w_scale[c])``
+    clipped to ±127, stored in a float container (``float32`` plans whose
+    reduction satisfies ``K * 127 * 127 < 2**24`` — every float32 partial
+    sum of int8 products is then exactly representable; wider reductions
+    are stored/accumulated in ``float64``, exact to ``2**53``).  The host
+    BLAS therefore computes the *exact* int32 accumulation an integer
+    datapath would, which is what makes the declared accuracy contract a
+    function of quantization alone, not of the GEMM.
+
+    ``in_scale`` is the per-kernel activation scale calibrated from
+    :class:`~repro.engine.calibrate.CalibrationProfile` ranges;
+    ``scale = in_scale * w_scale`` is the fused dequantization factor the
+    epilogue multiplies by before adding the float bias.
+    """
+
+    weight_q: np.ndarray  # (K, C_out), integer-valued
+    w_scale: np.ndarray  # (C_out,)
+    in_scale: float
+    scale: np.ndarray  # (C_out,) = in_scale * w_scale
+
+
+def quantize_gemm(weight_t: np.ndarray, in_absmax: float, margin: float = 1.05) -> QuantizedGemm:
+    """Quantize one ``(K, C_out)`` weight matrix for a calibrated input range.
+
+    ``margin`` widens the calibrated activation range slightly so serving
+    traffic marginally hotter than the calibration batch still lands inside
+    the clip range instead of saturating.
+    """
+    dtype = weight_t.dtype
+    in_scale = max(float(in_absmax) * margin, 1e-12) / _QMAX
+    w_absmax = np.abs(weight_t).max(axis=0)
+    w_scale = np.maximum(w_absmax, 1e-12) / _QMAX
+    reduction = weight_t.shape[0]
+    exact_f32 = reduction * _QMAX * _QMAX < 2.0**24
+    acc_dtype = dtype if (dtype == np.float64 or exact_f32) else np.dtype(np.float64)
+    weight_q = np.rint(weight_t / w_scale)
+    np.clip(weight_q, -_QMAX, _QMAX, out=weight_q)
+    return QuantizedGemm(
+        weight_q=np.ascontiguousarray(weight_q, dtype=acc_dtype),
+        w_scale=w_scale.astype(dtype),
+        in_scale=in_scale,
+        scale=(w_scale * in_scale).astype(dtype),
+    )
+
+
+def quantize_plan_kernels(
+    plan, profile, margin: float = 1.05, set_variant: bool = True
+) -> List[str]:
+    """Attach int8 weights to every GEMM kernel of ``plan``; return their names.
+
+    ``profile`` must carry activation ranges for this plan's geometry —
+    produced by :func:`~repro.engine.calibrate.calibrate_plan` run on *this*
+    plan (a specialized plan's compacted streams see different activations
+    than the dense plan, so calibrate the plan you quantize).  The range
+    used per kernel is the maximum over the profile's tasks, so one
+    quantized plan serves every task.  ``set_variant=False`` attaches the
+    weights without switching the kernels over — the chooser can then let
+    int8 compete instead of forcing it.
+
+    Composes with dead-channel compaction: specialization preserves kernel
+    names and this function reads each kernel's *current* (possibly
+    compacted) ``weight_t``, so quantizing a specialized plan quantizes
+    exactly the live columns.
+    """
+    ranges = getattr(profile, "ranges", None) or {}
+    quantized: List[str] = []
+    for kernel in plan.kernels:
+        if getattr(kernel, "kind", None) not in ("conv", "linear"):
+            continue
+        per_task = [
+            task_ranges[kernel.name]
+            for task_ranges in ranges.values()
+            if kernel.name in task_ranges
+        ]
+        if not per_task:
+            raise KeyError(
+                f"profile has no activation range for kernel '{kernel.name}'; "
+                "re-run calibrate_plan on this plan (range recording is automatic)"
+            )
+        kernel.quant = quantize_gemm(kernel.weight_t, max(per_task), margin=margin)
+        if set_variant:
+            kernel.variant = "int8"
+        quantized.append(kernel.name)
+    if set_variant and quantized:
+        choices = dict(getattr(plan, "kernel_choices", None) or {})
+        choices.update({name: "int8" for name in quantized})
+        plan.kernel_choices = choices
+    return quantized
+
+
+# ---------------------------------------------------------------------------
+# The per-layer kernel chooser.
+# ---------------------------------------------------------------------------
+def variant_candidates(kernel) -> Sequence[str]:
+    """Every variant ``kernel`` is eligible to run, default first."""
+    kind = getattr(kernel, "kind", None)
+    if kind == "conv":
+        candidates = ["im2col", "blocked"]
+        if kernel.stride == 1:
+            candidates.append("direct")
+        if getattr(kernel, "quant", None) is not None:
+            candidates.append("int8")
+        return candidates
+    if kind == "linear":
+        candidates = ["dense", "blocked"]
+        if getattr(kernel, "quant", None) is not None:
+            candidates.append("int8")
+        return candidates
+    if kind == "pool":
+        return list(POOL_VARIANTS)
+    return ()
+
+
+def set_kernel_variant(kernel, variant: str) -> None:
+    """Set ``kernel.variant`` after validating eligibility."""
+    candidates = variant_candidates(kernel)
+    if variant not in candidates:
+        name = getattr(kernel, "name", f"#{kernel.index}")
+        raise ValueError(
+            f"variant '{variant}' is not eligible for kernel '{name}' "
+            f"(candidates: {list(candidates)})"
+        )
+    kernel.variant = variant
+
+
+def force_kernel_variant(plan, variant: str) -> Dict[str, str]:
+    """Set ``variant`` on every kernel eligible for it; return what was set.
+
+    Ineligible kernels keep their current variant (e.g. forcing ``direct``
+    leaves strided convs and FC layers alone), so a forced plan is always
+    runnable.  Conv/linear naming is unified: forcing ``"im2col"`` resets
+    FC kernels to their ``"dense"`` default and vice versa.
+    """
+    aliases = {"im2col": {"linear": "dense"}, "dense": {"conv": "im2col"}}
+    chosen: Dict[str, str] = {}
+    for kernel in plan.kernels:
+        kind = getattr(kernel, "kind", None)
+        wanted = aliases.get(variant, {}).get(kind, variant)
+        if wanted in variant_candidates(kernel):
+            kernel.variant = wanted
+            chosen[kernel.name] = wanted
+    plan.kernel_choices = dict(chosen)
+    return chosen
+
+
+def apply_kernel_choices(plan, choices: Dict[str, str], strict: bool = True) -> Dict[str, str]:
+    """Replay a chooser's per-kernel choice map onto ``plan`` by kernel name.
+
+    Specialization and :class:`~repro.engine.planspec.PlanSpec` rebuilds
+    both preserve kernel names, so a choice map measured on one incarnation
+    of a network transfers to the next.  With ``strict=False`` choices a
+    kernel is not eligible for (e.g. ``int8`` on a freshly re-specialized
+    plan that has not been re-quantized) are skipped instead of raising —
+    the mode the online recalibration loop uses.
+    """
+    applied: Dict[str, str] = {}
+    matched = set()
+    for kernel in plan.kernels:
+        name = getattr(kernel, "name", None)
+        if name is None or name not in choices:
+            continue
+        matched.add(name)
+        variant = choices[name]
+        if variant not in variant_candidates(kernel):
+            if strict:
+                set_kernel_variant(kernel, variant)  # raises with the full message
+            continue
+        kernel.variant = variant
+        applied[name] = variant
+    unmatched = set(choices) - matched
+    if unmatched and strict:
+        raise KeyError(
+            f"choices name kernels the plan does not have: {sorted(unmatched)}"
+        )
+    plan.kernel_choices = dict(applied)
+    return applied
+
+
+def autotune_kernel_variants(
+    plan,
+    batch: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+    task: Optional[str] = None,
+) -> Dict[str, str]:
+    """Benchmark every eligible variant per kernel; cache winners on the plan.
+
+    Times the real ``kernel.run`` entry point (epilogue included) on seeded
+    synthetic inputs of each kernel's true serving geometry, against a real
+    task plan and a scratch workspace pool, so the measured ordering is the
+    ordering serving will see.  The winning variant is left set on each
+    kernel and the full choice map is stored on ``plan.kernel_choices`` —
+    from where :class:`~repro.engine.planspec.PlanSpec` carries it to
+    spawned workers and :func:`apply_kernel_choices` replays it after
+    re-specialization.
+
+    Choices are geometry-specific: autotune the plan you intend to serve
+    (dense and per-task specialized plans each get their own pass), at the
+    micro-batch size serving uses.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    rng = np.random.default_rng(seed)
+    task_name = task if task is not None else plan.task_names()[0]
+    task_plan = plan.tasks[task_name]
+    pool = plan._workspaces.__class__()
+    choices: Dict[str, str] = {}
+    for kernel in plan.kernels:
+        candidates = variant_candidates(kernel)
+        if not candidates:
+            continue
+        kind = kernel.kind
+        if kind == "conv":
+            c_in, h, w = kernel.in_shape
+            shape = (batch, h, w, c_in)
+        elif kind == "linear":
+            shape = (batch, kernel.weight_t.shape[0])
+        else:  # pool: reconstruct the input geometry from the output shape
+            c, h_out, w_out = kernel.out_shape
+            k, s = kernel.kernel_size, kernel.stride
+            shape = (batch, (h_out - 1) * s + k, (w_out - 1) * s + k, c)
+        x = np.abs(rng.normal(size=shape)).astype(plan.dtype)
+        # Interleave the timing rounds across variants (A B C, A B C, ...)
+        # instead of exhausting each variant's repeats back to back: CPU
+        # frequency drift then biases every candidate equally, so near-ties
+        # between variants resolve by actual speed rather than by which one
+        # happened to run during the faster clock window.
+        times = {}
+        for variant in candidates:
+            kernel.variant = variant
+            kernel.run(x, task_plan, pool, None, None)  # warm-up: allocate buffers
+            times[variant] = float("inf")
+        for _ in range(repeats):
+            for variant in candidates:
+                kernel.variant = variant
+                start = time.perf_counter()
+                kernel.run(x, task_plan, pool, None, None)
+                times[variant] = min(times[variant], time.perf_counter() - start)
+        best_variant = min(times, key=times.get)
+        kernel.variant = best_variant
+        choices[kernel.name] = best_variant
+    plan.kernel_choices = dict(choices)
+    return choices

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
-from repro.nn.functional import conv_output_size
+from repro.engine import kernels as _kernels
 from repro.mime.masked_model import MimeNetwork
 from repro.mime.task_manager import TaskParameters
 from repro.mime.threshold_layer import ThresholdMask
@@ -204,51 +204,11 @@ class RunContext:
 # ---------------------------------------------------------------------------
 # Fused kernels.
 # ---------------------------------------------------------------------------
-def _apply_threshold_mask(
-    kernel, gemm: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx, slots_per_image: int
-) -> None:
-    """Shared mask step of the fused GEMM kernels.
-
-    ``gemm`` is the (batch, ..., channels) pre-activation view; the mask buffer
-    comes from the workspace pool and is rewritten in place with
-    ``np.greater_equal(..., out=...)``, so steady-state serving allocates
-    nothing here.  Reports measured element sparsity to ``recorder`` (plus
-    per-channel survival counts when the recorder is a calibration recorder)
-    and publishes the batch's sparsity to ``ctx`` as the next kernel's dynamic
-    fast-path gate signal.
-
-    The recorded sparsity is normalised by the layer's **dense** channel
-    count (``kernel.dense_channels``): a specialized plan's eliminated
-    channels are exactly the channels the dense plan measured as masked, so
-    the sparsity profile driving the hardware simulator stays comparable
-    across dense and specialized runs of the same traffic.  The gate signal,
-    by contrast, uses the compacted stream's own geometry — it describes the
-    data the next kernel actually sees.
-    """
-    n = gemm.shape[0]
-    mask = ws.get(kernel.uid, "mask", n, gemm.shape, np.bool_)
-    np.greater_equal(gemm, task.thresholds[kernel.mask.slot], out=mask)
-    gemm *= mask
-    survival_needed = recorder is not None or (ctx is not None and ctx.dynamic is not None)
-    if survival_needed:
-        record_channels = getattr(recorder, "record_channels", None) if recorder else None
-        if record_channels is not None:
-            # Per-channel live-slot counts (channels are the last axis); the
-            # scalar total falls out of them for free.
-            channel_live = mask.sum(axis=tuple(range(mask.ndim - 1)), dtype=np.int64)
-            record_channels(
-                task.name, kernel.mask.layer_name, channel_live, n * slots_per_image
-            )
-            live = float(channel_live.sum())
-        else:
-            live = float(mask.sum())
-        if recorder is not None:
-            dense_slots = n * slots_per_image * kernel.dense_channels
-            recorder.record(task.name, kernel.mask.layer_name, 1.0 - live / dense_slots, n)
-        if ctx is not None:
-            ctx.prev_sparsity = 1.0 - live / mask.size
-    elif ctx is not None:
-        ctx.prev_sparsity = 0.0
+#: Shared mask step of the fused GEMM kernels — the implementation (and the
+#: per-block fused form the cache-blocked variants use) lives in
+#: :mod:`repro.engine.kernels` so every variant feeds the same sparsity
+#: reporting tail.  Re-exported under the historical name.
+_apply_threshold_mask = _kernels.apply_threshold_mask
 
 
 def _gemm_with_dynamic_row_gather(kernel, a: np.ndarray, out: np.ndarray, ctx) -> None:
@@ -300,7 +260,17 @@ class ConvGemmMaskKernel:
     row's GEMM output is exactly the bias).  Row gathering leaves each
     surviving row's reduction untouched, so the fast path is bit-identical to
     the dense GEMM.
+
+    **Variants** — ``self.variant`` selects among the lowerings in
+    :mod:`repro.engine.kernels` (``"im2col"`` default, ``"blocked"``,
+    ``"direct"``, ``"int8"``); see that module for the exactness contract of
+    each.  The blocked/direct variants defer to this path whenever the
+    dynamic gate is armed and the previous layer's sparsity cleared it, so
+    the row-gather fast path (and its bit-exactness) is preserved no matter
+    which variant the chooser picked.
     """
+
+    kind = "conv"
 
     def __init__(
         self,
@@ -338,8 +308,25 @@ class ConvGemmMaskKernel:
             else out_shape[1] * out_shape[2] * weight_t.shape[0] * weight_t.shape[1]
         )
         self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
+        #: Execution variant (see repro.engine.kernels) and optional int8
+        #: quantization payload; both are plan-construction-time state, set
+        #: by the chooser/quantizer before serving starts.
+        self.variant = "im2col"
+        self.quant = None
 
     def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
+        if recorder is not None:
+            record_range = getattr(recorder, "record_range", None)
+            if record_range is not None:
+                record_range(task.name, self.name, float(np.abs(x).max()))
+        variant = self.variant
+        if variant != "im2col" and (
+            variant == "int8"
+            or ctx is None
+            or ctx.dynamic is None
+            or ctx.prev_sparsity < ctx.dynamic.gate
+        ):
+            return _kernels.run_conv_variant(self, x, task, ws, recorder, ctx)
         n = x.shape[0]
         c_in, h, w = self.in_shape
         c_out, h_out, w_out = self.out_shape
@@ -366,9 +353,14 @@ class ConvGemmMaskKernel:
                 ]
 
         out = ws.get(self.uid, "out", n, (rows, c_out), dtype)
+        dynamic_before = ctx.dynamic_gemms if ctx is not None else 0
         _gemm_with_dynamic_row_gather(self, cols, out, ctx)
         if ctx is not None:
             ctx.dense_macs += n * self.dense_macs_per_image
+        used = "dynamic" if ctx is not None and ctx.dynamic_gemms > dynamic_before else "im2col"
+        _kernels.record_variant_traffic(
+            recorder, used, *_kernels.conv_variant_traffic(self, n, "im2col")
+        )
 
         if self.mask is not None:
             gemm = out.reshape(n, h_out * w_out, c_out)
@@ -379,35 +371,64 @@ class ConvGemmMaskKernel:
 
 
 class MaxPoolKernel:
-    """Stateless max pooling over contiguous NHWC inputs."""
+    """Stateless max pooling over contiguous NHWC inputs.
 
-    def __init__(self, index: int, kernel_size: int, stride: int, out_shape: Tuple[int, int, int]) -> None:
+    Two bit-identical variants: ``"reshape"`` (default — reshape-reduce when
+    windows are aligned and non-overlapping, strided-view maximum cascade
+    otherwise) and ``"views"`` (always the cascade, which reads each input
+    element once through ``k*k`` contiguous views and is the faster of the
+    two on this machine — the chooser picks per layer).  Overlapping pools
+    (stride < kernel) always take the cascade, whose shifted views revisit
+    shared elements per tap.
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        index: int,
+        kernel_size: int,
+        stride: int,
+        out_shape: Tuple[int, int, int],
+        name: Optional[str] = None,
+    ) -> None:
         self.index = index
         self.uid = next(_KERNEL_UIDS)
+        self.name = name if name is not None else f"pool{index}"
         self.kernel_size = kernel_size
         self.stride = stride
         self.out_shape = out_shape  # (C, H_out, W_out) — per-sample, paper convention
+        self.variant = "reshape"
 
     def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
-        n, h, w, c = x.shape
+        n, c = x.shape[0], x.shape[3]
         k, s = self.kernel_size, self.stride
-        h_out = conv_output_size(h, k, s, 0)
-        w_out = conv_output_size(w, k, s, 0)
+        # Spatial geometry was fixed at compile time; channels follow the
+        # stream (a specialized plan's compacted width arrives via x).
+        h_out, w_out = self.out_shape[1], self.out_shape[2]
         out = ws.get(self.uid, "pool", n, (n, h_out, w_out, c), x.dtype)
-        if s == k and h % k == 0 and w % k == 0:
-            # Non-overlapping pooling (the VGG case): a reshape view keeps the
-            # reduction reading contiguous channel runs.
+        if (
+            self.variant == "reshape"
+            and s == k
+            and x.shape[1] == k * h_out
+            and x.shape[2] == k * w_out
+        ):
+            # Non-overlapping aligned pooling (the VGG case): a reshape view
+            # keeps the reduction reading contiguous channel runs.
             np.max(x.reshape(n, h_out, k, w_out, k, c), axis=(2, 4), out=out)
-            return out
-        first = True
-        for ky in range(k):
-            for kx in range(k):
-                window = x[:, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :]
-                if first:
-                    np.copyto(out, window)
-                    first = False
-                else:
-                    np.maximum(out, window, out=out)
+        else:
+            first = True
+            for ky in range(k):
+                for kx in range(k):
+                    window = x[:, ky : ky + s * h_out : s, kx : kx + s * w_out : s, :]
+                    if first:
+                        np.copyto(out, window)
+                        first = False
+                    else:
+                        np.maximum(out, window, out=out)
+        _kernels.record_variant_traffic(
+            recorder, f"pool-{self.variant}", *_kernels.pool_variant_traffic(self, x, out)
+        )
         return out
 
 
@@ -418,6 +439,8 @@ class FlattenKernel:
     this is a zero-copy reshape; the following Linear's columns were permuted
     at compile time to consume NHWC ordering.
     """
+
+    kind = "flatten"
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -444,6 +467,8 @@ class ChannelScatterKernel:
     feature vectors alike; only the trailing axis is scattered.
     """
 
+    kind = "scatter"
+
     def __init__(self, index: int, live_index: np.ndarray, dense_channels: int) -> None:
         self.index = index
         self.uid = next(_KERNEL_UIDS)
@@ -465,7 +490,12 @@ class LinearMaskKernel:
 
     ``activation`` distinguishes masked layers (thresholds come from the task
     plan) from plain ReLU trunks (``mask_classifier_hidden=False``).
+
+    **Variants** — ``"dense"`` (default), ``"blocked"``, ``"int8"``; same
+    dispatch and dynamic-gate fallback rules as :class:`ConvGemmMaskKernel`.
     """
+
+    kind = "linear"
 
     def __init__(
         self,
@@ -489,15 +519,34 @@ class LinearMaskKernel:
             dense_macs if dense_macs is not None else weight_t.shape[0] * weight_t.shape[1]
         )
         self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
+        self.variant = "dense"
+        self.quant = None
 
     def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
+        if recorder is not None:
+            record_range = getattr(recorder, "record_range", None)
+            if record_range is not None:
+                record_range(task.name, self.name, float(np.abs(x).max()))
+        variant = self.variant
+        if variant != "dense" and (
+            variant == "int8"
+            or ctx is None
+            or ctx.dynamic is None
+            or ctx.prev_sparsity < ctx.dynamic.gate
+        ):
+            return _kernels.run_linear_variant(self, x, task, ws, recorder, ctx)
         n = x.shape[0]
         out = ws.get(self.uid, "fc", n, (n, self.weight_t.shape[1]), x.dtype)
         # Rows are samples here: the fast path skips samples whose whole
         # feature vector was masked away.
+        dynamic_before = ctx.dynamic_gemms if ctx is not None else 0
         _gemm_with_dynamic_row_gather(self, x, out, ctx)
         if ctx is not None:
             ctx.dense_macs += n * self.dense_macs_per_image
+        used = "dynamic" if ctx is not None and ctx.dynamic_gemms > dynamic_before else "dense"
+        _kernels.record_variant_traffic(
+            recorder, used, *_kernels.linear_variant_traffic(self, n, "dense")
+        )
         if self.mask is not None:
             _apply_threshold_mask(self, out, task, ws, recorder, ctx, 1)
         else:
@@ -581,6 +630,11 @@ class EnginePlan:
     #: :func:`repro.engine.specialize.enable_dynamic_sparse` or the autotuner
     #: before serving starts (the plan is treated as immutable afterwards).
     dynamic: Optional[DynamicSparseConfig] = None
+    #: Per-kernel variant choices (kernel name -> variant), cached by
+    #: :func:`repro.engine.kernels.autotune_kernel_variants` and carried
+    #: through :class:`~repro.engine.planspec.PlanSpec` so spawned workers
+    #: rebuild identical choices.  None = every kernel on its default.
+    kernel_choices: Optional[Dict[str, str]] = None
     _workspaces: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
 
     def task_names(self) -> List[str]:
@@ -794,7 +848,15 @@ def compile_network(network: MimeNetwork, dtype=np.float32) -> EnginePlan:
         elif isinstance(layer, MaxPool2d):
             flush()
             out_shape = tuple(layer.output_shape(shape))
-            kernels.append(MaxPoolKernel(len(kernels), layer.kernel_size, layer.stride, out_shape))
+            kernels.append(
+                MaxPoolKernel(
+                    len(kernels),
+                    layer.kernel_size,
+                    layer.stride,
+                    out_shape,
+                    name=f"pool{len(kernels)}",
+                )
+            )
             shape = out_shape
         elif isinstance(layer, (Dropout, Flatten)):
             flush()  # Dropout never fires at inference; Flatten is inserted explicitly.

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.kernels import QuantizedGemm
 from repro.engine.plan import (
     ChannelScatterKernel,
     CompileError,
@@ -91,6 +92,29 @@ def _mask_from_tuple(data) -> Optional[MaskSpec]:
     return MaskSpec(slot, layer_name, kind, tuple(gemm_shape))
 
 
+def _quant_dict(kernel) -> Optional[Dict[str, object]]:
+    quant = getattr(kernel, "quant", None)
+    if quant is None:
+        return None
+    return {
+        "weight_q": np.array(quant.weight_q),
+        "w_scale": np.array(quant.w_scale),
+        "in_scale": float(quant.in_scale),
+        "scale": np.array(quant.scale),
+    }
+
+
+def _quant_from_dict(data) -> Optional[QuantizedGemm]:
+    if data is None:
+        return None
+    return QuantizedGemm(
+        weight_q=np.array(data["weight_q"]),
+        w_scale=np.array(data["w_scale"]),
+        in_scale=float(data["in_scale"]),
+        scale=np.array(data["scale"]),
+    )
+
+
 def _describe_kernel(kernel) -> Dict[str, object]:
     if isinstance(kernel, ConvGemmMaskKernel):
         return {
@@ -106,6 +130,8 @@ def _describe_kernel(kernel) -> Dict[str, object]:
             "mask": _mask_tuple(kernel.mask),
             "dense_macs": kernel.dense_macs_per_image,
             "dense_channels": kernel.dense_channels,
+            "variant": kernel.variant,
+            "quant": _quant_dict(kernel),
         }
     if isinstance(kernel, LinearMaskKernel):
         return {
@@ -117,13 +143,17 @@ def _describe_kernel(kernel) -> Dict[str, object]:
             "relu": kernel.relu,
             "dense_macs": kernel.dense_macs_per_image,
             "dense_channels": kernel.dense_channels,
+            "variant": kernel.variant,
+            "quant": _quant_dict(kernel),
         }
     if isinstance(kernel, MaxPoolKernel):
         return {
             "type": "pool",
+            "name": kernel.name,
             "kernel_size": kernel.kernel_size,
             "stride": kernel.stride,
             "out_shape": tuple(kernel.out_shape),
+            "variant": kernel.variant,
         }
     if isinstance(kernel, FlattenKernel):
         return {"type": "flatten"}
@@ -137,9 +167,11 @@ def _describe_kernel(kernel) -> Dict[str, object]:
 
 
 def _build_kernel(index: int, desc: Dict[str, object]):
+    # ``desc.get`` defaults keep version-1 specs (captured before kernel
+    # variants existed) loadable: they rebuild on the default paths.
     kind = desc["type"]
     if kind == "conv":
-        return ConvGemmMaskKernel(
+        kernel = ConvGemmMaskKernel(
             index,
             name=desc["name"],
             weight_t=np.array(desc["weight_t"]),
@@ -153,8 +185,11 @@ def _build_kernel(index: int, desc: Dict[str, object]):
             dense_macs=desc["dense_macs"],
             dense_channels=desc["dense_channels"],
         )
+        kernel.variant = desc.get("variant", "im2col")
+        kernel.quant = _quant_from_dict(desc.get("quant"))
+        return kernel
     if kind == "linear":
-        return LinearMaskKernel(
+        kernel = LinearMaskKernel(
             index,
             name=desc["name"],
             weight_t=np.array(desc["weight_t"]),
@@ -164,8 +199,19 @@ def _build_kernel(index: int, desc: Dict[str, object]):
             dense_macs=desc["dense_macs"],
             dense_channels=desc["dense_channels"],
         )
+        kernel.variant = desc.get("variant", "dense")
+        kernel.quant = _quant_from_dict(desc.get("quant"))
+        return kernel
     if kind == "pool":
-        return MaxPoolKernel(index, desc["kernel_size"], desc["stride"], tuple(desc["out_shape"]))
+        kernel = MaxPoolKernel(
+            index,
+            desc["kernel_size"],
+            desc["stride"],
+            tuple(desc["out_shape"]),
+            name=desc.get("name"),
+        )
+        kernel.variant = desc.get("variant", "reshape")
+        return kernel
     if kind == "flatten":
         return FlattenKernel(index)
     if kind == "scatter":
@@ -192,7 +238,13 @@ class PlanSpec:
     head_permutation: Optional[np.ndarray] = None
     dynamic: Optional[Tuple[float, float, Dict[str, float]]] = None
     specialization: Optional[Dict[str, object]] = None
-    version: int = 1
+    #: The chooser's per-kernel variant map (kernel name -> variant); the
+    #: kernels' own ``variant`` fields are authoritative for execution, this
+    #: is the replayable record (see ``apply_kernel_choices``).
+    kernel_choices: Optional[Dict[str, str]] = None
+    #: 2 = kernel descriptors carry ``variant``/``quant`` (version-1 specs
+    #: still load; see ``_build_kernel``).
+    version: int = 2
 
     # ----------------------------------------------------------------- capture --
     @classmethod
@@ -229,6 +281,9 @@ class PlanSpec:
             ),
             dynamic=dynamic,
             specialization=specialization,
+            kernel_choices=(
+                dict(plan.kernel_choices) if getattr(plan, "kernel_choices", None) else None
+            ),
         )
 
     # ------------------------------------------------------------------- build --
@@ -255,6 +310,12 @@ class PlanSpec:
                 np.array(self.head_permutation) if self.head_permutation is not None else None
             ),
             dynamic=dynamic,
+            # getattr: version-1 pickles predate the field entirely.
+            kernel_choices=(
+                dict(self.kernel_choices)
+                if getattr(self, "kernel_choices", None)
+                else None
+            ),
         )
         if self.specialization is None:
             return EnginePlan(**common)

@@ -194,6 +194,14 @@ def specialize_plan(
     where it is not; the floor keeps the bit-for-bit guarantee honest at the
     cost of leaving the (MAC-light) deep layers dense.  See the module
     docstring for the exactness contract of the two compaction strategies.
+
+    Kernel **variants** are reset by specialization: the rebuilt kernels run
+    their default paths, because a variant choice (and any int8 payload) is
+    measured/calibrated against one concrete geometry and the compacted
+    geometry is new.  Kernel *names* are preserved, so re-applying a choice
+    map (:func:`repro.engine.kernels.apply_kernel_choices`) or re-running
+    the chooser/quantizer on the specialized plan composes cleanly; the
+    specialize → quantize → autotune order is the supported pipeline.
     """
     if isinstance(plan, SpecializedEnginePlan):
         raise CompileError("cannot specialize an already-specialized plan")
@@ -315,7 +323,9 @@ def specialize_plan(
             if stream_channels is not None:
                 out_shape = (stream_channels,) + tuple(out_shape[1:])
             kernels.append(
-                MaxPoolKernel(len(kernels), kernel.kernel_size, kernel.stride, out_shape)
+                MaxPoolKernel(
+                    len(kernels), kernel.kernel_size, kernel.stride, out_shape, name=kernel.name
+                )
             )
             spatial = (out_shape[1], out_shape[2])
         elif isinstance(kernel, FlattenKernel):

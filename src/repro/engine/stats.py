@@ -50,6 +50,7 @@ class SparsityRecorder:
         self._effective_macs = 0
         self._channel_counts: Dict[str, Dict[str, object]] = {}
         self._channel_slots: Dict[str, Dict[str, int]] = {}
+        self._variants: Dict[str, Dict[str, int]] = {}
         self._lock = threading.Lock()
         self.channel_tracking = channel_tracking
         if channel_tracking:
@@ -88,6 +89,23 @@ class SparsityRecorder:
             self._dense_macs += int(dense_macs)
             self._effective_macs += int(effective_macs)
 
+    def record_variant(self, variant: str, macs: int, nbytes: int) -> None:
+        """Add one kernel call's *physical* work under its executed variant.
+
+        The kernels feed this hook (discovered with ``getattr``, so recorder
+        ducks without it pay nothing) once per call with the MACs the
+        variant physically executed and a modelled bytes-touched figure — see
+        :func:`repro.engine.kernels.record_variant_traffic` for why these
+        differ from the semantic :meth:`record_macs` totals.
+        """
+        if macs < 0 or nbytes < 0:
+            raise ValueError("variant totals must be non-negative")
+        with self._lock:
+            entry = self._variants.setdefault(variant, {"calls": 0, "macs": 0, "bytes": 0})
+            entry["calls"] += 1
+            entry["macs"] += int(macs)
+            entry["bytes"] += int(nbytes)
+
     def _record_channels(
         self, task: str, layer_name: str, live_counts, num_slots: int
     ) -> None:
@@ -119,6 +137,7 @@ class SparsityRecorder:
             self._effective_macs = 0
             self._channel_counts.clear()
             self._channel_slots.clear()
+            self._variants.clear()
 
     # ----------------------------------------------------- cross-process merge --
     def snapshot(self) -> Dict[str, object]:
@@ -143,6 +162,7 @@ class SparsityRecorder:
                 "channel_slots": {
                     task: dict(layers) for task, layers in self._channel_slots.items()
                 },
+                "variants": {name: dict(entry) for name, entry in self._variants.items()},
             }
 
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
@@ -184,6 +204,10 @@ class SparsityRecorder:
                         slots[name] = int(value)
                     else:
                         slots[name] = slots.get(name, 0) + int(value)
+            for name, entry in snapshot.get("variants", {}).items():
+                totals = self._variants.setdefault(name, {"calls": 0, "macs": 0, "bytes": 0})
+                for key in ("calls", "macs", "bytes"):
+                    totals[key] += int(entry.get(key, 0))
 
     # --------------------------------------------------------------- queries --
     def tasks(self) -> List[str]:
@@ -211,6 +235,17 @@ class SparsityRecorder:
         """Fraction of dense MACs avoided across all recorded runs."""
         dense, effective = self.mac_totals()
         return fraction_saved(dense, effective)
+
+    def variant_totals(self) -> Dict[str, Dict[str, int]]:
+        """Physical work per executed kernel variant: calls, MACs, bytes.
+
+        Keys are variant names (``im2col``, ``blocked``, ``direct``,
+        ``int8``, ``dense``, ``dynamic``, ``pool-reshape``, ``pool-views``);
+        values carry what each variant actually executed — the observability
+        face of the per-layer kernel chooser.
+        """
+        with self._lock:
+            return {name: dict(entry) for name, entry in self._variants.items()}
 
     def mean_sparsity(self, task: str) -> float:
         per_layer = self.per_layer(task)

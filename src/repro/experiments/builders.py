@@ -57,6 +57,15 @@ def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) 
                           "dense plan bit for bit, at the cost of the throughput win")
     sub.add_argument("--dynamic", action="store_true",
                      help="autotune and enable the dynamic sparse row-gather fast path")
+    sub.add_argument("--kernels", choices=["default", "auto", "im2col", "blocked", "direct"],
+                     default="default",
+                     help="kernel variant selection: 'auto' runs the per-layer chooser "
+                          "on every served plan, a variant name forces it everywhere "
+                          "it is eligible, 'default' keeps the baseline im2col path")
+    sub.add_argument("--int8", action="store_true",
+                     help="attach calibrated int8 weights to every GEMM kernel; with "
+                          "--kernels=auto int8 competes in the chooser, otherwise it "
+                          "is switched on directly")
 
 
 def build_serving_network(args: argparse.Namespace):
@@ -84,12 +93,51 @@ def build_serving_network(args: argparse.Namespace):
     return network, backbone, plan, rng
 
 
+def configure_kernel_variants(args: argparse.Namespace, plan, profile=None,
+                              label: str = "plan") -> None:
+    """Apply the ``--kernels`` / ``--int8`` flags to one executable plan.
+
+    Runs the supported pipeline order — quantize first (so ``auto`` lets the
+    int8 variant compete), then choose.  ``--int8`` needs calibrated
+    activation ranges measured on *this* plan's geometry; when ``profile``
+    lacks them (or is ``None``) a range-recording calibration pass runs here.
+    """
+    from repro.engine import (
+        autotune_kernel_variants,
+        calibrate_plan,
+        force_kernel_variant,
+        quantize_plan_kernels,
+    )
+
+    mode = getattr(args, "kernels", "default")
+    int8 = getattr(args, "int8", False)
+    if mode == "default" and not int8:
+        return
+    if int8:
+        if profile is None or not getattr(profile, "ranges", None):
+            profile = calibrate_plan(plan, batch_size=args.micro_batch, seed=args.seed)
+        quantized = quantize_plan_kernels(plan, profile, set_variant=(mode != "auto"))
+        if mode != "auto":
+            print(f"int8 kernels on {label}: {', '.join(quantized)}")
+    if mode == "auto":
+        choices = autotune_kernel_variants(plan, batch=args.micro_batch, seed=args.seed)
+        chosen = ", ".join(f"{name}={variant}" for name, variant in choices.items())
+        print(f"kernel chooser on {label}: {{{chosen}}}")
+    elif mode != "default":
+        force_kernel_variant(plan, mode)
+
+
 def maybe_specialize(args: argparse.Namespace, plan, profile=None) -> Dict[str, object]:
     """Calibrate + specialize per-task plans when ``--specialize`` was given.
 
     ``profile`` short-circuits the calibration pass with an existing
     :class:`~repro.engine.CalibrationProfile` (the export command calibrates
     once and ships the same profile inside the artifact).
+
+    Also the single place the ``--kernels`` / ``--int8`` flags take effect:
+    the dense plan and every specialized plan are configured here, each on
+    its own geometry (a compacted GEMM can prefer a different variant than
+    its dense ancestor, so the chooser reruns per plan).
     """
     from repro.engine import autotune_dynamic_crossover, specialize_tasks
 
@@ -99,6 +147,7 @@ def maybe_specialize(args: argparse.Namespace, plan, profile=None) -> Dict[str, 
         tuned = ", ".join(f"{name}={value:.2f}" for name, value in config.crossover.items())
         print(f"dynamic sparse fast path: autotuned crossovers {{{tuned}}}")
     if not getattr(args, "specialize", False):
+        configure_kernel_variants(args, plan, profile=profile, label="dense plan")
         return {}
     specialized = specialize_tasks(
         plan,
@@ -107,12 +156,17 @@ def maybe_specialize(args: argparse.Namespace, plan, profile=None) -> Dict[str, 
         compact_reduction=not getattr(args, "exact_specialize", False),
         calibration_seed=args.seed,
     )
+    configure_kernel_variants(args, plan, profile=profile, label="dense plan")
     for name, spec in sorted(specialized.items()):
         if dynamic:
             # Crossovers are geometry-specific: the compacted GEMMs have
             # different gather-vs-dense economics than the dense plan's, so
             # each specialized plan gets its own measured config.
             autotune_dynamic_crossover(spec, batch=args.micro_batch, seed=args.seed)
+        # Specialization resets variants (new geometry); ranges measured on
+        # the dense plan do not transfer to compacted activations, so each
+        # specialized plan calibrates and chooses for itself.
+        configure_kernel_variants(args, spec, label=f"specialized plan '{name}'")
         dead = sum(spec.dead_channel_counts().values())
         print(
             f"specialized plan for {name}: {dead} dead channels eliminated, "

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.engine.calibrate import CalibrationProfile
+from repro.engine.kernels import apply_kernel_choices
 from repro.engine.specialize import specialize_tasks
 from repro.serving.base import PlanSet
 
@@ -316,15 +317,24 @@ class RecalibrationLoop:
                 deployed = next(iter(specialized.values()), None)
                 if deployed is not None and hasattr(deployed, "compact_reduction"):
                     kwargs["compact_reduction"] = deployed.compact_reduction
-            specialized.update(
-                specialize_tasks(
-                    current.plan,
-                    profile=live,
-                    tasks=tasks,
-                    dead_threshold=self.dead_threshold,
-                    **kwargs,
-                )
+            fresh = specialize_tasks(
+                current.plan,
+                profile=live,
+                tasks=tasks,
+                dead_threshold=self.dead_threshold,
+                **kwargs,
             )
+            # Re-specialization resets kernel variants (new geometry).  Carry
+            # the per-task chooser decisions across the swap, non-strictly:
+            # a choice the rebuilt kernel is no longer eligible for — int8
+            # before re-quantization, direct on a changed stride — falls back
+            # to the default path instead of failing the swap.
+            for task, spec in fresh.items():
+                deployed = specialized.get(task)
+                choices = getattr(deployed, "kernel_choices", None)
+                if choices:
+                    apply_kernel_choices(spec, choices, strict=False)
+            specialized.update(fresh)
             return PlanSet(current.plan, specialized)
 
         # swap_with holds the runtime's control lock across read + specialize

@@ -14,7 +14,13 @@ shape × inputs) and asserts the whole equivalence lattice on every one:
 * dynamic sparse (forced on for every GEMM) == dense plan, **bit for bit**;
 * compact specialization ≈ dense plan (ULP-level: reduction regrouping);
 * process-sharded serving == dense plan, **bit for bit**, across the spawn
-  + PlanSpec + shared-memory-ring boundary.
+  + PlanSpec + shared-memory-ring boundary;
+* blocked GEMM + views pooling variants == dense plan, **bit for bit**;
+* direct (im2col-free) conv ≈ dense plan (ULP-level: per-tap regrouping);
+* int8 inference within its *declared* accuracy contract (decision fidelity,
+  not value equivalence — the one deliberately-lossy path);
+* a kernel-choice map survives PlanSpec + process spawn and serves the dense
+  plan's bits from inside a worker.
 
 Specialization uses a *structural* survival profile derived from the task
 thresholds themselves (a channel is dead iff its threshold is unreachable),
@@ -30,7 +36,20 @@ from typing import Dict, List, Tuple
 import numpy as np
 import pytest
 
-from repro.engine import CalibrationProfile, DynamicSparseConfig, RunContext, compile_network
+from repro.engine import (
+    CalibrationProfile,
+    DynamicSparseConfig,
+    PlanSpec,
+    RunContext,
+    calibrate_plan,
+    compile_network,
+)
+from repro.engine.kernels import (
+    apply_kernel_choices,
+    force_kernel_variant,
+    quantize_plan_kernels,
+    variant_candidates,
+)
 from repro.engine.specialize import specialize_plan
 from repro.mime import MimeNetwork, add_structured_sparsity_task
 from repro.models.vgg import VGG
@@ -209,6 +228,123 @@ def test_dynamic_sparse_fast_path_is_bit_identical(arch):
         assert ctx.dynamic_gemms > 0, "the forced fast path never engaged"
         np.testing.assert_array_equal(
             dynamic, dense, err_msg=f"arch seed {arch.seed}, task {case.task}"
+        )
+
+
+# --------------------------------------------------------- kernel variants ----
+def test_blocked_kernel_variants_are_bit_identical(arch):
+    """``blocked`` GEMMs and ``views`` pools reproduce the dense plan bit for bit.
+
+    The blocked conv's strip-copied panel equals the monolithic im2col matrix
+    and image-blocking never splits a GEMM row, so the reduction order is
+    unchanged; the pool ``views`` cascade computes the same maxima.  Both
+    claims are exact, so the comparison is ``array_equal``, not ``allclose``.
+    """
+    tuned = PlanSpec.from_plan(arch.plan).build()
+    force_kernel_variant(tuned, "blocked")
+    force_kernel_variant(tuned, "views")
+    for case in arch.cases:
+        dense = arch.plan.run(case.images, case.task)
+        blocked = tuned.run(case.images, case.task)
+        np.testing.assert_array_equal(
+            blocked, dense, err_msg=f"arch seed {arch.seed}, task {case.task}"
+        )
+
+
+def test_direct_conv_matches_to_ulp(arch):
+    """The im2col-free direct conv agrees at ULP level (per-tap regrouping).
+
+    3x3 layers accumulate one partial sum per filter tap, which regroups the
+    per-pixel reduction — ULP-level, same tolerance as compact
+    specialization.  (1x1 layers degenerate to the identical single GEMM and
+    are covered bitwise in ``tests/test_kernels.py``.)
+    """
+    tuned = PlanSpec.from_plan(arch.plan).build()
+    forced = force_kernel_variant(tuned, "direct")
+    assert forced, "no conv layer was eligible for the direct variant"
+    for case in arch.cases:
+        dense = arch.plan.run(case.images, case.task)
+        direct = tuned.run(case.images, case.task)
+        np.testing.assert_allclose(
+            direct,
+            dense,
+            rtol=1e-9,
+            atol=1e-12,
+            err_msg=f"arch seed {arch.seed}, task {case.task}",
+        )
+
+
+def test_int8_variant_within_declared_tolerance(arch):
+    """The int8 path stays inside its declared accuracy contract.
+
+    Int8 is the one variant that is *not* value-equivalent; its contract
+    (README, "Int8 accuracy contract") is decision fidelity, not bitwise
+    logits.  Measured headroom on these architectures: relative logit error
+    <= 0.06 and argmax agreement >= 0.97, so the declared bounds below have
+    >= 2.5x slack while still catching any real quantization regression.
+    """
+    profile = calibrate_plan(arch.plan, batch_size=MICRO_BATCH, seed=arch.seed)
+    assert profile.ranges, "calibration must record activation ranges for int8"
+    quantized = PlanSpec.from_plan(arch.plan).build()
+    names = quantize_plan_kernels(quantized, profile, set_variant=True)
+    assert names, "no kernel accepted int8 quantization"
+    agree = total = 0
+    for case in arch.cases:
+        dense = arch.plan.run(case.images, case.task)
+        int8 = quantized.run(case.images, case.task)
+        assert np.isfinite(int8).all()
+        scale = np.abs(dense).max() or 1.0
+        assert np.abs(int8 - dense).max() / scale <= 0.15, (
+            f"arch seed {arch.seed}, task {case.task}: int8 logit error "
+            f"{np.abs(int8 - dense).max() / scale:.4f} above declared 0.15"
+        )
+        agree += int((dense.argmax(axis=1) == int8.argmax(axis=1)).sum())
+        total += len(dense)
+    assert agree / total >= 0.9, (
+        f"arch seed {arch.seed}: argmax agreement {agree}/{total} below declared 0.9"
+    )
+
+
+def test_kernel_choices_round_trip_through_sharded_worker(arch):
+    """A chooser map survives PlanSpec + spawn and still serves bit-exactly.
+
+    Builds a deterministic mixed-choice map (blocked GEMMs, views pools —
+    machine-independent, unlike a live autotune), applies it, and serves one
+    padded stream through a spawned worker: the worker must rebuild the plan
+    with the same choices and produce the dense plan's bits.
+    """
+    tuned = PlanSpec.from_plan(arch.plan).build()
+    wanted = {"conv": "blocked", "linear": "blocked", "pool": "views"}
+    choices = {
+        kernel.name: wanted[kernel.kind]
+        for kernel in tuned.kernels
+        if variant_candidates(kernel) and wanted[kernel.kind] in variant_candidates(kernel)
+    }
+    applied = apply_kernel_choices(tuned, choices)
+    assert applied == choices
+    rebuilt = PlanSpec.from_plan(tuned).build()
+    assert rebuilt.kernel_choices == choices
+    rebuilt_variants = {
+        k.name: k.variant for k in rebuilt.kernels if getattr(k, "name", None) in choices
+    }
+    assert rebuilt_variants == choices
+
+    task = arch.tasks[0]
+    stream_rng = np.random.default_rng(arch.seed + 2)
+    images = stream_rng.normal(size=(2 * MICRO_BATCH,) + arch.plan.input_shape)
+    runtime = ShardedRuntime(
+        tuned, policy="fifo-deadline", micro_batch=MICRO_BATCH, max_wait=5.0, workers=1
+    )
+    futures = [runtime.submit(task, image) for image in images]
+    runtime.start()
+    report = runtime.stop(drain=True)
+    assert report.completed == len(images)
+    for start in range(0, len(images), MICRO_BATCH):
+        batch = images[start : start + MICRO_BATCH]
+        reference = arch.plan.run(batch, task)
+        served = np.stack([f.result(timeout=0) for f in futures[start : start + MICRO_BATCH]])
+        np.testing.assert_array_equal(
+            served, reference, err_msg=f"arch seed {arch.seed}, task {task}"
         )
 
 
