@@ -61,14 +61,21 @@ from repro.engine.kernels import (
     CONV_VARIANTS,
     LINEAR_VARIANTS,
     POOL_VARIANTS,
+    TIMING_CACHE,
+    KernelTimingCache,
     QuantizedGemm,
     apply_kernel_choices,
     autotune_kernel_variants,
     force_kernel_variant,
+    int8_datapath_beats_float,
+    kernel_timing_key,
+    packed_weight_panels,
     quantize_gemm,
     quantize_plan_kernels,
     set_kernel_variant,
     variant_candidates,
+    winograd_tolerance,
+    winograd_weights,
 )
 from repro.engine.planspec import PlanSpec, TaskSpec
 from repro.engine.specialize import (
@@ -124,14 +131,21 @@ __all__ = [
     "CONV_VARIANTS",
     "LINEAR_VARIANTS",
     "POOL_VARIANTS",
+    "TIMING_CACHE",
+    "KernelTimingCache",
     "QuantizedGemm",
     "apply_kernel_choices",
     "autotune_kernel_variants",
     "force_kernel_variant",
+    "int8_datapath_beats_float",
+    "kernel_timing_key",
+    "packed_weight_panels",
     "quantize_gemm",
     "quantize_plan_kernels",
     "set_kernel_variant",
     "variant_candidates",
+    "winograd_tolerance",
+    "winograd_weights",
     "POLICIES",
     "SCHEDULING_MODES",
     "FifoDeadlinePolicy",

@@ -263,8 +263,9 @@ class ConvGemmMaskKernel:
 
     **Variants** — ``self.variant`` selects among the lowerings in
     :mod:`repro.engine.kernels` (``"im2col"`` default, ``"blocked"``,
-    ``"direct"``, ``"int8"``); see that module for the exactness contract of
-    each.  The blocked/direct variants defer to this path whenever the
+    ``"packed"``, ``"direct"``, ``"winograd"``, ``"int8"``, ``"int8spd"``);
+    see that module for the exactness contract of each.  The
+    float-arithmetic variants defer to this path whenever the
     dynamic gate is armed and the previous layer's sparsity cleared it, so
     the row-gather fast path (and its bit-exactness) is preserved no matter
     which variant the chooser picked.
@@ -310,9 +311,13 @@ class ConvGemmMaskKernel:
         self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
         #: Execution variant (see repro.engine.kernels) and optional int8
         #: quantization payload; both are plan-construction-time state, set
-        #: by the chooser/quantizer before serving starts.
+        #: by the chooser/quantizer before serving starts.  ``wino`` and
+        #: ``packed`` cache derived per-variant weight layouts (Winograd
+        #: transform / L2 column panels), built lazily on first use.
         self.variant = "im2col"
         self.quant = None
+        self.wino = None
+        self.packed = None
 
     def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
         if recorder is not None:
@@ -321,7 +326,7 @@ class ConvGemmMaskKernel:
                 record_range(task.name, self.name, float(np.abs(x).max()))
         variant = self.variant
         if variant != "im2col" and (
-            variant == "int8"
+            variant in ("int8", "int8spd")
             or ctx is None
             or ctx.dynamic is None
             or ctx.prev_sparsity < ctx.dynamic.gate
@@ -491,8 +496,9 @@ class LinearMaskKernel:
     ``activation`` distinguishes masked layers (thresholds come from the task
     plan) from plain ReLU trunks (``mask_classifier_hidden=False``).
 
-    **Variants** — ``"dense"`` (default), ``"blocked"``, ``"int8"``; same
-    dispatch and dynamic-gate fallback rules as :class:`ConvGemmMaskKernel`.
+    **Variants** — ``"dense"`` (default), ``"blocked"``, ``"packed"``,
+    ``"int8"``, ``"int8spd"``; same dispatch and dynamic-gate fallback
+    rules as :class:`ConvGemmMaskKernel`.
     """
 
     kind = "linear"
@@ -521,6 +527,7 @@ class LinearMaskKernel:
         self.dense_channels = dense_channels if dense_channels is not None else weight_t.shape[1]
         self.variant = "dense"
         self.quant = None
+        self.packed = None
 
     def run(self, x: np.ndarray, task: "TaskPlan", ws: WorkspacePool, recorder, ctx=None) -> np.ndarray:
         if recorder is not None:
@@ -529,7 +536,7 @@ class LinearMaskKernel:
                 record_range(task.name, self.name, float(np.abs(x).max()))
         variant = self.variant
         if variant != "dense" and (
-            variant == "int8"
+            variant in ("int8", "int8spd")
             or ctx is None
             or ctx.dynamic is None
             or ctx.prev_sparsity < ctx.dynamic.gate

@@ -96,22 +96,29 @@ def _quant_dict(kernel) -> Optional[Dict[str, object]]:
     quant = getattr(kernel, "quant", None)
     if quant is None:
         return None
-    return {
+    payload = {
         "weight_q": np.array(quant.weight_q),
         "w_scale": np.array(quant.w_scale),
         "in_scale": float(quant.in_scale),
         "scale": np.array(quant.scale),
     }
+    if getattr(quant, "weight_qi", None) is not None:
+        payload["weight_qi"] = np.array(quant.weight_qi)
+    return payload
 
 
 def _quant_from_dict(data) -> Optional[QuantizedGemm]:
     if data is None:
         return None
+    weight_qi = data.get("weight_qi")
     return QuantizedGemm(
         weight_q=np.array(data["weight_q"]),
         w_scale=np.array(data["w_scale"]),
         in_scale=float(data["in_scale"]),
         scale=np.array(data["scale"]),
+        # Pre-v3 payloads lack the int16 rows; the int8spd runner derives
+        # them lazily from weight_q on first use.
+        weight_qi=None if weight_qi is None else np.ascontiguousarray(weight_qi),
     )
 
 
@@ -244,7 +251,13 @@ class PlanSpec:
     kernel_choices: Optional[Dict[str, str]] = None
     #: 2 = kernel descriptors carry ``variant``/``quant`` (version-1 specs
     #: still load; see ``_build_kernel``).
-    version: int = 2
+    #: 3 = quant payloads additionally carry the packed int16 rows
+    #: (``weight_qi``) the int8spd datapath streams, and variants may name
+    #: the v3 lowerings (``packed``/``winograd``/``int8spd``) whose derived
+    #: weight layouts (Winograd transform, L2 column panels) are rebuilt
+    #: lazily in the worker rather than serialized.  Older specs still load:
+    #: every v3 field degrades to a lazy derivation.
+    version: int = 3
 
     # ----------------------------------------------------------------- capture --
     @classmethod

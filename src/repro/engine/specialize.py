@@ -175,6 +175,10 @@ def specialize_plan(
     min_live: int = 1,
     granularity: Optional[int] = None,
     exact_min_rows: int = 256,
+    choose_kernels: bool = False,
+    choose_batch: int = 8,
+    choose_seed: int = 0,
+    timing_cache=None,
 ) -> SpecializedEnginePlan:
     """Compact ``plan`` for ``task`` using the calibrated survival ``profile``.
 
@@ -202,6 +206,16 @@ def specialize_plan(
     map (:func:`repro.engine.kernels.apply_kernel_choices`) or re-running
     the chooser/quantizer on the specialized plan composes cleanly; the
     specialize → quantize → autotune order is the supported pipeline.
+
+    ``choose_kernels=True`` runs that last step here: the chooser
+    (:func:`repro.engine.kernels.autotune_kernel_variants`, at
+    ``choose_batch``/``choose_seed``) is invoked once on the freshly
+    compacted geometry before the plan is returned, so the specialized plan
+    arrives already tuned.  Measurements go through ``timing_cache``
+    (default: the process-wide ``TIMING_CACHE``), which is what makes the
+    per-deploy cost drop to zero for unchanged geometries — N tasks with
+    identical compacted shapes, or a recalibration re-deploy that compacts
+    to the same widths, resolve the chooser as pure cache replay.
     """
     if isinstance(plan, SpecializedEnginePlan):
         raise CompileError("cannot specialize an already-specialized plan")
@@ -400,7 +414,7 @@ def specialize_plan(
     dense_macs += source_task.head_dense_macs
     spec_macs += head_weight_t.shape[0] * head_weight_t.shape[1]
 
-    return SpecializedEnginePlan(
+    spec = SpecializedEnginePlan(
         dtype=plan.dtype,
         input_shape=plan.input_shape,
         kernels=kernels,
@@ -415,6 +429,13 @@ def specialize_plan(
         dense_macs_per_image=dense_macs,
         specialized_macs_per_image=spec_macs,
     )
+    if choose_kernels:
+        from repro.engine.kernels import autotune_kernel_variants
+
+        autotune_kernel_variants(
+            spec, batch=choose_batch, seed=choose_seed, cache=timing_cache
+        )
+    return spec
 
 
 def specialize_tasks(
@@ -428,6 +449,10 @@ def specialize_tasks(
     exact_min_rows: int = 256,
     calibration_batch: int = 32,
     calibration_seed: int = 0,
+    choose_kernels: bool = False,
+    choose_batch: int = 8,
+    choose_seed: int = 0,
+    timing_cache=None,
 ) -> Dict[str, SpecializedEnginePlan]:
     """Specialize ``plan`` for every task (calibrating first when needed).
 
@@ -435,6 +460,11 @@ def specialize_tasks(
     handed to :class:`~repro.engine.MultiTaskEngine` or
     :class:`~repro.serving.ServingRuntime`, which select the specialized plan
     per micro-batch and fall back to the dense plan for unlisted tasks.
+
+    With ``choose_kernels=True`` each per-task plan comes back chooser-tuned
+    on its compacted geometry (see :func:`specialize_plan`); the shared
+    timing cache means tasks whose layers compact to the same shapes time
+    each candidate variant once, not once per task.
     """
     names = list(tasks) if tasks is not None else plan.task_names()
     if profile is None:
@@ -449,6 +479,10 @@ def specialize_tasks(
             min_live=min_live,
             granularity=granularity,
             exact_min_rows=exact_min_rows,
+            choose_kernels=choose_kernels,
+            choose_batch=choose_batch,
+            choose_seed=choose_seed,
+            timing_cache=timing_cache,
         )
         for name in names
     }

@@ -57,7 +57,9 @@ def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) 
                           "dense plan bit for bit, at the cost of the throughput win")
     sub.add_argument("--dynamic", action="store_true",
                      help="autotune and enable the dynamic sparse row-gather fast path")
-    sub.add_argument("--kernels", choices=["default", "auto", "im2col", "blocked", "direct"],
+    sub.add_argument("--kernels",
+                     choices=["default", "auto", "im2col", "blocked", "packed",
+                              "direct", "winograd"],
                      default="default",
                      help="kernel variant selection: 'auto' runs the per-layer chooser "
                           "on every served plan, a variant name forces it everywhere "
@@ -120,9 +122,14 @@ def configure_kernel_variants(args: argparse.Namespace, plan, profile=None,
         if mode != "auto":
             print(f"int8 kernels on {label}: {', '.join(quantized)}")
     if mode == "auto":
+        from repro.engine.kernels import TIMING_CACHE
+
+        hits_before = TIMING_CACHE.hits
         choices = autotune_kernel_variants(plan, batch=args.micro_batch, seed=args.seed)
+        reused = TIMING_CACHE.hits - hits_before
         chosen = ", ".join(f"{name}={variant}" for name, variant in choices.items())
-        print(f"kernel chooser on {label}: {{{chosen}}}")
+        note = f" ({reused} cached timings reused)" if reused else ""
+        print(f"kernel chooser on {label}: {{{chosen}}}{note}")
     elif mode != "default":
         force_kernel_variant(plan, mode)
 

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.engine.calibrate import CalibrationProfile
-from repro.engine.kernels import apply_kernel_choices
+from repro.engine.kernels import autotune_kernel_variants
 from repro.engine.specialize import specialize_tasks
 from repro.serving.base import PlanSet
 
@@ -120,6 +120,7 @@ class RecalibrationLoop:
         artifact_name: str = "recalibrated",
         reset_window: bool = True,
         swap_timeout: Optional[float] = 120.0,
+        autotune_batch: int = 8,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         recorder = getattr(runtime, "recorder", None)
@@ -144,6 +145,11 @@ class RecalibrationLoop:
         self.artifact_name = artifact_name
         self.reset_window = reset_window
         self.swap_timeout = swap_timeout
+        #: Chooser batch size for chooser-tuned deployments (tasks whose
+        #: deployed plan carried ``kernel_choices`` are re-tuned on the
+        #: re-compacted geometry at swap time; unchanged geometries resolve
+        #: from the process timing cache with zero re-timing).
+        self.autotune_batch = autotune_batch
         self.events: List[RecalibrationEvent] = []
         self._clock = clock
         self._stop = threading.Event()
@@ -324,16 +330,18 @@ class RecalibrationLoop:
                 dead_threshold=self.dead_threshold,
                 **kwargs,
             )
-            # Re-specialization resets kernel variants (new geometry).  Carry
-            # the per-task chooser decisions across the swap, non-strictly:
-            # a choice the rebuilt kernel is no longer eligible for — int8
-            # before re-quantization, direct on a changed stride — falls back
-            # to the default path instead of failing the swap.
+            # Re-specialization resets kernel variants (new geometry).  A
+            # deployed plan that was chooser-tuned gets the chooser re-run on
+            # the *re-compacted* geometry rather than a blind replay of
+            # choices measured on the old shapes: the process-level timing
+            # cache makes this a pure lookup when the compacted widths did
+            # not change (zero re-timing — tuned once, not per deploy), and
+            # only genuinely new shapes pay for fresh measurements.
             for task, spec in fresh.items():
                 deployed = specialized.get(task)
                 choices = getattr(deployed, "kernel_choices", None)
                 if choices:
-                    apply_kernel_choices(spec, choices, strict=False)
+                    autotune_kernel_variants(spec, batch=self.autotune_batch, seed=0)
             specialized.update(fresh)
             return PlanSet(current.plan, specialized)
 

@@ -16,11 +16,21 @@ shape × inputs) and asserts the whole equivalence lattice on every one:
 * process-sharded serving == dense plan, **bit for bit**, across the spawn
   + PlanSpec + shared-memory-ring boundary;
 * blocked GEMM + views pooling variants == dense plan, **bit for bit**;
+* packed (L2-panel-resident) GEMMs == dense plan, **bit for bit** (the
+  packer proves every multi-panel split exact on the host BLAS at build
+  time and collapses the split otherwise, so the contract is unconditional);
 * direct (im2col-free) conv ≈ dense plan (ULP-level: per-tap regrouping);
+* Winograd F(2x2, 3x3) ≈ dense plan within its *declared* tolerance
+  (transform-domain regrouping; see ``winograd_tolerance``), with argmax
+  agreement ≥ 0.9;
 * int8 inference within its *declared* accuracy contract (decision fidelity,
   not value equivalence — the one deliberately-lossy path);
+* int8spd (the wide-integer speed datapath) == int8, **bit for bit** — a
+  faster lowering of the same quantized arithmetic, not a new contract;
 * a kernel-choice map survives PlanSpec + process spawn and serves the dense
-  plan's bits from inside a worker.
+  plan's bits from inside a worker;
+* a chooser-tuned compact specialization round-trips through PlanSpec into a
+  spawned worker and serves the same bits as the local specialized plan.
 
 Specialization uses a *structural* survival profile derived from the task
 thresholds themselves (a channel is dead iff its threshold is unreachable),
@@ -44,11 +54,13 @@ from repro.engine import (
     calibrate_plan,
     compile_network,
 )
+from repro.engine import kernels as K
 from repro.engine.kernels import (
     apply_kernel_choices,
     force_kernel_variant,
     quantize_plan_kernels,
     variant_candidates,
+    winograd_tolerance,
 )
 from repro.engine.specialize import specialize_plan
 from repro.mime import MimeNetwork, add_structured_sparsity_task
@@ -274,6 +286,59 @@ def test_direct_conv_matches_to_ulp(arch):
         )
 
 
+def test_packed_kernel_variants_are_bit_identical(arch):
+    """``packed`` GEMMs reproduce the dense plan bit for bit.
+
+    The packer keeps a multi-panel split only after proving it bit-exact on
+    this host's BLAS (``_packed_split_exact``) and collapses to one
+    contiguous panel otherwise, so equality is unconditional — hence
+    ``array_equal``.  The panel budget is shrunk so candidate splits are
+    actually generated and the proof-or-collapse machinery is exercised,
+    not just the trivial single-panel case.
+    """
+    tuned = PlanSpec.from_plan(arch.plan).build()
+    original = K._PACKED_PANEL_BYTES
+    K._PACKED_PANEL_BYTES = 1 << 10  # force multi-panel splits at these widths
+    try:
+        forced = force_kernel_variant(tuned, "packed")
+        assert forced, "no GEMM was eligible for the packed variant"
+        for case in arch.cases:
+            dense = arch.plan.run(case.images, case.task)
+            packed = tuned.run(case.images, case.task)
+            np.testing.assert_array_equal(
+                packed, dense, err_msg=f"arch seed {arch.seed}, task {case.task}"
+            )
+    finally:
+        K._PACKED_PANEL_BYTES = original
+
+
+def test_winograd_conv_within_declared_tolerance(arch):
+    """Winograd convs stay inside ``winograd_tolerance`` and keep decisions.
+
+    F(2x2, 3x3) computes each output through transform-domain combinations —
+    value-equivalent up to accumulated rounding, so the comparison is the
+    declared-tolerance ``allclose`` (float64 here: ULP-class bounds), plus
+    the decision-fidelity floor serving cares about.
+    """
+    tuned = PlanSpec.from_plan(arch.plan).build()
+    forced = force_kernel_variant(tuned, "winograd")
+    assert forced, "no conv layer was eligible for the winograd variant"
+    tol = winograd_tolerance(arch.plan.dtype)
+    agree = total = 0
+    for case in arch.cases:
+        dense = arch.plan.run(case.images, case.task)
+        wino = tuned.run(case.images, case.task)
+        np.testing.assert_allclose(
+            wino, dense, **tol,
+            err_msg=f"arch seed {arch.seed}, task {case.task}",
+        )
+        agree += int((dense.argmax(axis=1) == wino.argmax(axis=1)).sum())
+        total += len(dense)
+    assert agree / total >= 0.9, (
+        f"arch seed {arch.seed}: argmax agreement {agree}/{total} below declared 0.9"
+    )
+
+
 def test_int8_variant_within_declared_tolerance(arch):
     """The int8 path stays inside its declared accuracy contract.
 
@@ -303,6 +368,80 @@ def test_int8_variant_within_declared_tolerance(arch):
     assert agree / total >= 0.9, (
         f"arch seed {arch.seed}: argmax agreement {agree}/{total} below declared 0.9"
     )
+
+
+def test_int8spd_is_bit_identical_to_int8(arch, monkeypatch):
+    """The wide-integer speed datapath changes speed, never bits.
+
+    ``int8spd`` lowers the exact same quantized arithmetic as ``int8``
+    (identical quantization, identical dequant op sequence, guard-band
+    refinement included), so its outputs must equal the reference int8
+    path's bit for bit — which also makes int8's declared accuracy contract
+    (``≤ 0.5pp``-class decision fidelity, tested above) carry over verbatim.
+    The host probe is forced to "wins" so the test runs everywhere.
+    """
+    monkeypatch.setattr(K, "_INT8SPD_WINS", True)
+    profile = calibrate_plan(arch.plan, batch_size=MICRO_BATCH, seed=arch.seed)
+    quantized = PlanSpec.from_plan(arch.plan).build()
+    names = quantize_plan_kernels(quantized, profile, set_variant=True)
+    assert names, "no kernel accepted int8 quantization"
+    reference = {
+        id(case): quantized.run(case.images, case.task) for case in arch.cases
+    }
+    forced = force_kernel_variant(quantized, "int8spd")
+    assert set(forced) == set(names), "every quantized GEMM must accept int8spd"
+    for case in arch.cases:
+        speed = quantized.run(case.images, case.task)
+        np.testing.assert_array_equal(
+            speed, reference[id(case)],
+            err_msg=f"arch seed {arch.seed}, task {case.task}",
+        )
+
+
+def test_chooser_tuned_specialization_round_trips_through_sharded_worker(arch):
+    """Chooser-aware specialization survives PlanSpec + spawn bit for bit.
+
+    ``specialize_plan(..., choose_kernels=True)`` autotunes the *compacted*
+    geometry and leaves the choice map on the spec; a spawned worker rebuilds
+    the plan from its PlanSpec and must serve exactly the bits the local
+    specialized plan produces — whatever variants the chooser picked on this
+    host (including declared-tolerance ones: both sides run the same
+    lowering, so the comparison stays bitwise).
+    """
+    task = arch.tasks[0]
+    spec = specialize_plan(
+        arch.plan, task, arch.profile, compact_reduction=True,
+        choose_kernels=True, choose_batch=MICRO_BATCH,
+    )
+    assert spec.kernel_choices, "the chooser must leave choices on the spec"
+    rebuilt = PlanSpec.from_plan(spec).build()
+    assert rebuilt.kernel_choices == spec.kernel_choices
+    rebuilt_variants = {
+        k.name: k.variant
+        for k in rebuilt.kernels
+        if getattr(k, "name", None) in spec.kernel_choices
+    }
+    assert rebuilt_variants == spec.kernel_choices
+
+    stream_rng = np.random.default_rng(arch.seed + 3)
+    images = stream_rng.normal(size=(2 * MICRO_BATCH,) + arch.plan.input_shape)
+    runtime = ShardedRuntime(
+        arch.plan, policy="fifo-deadline", micro_batch=MICRO_BATCH, max_wait=5.0,
+        workers=1, specialized={task: spec},
+    )
+    futures = [runtime.submit(task, image) for image in images]
+    runtime.start()
+    report = runtime.stop(drain=True)
+    assert report.completed == len(images)
+    for start in range(0, len(images), MICRO_BATCH):
+        batch = images[start : start + MICRO_BATCH]
+        reference = spec.run(batch, task)
+        served = np.stack(
+            [f.result(timeout=0) for f in futures[start : start + MICRO_BATCH]]
+        )
+        np.testing.assert_array_equal(
+            served, reference, err_msg=f"arch seed {arch.seed}, task {task}"
+        )
 
 
 def test_kernel_choices_round_trip_through_sharded_worker(arch):

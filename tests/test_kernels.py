@@ -2,9 +2,12 @@
 
 The differential harness (``tests/test_differential.py``) proves whole-plan
 equivalence of every variant; this file pins down the component-level
-contracts — panel construction, block partitioning, quantization round-trip,
-chooser caching, choice-map replay, variant traffic accounting, and the two
-pooling regressions (overlapping windows and the ``out_shape`` geometry fix).
+contracts — panel construction, block partitioning, Winograd edge shapes and
+its declared tolerance, packed-panel lane alignment, the int8 speed
+datapath's bit-identity and eligibility gate, quantization round-trip,
+chooser timing-cache dedupe, choice-map replay, variant traffic accounting,
+and the two pooling regressions (overlapping windows and the ``out_shape``
+geometry fix).
 """
 
 from __future__ import annotations
@@ -17,16 +20,39 @@ import pytest
 from repro.engine import SparsityRecorder, calibrate_plan, compile_network
 from repro.engine import kernels as K
 from repro.engine.kernels import (
+    KernelTimingCache,
     apply_kernel_choices,
     autotune_kernel_variants,
     copy_window_strips,
+    kernel_timing_key,
+    packed_weight_panels,
     quantize_gemm,
     quantize_plan_kernels,
     variant_candidates,
+    winograd_tolerance,
+    winograd_weights,
 )
-from repro.engine.plan import ConvGemmMaskKernel, MaxPoolKernel, WorkspacePool
+from repro.engine.plan import (
+    ConvGemmMaskKernel,
+    LinearMaskKernel,
+    MaxPoolKernel,
+    WorkspacePool,
+)
 from repro.mime import MimeNetwork, add_structured_sparsity_task
 from repro.models import vgg_tiny
+
+
+def make_linear_kernel(rng, d_in, d_out, mask=False, dtype=np.float32):
+    """A standalone FC kernel plus a duck-typed task for direct ``run`` calls."""
+    weight_t = rng.normal(size=(d_in, d_out)).astype(dtype)
+    bias = rng.normal(size=d_out).astype(dtype)
+    spec = SimpleNamespace(slot=0, layer_name="fc") if mask else None
+    kernel = LinearMaskKernel(
+        index=0, name="gemm0", weight_t=weight_t, bias=bias, mask=spec,
+    )
+    thresholds = [np.abs(rng.normal(size=d_out)).astype(dtype) * 0.1]
+    task = SimpleNamespace(name="t", thresholds=thresholds)
+    return kernel, task
 
 
 def make_conv_kernel(rng, c_in, c_out, hw, k=3, s=1, p=1, mask=False, dtype=np.float32):
@@ -92,6 +118,191 @@ def test_blocked_conv_bit_identical_across_partial_blocks(monkeypatch):
         out = kernel.run(x.copy(), task, WorkspacePool(), None)
         kernel.variant = "im2col"
         np.testing.assert_array_equal(out, ref, err_msg=f"batch {n}")
+
+
+# ----------------------------------------------------------------- winograd ----
+@pytest.mark.parametrize(
+    "hw,p,mask",
+    [
+        (8, 1, True),   # even output, the common padded case
+        (7, 1, True),   # odd output: tile remainder in both axes
+        (9, 0, True),   # valid conv, odd output
+        (6, 2, False),  # over-padding, no mask epilogue
+        (5, 1, False),  # smallest interesting plane
+    ],
+)
+def test_winograd_matches_im2col_within_declared_tolerance(hw, p, mask):
+    rng = np.random.default_rng(61)
+    kernel, task = make_conv_kernel(rng, c_in=5, c_out=7, hw=hw, p=p, mask=mask)
+    x = rng.normal(size=(3, hw, hw, 5)).astype(np.float32)
+    ref = kernel.run(x.copy(), task, WorkspacePool(), None).copy()
+    kernel.variant = "winograd"
+    out = kernel.run(x.copy(), task, WorkspacePool(), None)
+    np.testing.assert_allclose(out, ref, **winograd_tolerance(np.float32))
+
+
+def test_winograd_tolerance_property_at_paper_level_sparsity():
+    """Seeded sweep with a mask killing a realistic activation fraction.
+
+    The mask epilogue can flip a slot only when a value sits inside the
+    declared tolerance band of its threshold; assert near-total survive/kill
+    agreement and the declared tolerance on every slot both paths kept.
+    """
+    tol = winograd_tolerance(np.float32)
+    for seed in (101, 202, 303):
+        rng = np.random.default_rng(seed)
+        kernel, task = make_conv_kernel(rng, c_in=8, c_out=8, hw=10, mask=True)
+        # Scale thresholds up to paper-level kill rates (~40-60% zeros).
+        task.thresholds[0] *= 40.0
+        x = rng.normal(size=(4, 10, 10, 8)).astype(np.float32)
+        ref = kernel.run(x.copy(), task, WorkspacePool(), None).copy()
+        kernel.variant = "winograd"
+        out = kernel.run(x.copy(), task, WorkspacePool(), None)
+        kernel.variant = "im2col"
+        sparsity = float((ref == 0.0).mean())
+        assert 0.2 < sparsity < 0.9, f"seed {seed}: unrealistic sparsity {sparsity}"
+        agree = (out == 0.0) == (ref == 0.0)
+        assert agree.mean() >= 0.999, f"seed {seed}"
+        np.testing.assert_allclose(out[agree], ref[agree], **tol)
+
+
+def test_winograd_ineligible_shapes_are_gated():
+    rng = np.random.default_rng(67)
+    strided, _ = make_conv_kernel(rng, c_in=3, c_out=4, hw=9, k=3, s=2, p=1)
+    five_tap, _ = make_conv_kernel(rng, c_in=3, c_out=4, hw=11, k=5, s=1, p=2)
+    for kernel in (strided, five_tap):
+        assert "winograd" not in variant_candidates(kernel)
+        with pytest.raises(ValueError, match="not eligible"):
+            K.set_kernel_variant(kernel, "winograd")
+
+
+def test_winograd_weights_transformed_once_and_cached():
+    rng = np.random.default_rng(71)
+    kernel, _ = make_conv_kernel(rng, c_in=4, c_out=6, hw=8)
+    u = winograd_weights(kernel)
+    assert u.shape == (16, 4, 6)
+    assert u.dtype == kernel.weight_t.dtype
+    assert winograd_weights(kernel) is u, "second call must reuse the cache"
+    assert kernel.wino is u
+
+
+# ------------------------------------------------------------- packed panels ----
+def test_packed_panels_cover_lanes_and_stay_contiguous(monkeypatch):
+    rng = np.random.default_rng(73)
+    kernel, _ = make_conv_kernel(rng, c_in=4, c_out=50, hw=8)
+    # Shrink the budget so 50 output columns split into several panels, and
+    # pin the host proof to "exact" so the geometry contract is tested
+    # deterministically on any BLAS.
+    monkeypatch.setattr(K, "_PACKED_PANEL_BYTES", kernel.weight_t.shape[0] * 4 * 20)
+    monkeypatch.setattr(K, "_packed_split_exact", lambda weight_t, panels: True)
+    panels = packed_weight_panels(kernel)
+    assert len(panels) > 1
+    cursor = 0
+    for j0, j1, panel in panels:
+        assert j0 == cursor and j1 > j0
+        assert j0 % K._PACKED_PANEL_LANES == 0, "cuts must fall on lane multiples"
+        assert panel.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(panel, kernel.weight_t[:, j0:j1])
+        cursor = j1
+    assert cursor == kernel.weight_t.shape[1], "panels must tile every column"
+    assert packed_weight_panels(kernel) is panels, "second call must reuse the cache"
+
+
+def test_packed_single_panel_reuses_weight_memory():
+    rng = np.random.default_rng(79)
+    kernel, _ = make_conv_kernel(rng, c_in=2, c_out=8, hw=8)
+    panels = packed_weight_panels(kernel)
+    assert len(panels) == 1
+    assert np.shares_memory(panels[0][2], kernel.weight_t)
+
+
+def test_packed_conv_and_linear_bit_identical_across_panel_splits(monkeypatch):
+    """Bit-identity is unconditional: whether the host proof kept the split
+    or collapsed it, ``packed`` must reproduce ``blocked`` exactly."""
+    rng = np.random.default_rng(83)
+    conv, conv_task = make_conv_kernel(rng, c_in=4, c_out=40, hw=8, mask=True)
+    fc, fc_task = make_linear_kernel(rng, d_in=48, d_out=40, mask=True)
+    monkeypatch.setattr(K, "_PACKED_PANEL_BYTES", 48 * 4 * 18)
+    x_conv = rng.normal(size=(3, 8, 8, 4)).astype(np.float32)
+    x_fc = rng.normal(size=(5, 48)).astype(np.float32)
+    for kernel, task, x in ((conv, conv_task, x_conv), (fc, fc_task, x_fc)):
+        kernel.variant = "blocked"
+        ref = kernel.run(x.copy(), task, WorkspacePool(), None).copy()
+        kernel.variant = "packed"
+        out = kernel.run(x.copy(), task, WorkspacePool(), None)
+        np.testing.assert_array_equal(out, ref)
+
+
+def test_packed_split_collapses_when_host_proof_fails(monkeypatch):
+    rng = np.random.default_rng(87)
+    kernel, _ = make_conv_kernel(rng, c_in=4, c_out=50, hw=8)
+    monkeypatch.setattr(K, "_PACKED_PANEL_BYTES", kernel.weight_t.shape[0] * 4 * 20)
+    monkeypatch.setattr(K, "_packed_split_exact", lambda weight_t, panels: False)
+    panels = packed_weight_panels(kernel)
+    assert len(panels) == 1
+    assert panels[0][:2] == (0, 50)
+    assert panels[0][2].flags["C_CONTIGUOUS"]
+
+
+# ------------------------------------------------------------ int8 speed path ----
+def attach_quant(kernel, in_absmax=4.0):
+    kernel.quant = quantize_gemm(kernel.weight_t, in_absmax=in_absmax)
+    return kernel.quant
+
+
+def test_int8spd_bit_identical_to_int8_conv_and_linear():
+    rng = np.random.default_rng(89)
+    conv, conv_task = make_conv_kernel(rng, c_in=4, c_out=6, hw=8, mask=True)
+    fc, fc_task = make_linear_kernel(rng, d_in=36, d_out=10, mask=True)
+    x_conv = rng.normal(size=(3, 8, 8, 4)).astype(np.float32)
+    x_fc = rng.normal(size=(5, 36)).astype(np.float32)
+    for kernel, task, x in ((conv, conv_task, x_conv), (fc, fc_task, x_fc)):
+        attach_quant(kernel)
+        kernel.variant = "int8"
+        ref = kernel.run(x.copy(), task, WorkspacePool(), None).copy()
+        kernel.variant = "int8spd"
+        out = kernel.run(x.copy(), task, WorkspacePool(), None)
+        np.testing.assert_array_equal(out, ref)
+
+
+def test_int8spd_panel_loop_exact_on_deep_reductions(monkeypatch):
+    """Depth beyond the int32-safety panel bound must still accumulate exactly."""
+    rng = np.random.default_rng(97)
+    monkeypatch.setattr(K, "_INT8SPD_PANEL_ROWS", 16)  # force the K-panel loop
+    qx = rng.integers(-127, 128, size=(6, 50), dtype=np.int16)
+    wqi = np.ascontiguousarray(rng.integers(-127, 128, size=(50, 7), dtype=np.int16))
+    acc = np.empty((6, 7), np.int32)
+    K._int8_accumulate(qx, wqi, acc)
+    expect = qx.astype(np.int64) @ wqi.astype(np.int64)
+    np.testing.assert_array_equal(acc.astype(np.int64), expect)
+
+
+def test_int8spd_derives_weight_qi_from_pre_v3_payload():
+    rng = np.random.default_rng(101)
+    kernel, task = make_conv_kernel(rng, c_in=4, c_out=6, hw=8, mask=True)
+    q = attach_quant(kernel)
+    x = rng.normal(size=(2, 8, 8, 4)).astype(np.float32)
+    kernel.variant = "int8spd"
+    ref = kernel.run(x.copy(), task, WorkspacePool(), None).copy()
+    q.weight_qi = None  # what a plan rebuilt from a v2 PlanSpec looks like
+    out = kernel.run(x.copy(), task, WorkspacePool(), None)
+    assert q.weight_qi is not None, "lazy derivation must repopulate the payload"
+    assert q.weight_qi.dtype == np.int16 and q.weight_qi.flags["C_CONTIGUOUS"]
+    np.testing.assert_array_equal(out, ref)
+
+
+def test_int8spd_eligibility_follows_host_probe(monkeypatch):
+    rng = np.random.default_rng(103)
+    kernel, _ = make_conv_kernel(rng, c_in=4, c_out=6, hw=8)
+    attach_quant(kernel)
+    monkeypatch.setattr(K, "_INT8SPD_WINS", False)
+    candidates = variant_candidates(kernel)
+    assert "int8" in candidates and "int8spd" not in candidates
+    monkeypatch.setattr(K, "_INT8SPD_WINS", True)
+    assert "int8spd" in variant_candidates(kernel)
+    # Shipped choices still execute on losing hosts: the gate is on choosing.
+    monkeypatch.setattr(K, "_INT8SPD_WINS", False)
+    kernel.variant = "int8spd"
 
 
 # ------------------------------------------------------- pooling regressions ----
@@ -242,6 +453,76 @@ def test_apply_kernel_choices_strict_and_lenient():
     assert apply_kernel_choices(plan, {conv: "int8"}, strict=False) == {}
 
 
+# ------------------------------------------------------------- timing cache ----
+def test_timing_cache_dedupes_identical_geometry_across_plans():
+    cache = KernelTimingCache()
+    first = small_plan(seed=107)
+    choices_first = autotune_kernel_variants(first, batch=2, repeats=1, seed=0, cache=cache)
+    assert cache.misses == len(cache) > 0
+    assert cache.hits == 0
+    misses_before = cache.misses
+    second = small_plan(seed=107)  # identical layer shapes, fresh kernel objects
+    choices_second = autotune_kernel_variants(second, batch=2, repeats=1, seed=0, cache=cache)
+    assert cache.misses == misses_before, "identical geometry must never re-time"
+    assert cache.hits == misses_before, "every lookup must replay a cached timing"
+    assert choices_second == choices_first
+
+
+def test_kernel_timing_key_tracks_geometry_not_identity():
+    rng = np.random.default_rng(109)
+    a, _ = make_conv_kernel(rng, c_in=4, c_out=6, hw=8)
+    twin, _ = make_conv_kernel(rng, c_in=4, c_out=6, hw=8)
+    compacted, _ = make_conv_kernel(rng, c_in=4, c_out=5, hw=8)
+    key = kernel_timing_key(a, "blocked", 8, np.float32)
+    assert kernel_timing_key(twin, "blocked", 8, np.float32) == key
+    assert kernel_timing_key(compacted, "blocked", 8, np.float32) != key
+    assert kernel_timing_key(a, "packed", 8, np.float32) != key
+    assert kernel_timing_key(a, "blocked", 4, np.float32) != key
+    assert kernel_timing_key(a, "blocked", 8, np.float64) != key
+
+
+def test_specialize_with_choose_kernels_reuses_timings_on_redeploy():
+    from repro.engine import specialize_tasks
+
+    plan = small_plan(seed=113)
+    profile = calibrate_plan(plan, batch_size=4, seed=113)
+    cache = KernelTimingCache()
+    kwargs = dict(profile=profile, compact_reduction=True,
+                  choose_kernels=True, choose_batch=2, timing_cache=cache)
+    specialized = specialize_tasks(plan, **kwargs)
+    assert set(specialized) == set(plan.task_names())
+    for name, spec in specialized.items():
+        assert spec.kernel_choices, f"{name}: chooser must leave choices on the spec"
+        for kernel in spec.kernels:
+            if getattr(kernel, "name", None) in spec.kernel_choices:
+                assert kernel.variant == spec.kernel_choices[kernel.name]
+    # A re-deploy from the same profile compacts to the same geometries: the
+    # second pass must resolve every chooser purely from cached timings.
+    misses_before = cache.misses
+    redeployed = specialize_tasks(plan, **kwargs)
+    assert cache.misses == misses_before, "unchanged geometry must never re-time"
+    assert cache.hits >= misses_before
+    for name, spec in redeployed.items():
+        assert spec.kernel_choices == specialized[name].kernel_choices
+
+
+# ---------------------------------------------------------- workspace pooling ----
+def test_padded_input_pools_scratch_for_noncontiguous_input():
+    rng = np.random.default_rng(127)
+    kernel, _ = make_conv_kernel(rng, c_in=3, c_out=4, hw=6, p=0)
+    ws = WorkspacePool()
+    nchw = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+    x = nchw.transpose(0, 2, 3, 1)  # NHWC view, not C-contiguous
+    assert not x.flags["C_CONTIGUOUS"]
+    first = K._padded_input(kernel, x, ws)
+    assert first.flags["C_CONTIGUOUS"]
+    np.testing.assert_array_equal(first, x)
+    second = K._padded_input(kernel, x, ws)
+    assert second is first, "steady state must reuse the pooled buffer"
+    contig = np.ascontiguousarray(x)
+    assert K._padded_input(kernel, contig, ws) is contig, "contiguous input passes through"
+
+
 # ------------------------------------------------------- traffic accounting ----
 def test_variant_traffic_accounting():
     rng = np.random.default_rng(59)
@@ -250,15 +531,21 @@ def test_variant_traffic_accounting():
     pool = MaxPoolKernel(index=1, kernel_size=2, stride=2, out_shape=(6, 4, 4))
     x = rng.normal(size=(2, 8, 8, 4)).astype(np.float32)
     ws = WorkspacePool()
-    for variant in ("im2col", "blocked", "direct"):
+    for variant in ("im2col", "blocked", "packed", "direct", "winograd"):
         kernel.variant = variant
         y = kernel.run(x, task, ws, recorder)
     for variant in ("reshape", "views"):
         pool.variant = variant
         pool.run(y, task, ws, recorder)
     totals = recorder.variant_totals()
-    assert set(totals) == {"im2col", "blocked", "direct", "pool-reshape", "pool-views"}
+    assert set(totals) == {
+        "im2col", "blocked", "packed", "direct", "winograd",
+        "pool-reshape", "pool-views",
+    }
     for name, entry in totals.items():
         assert entry["calls"] == 1
         assert entry["bytes"] > 0
         assert (entry["macs"] > 0) == (not name.startswith("pool")), name
+    # Winograd's 16 multiplies per 2x2 output tile vs im2col's 36: the
+    # physical MAC ledger must show the genuine reduction.
+    assert totals["winograd"]["macs"] < totals["im2col"]["macs"]

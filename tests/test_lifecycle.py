@@ -559,6 +559,43 @@ class TestRecalibrationLoop:
         assert report.errors == 0
         assert report.completed == 48
 
+    def test_recalibration_reuses_cached_timings_for_unchanged_geometry(self):
+        """Re-deploying a chooser-tuned model must not pay for re-timing.
+
+        The deployment specializes with ``choose_kernels=True``, warming the
+        process timing cache; a recalibration swap from the *same* structural
+        profile re-compacts to identical layer geometries, so the swap-time
+        chooser re-run must resolve every variant from cached measurements —
+        zero new timings — and land on the same choices.
+        """
+        from repro.engine.kernels import TIMING_CACHE
+
+        network = build_network(seed=46)
+        plan = compile_network(network, dtype=np.float32)
+        profile = structural_profile(plan, network)
+        specialized = specialize_tasks(
+            plan, profile=profile, compact_reduction=True, choose_kernels=True,
+        )
+        for spec in specialized.values():
+            assert spec.kernel_choices, "deployment must be chooser-tuned"
+        runtime = self.make_runtime(plan, specialized=specialized, workers=1)
+        with runtime:
+            loop = RecalibrationLoop(runtime, profile, min_images=1)
+            misses_before = TIMING_CACHE.misses
+            hits_before = TIMING_CACHE.hits
+            # Drive the re-specialize+swap path directly with the deployment's
+            # own profile: geometry is unchanged by construction, which is
+            # exactly the common re-deploy case the cache exists for.
+            loop._respecialize_and_swap(profile, list(TASKS))
+            assert TIMING_CACHE.misses == misses_before, (
+                "unchanged geometries must re-use cached timings, not re-time"
+            )
+            assert TIMING_CACHE.hits > hits_before
+            for task in TASKS:
+                swapped = runtime.specialized[task]
+                assert swapped is not specialized[task], "swap must install fresh plans"
+                assert swapped.kernel_choices == specialized[task].kernel_choices
+
     def test_background_loop_runs_and_stops(self, deployment):
         import time
 
