@@ -20,6 +20,7 @@ import argparse
 from typing import Callable, Dict
 
 from repro.experiments.builders import (
+    add_fault_arguments,
     add_workload_arguments,
     append_bench_entry,
     build_runtime,
@@ -27,6 +28,7 @@ from repro.experiments.builders import (
     load_artifact_plans,
     maybe_specialize,
     positive_int,
+    start_chaos_schedule,
 )
 from repro.experiments.config import fast_config, full_config
 from repro.experiments.figures import (
@@ -258,9 +260,21 @@ def _serve_bench_runtime(args: argparse.Namespace) -> None:
         runtime.submit(task, image) for task, image in zip(tasks, images)
     ]
     runtime.start()
-    report = runtime.stop(drain=True)
+    schedule = start_chaos_schedule(args, runtime)
+    try:
+        report = runtime.stop(drain=True)
+    finally:
+        if schedule is not None:
+            schedule.stop()
     for future in futures:
-        future.result(timeout=60.0)
+        try:
+            future.result(timeout=60.0)
+        except Exception as error:
+            if schedule is None:
+                raise
+            # Under chaos, budget/deadline failures are legitimate outcomes;
+            # they are already tallied in the report's error counters.
+            print(f"request {future.index} failed under chaos: {error}")
     print()
     print(report.summary())
     if getattr(args, "json", None):
@@ -337,7 +351,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             min_images=args.recalibrate_min_images,
             store=store,
         )
+    schedule = None
     with runtime:
+        schedule = start_chaos_schedule(args, runtime)
         if loop is not None:
             loop.start()
         try:
@@ -347,14 +363,27 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 num_requests=args.requests,
                 deadline_slack=args.deadline,
             )
+            failed = 0
             for future in futures:
-                if future is not None:
+                if future is None:
+                    continue
+                try:
                     future.result(timeout=60.0)
+                except Exception:
+                    if schedule is None:
+                        raise
+                    # Chaos runs tolerate explicit per-request failures
+                    # (retry budget, deadline); the report counts them.
+                    failed += 1
+            if failed:
+                print(f"{failed} requests failed explicitly under chaos")
             if loop is not None:
                 loop.check_once()  # one final deterministic pass before shutdown
         finally:
             if loop is not None:
                 loop.stop()
+            if schedule is not None:
+                schedule.stop()
     print()
     print(runtime.report().summary())
     if loop is not None:
@@ -478,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--json", metavar="OUT", default=None,
                              help="append a machine-readable entry for this run to a "
                                   "BENCH_*.json trajectory file")
+    add_fault_arguments(serve_bench)
 
     from repro.engine.scheduling import SCHEDULING_MODES
 
@@ -517,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-specializing")
     serve.add_argument("--recalibrate-min-images", type=positive_int, default=64,
                        help="images a task must have served before it is re-specialized")
+    add_fault_arguments(serve)
 
     export = subparsers.add_parser(
         "export", help="publish a versioned model artifact to a ModelStore"

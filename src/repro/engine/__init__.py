@@ -77,7 +77,7 @@ from repro.engine.kernels import (
     winograd_tolerance,
     winograd_weights,
 )
-from repro.engine.planspec import PlanSpec, TaskSpec
+from repro.engine.planspec import PlanSetSpec, PlanSpec, TaskSpec
 from repro.engine.specialize import (
     SpecializedEnginePlan,
     autotune_dynamic_crossover,
@@ -115,6 +115,7 @@ __all__ = [
     "EnginePlan",
     "LinearMaskKernel",
     "MaskSpec",
+    "PlanSetSpec",
     "PlanSpec",
     "RunContext",
     "SpecializedEnginePlan",

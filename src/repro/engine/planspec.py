@@ -43,7 +43,7 @@ from repro.engine.plan import (
     TaskPlan,
 )
 
-__all__ = ["PlanSpec", "TaskSpec"]
+__all__ = ["PlanSetSpec", "PlanSpec", "TaskSpec"]
 
 
 @dataclass
@@ -343,4 +343,37 @@ class PlanSpec:
             },
             dense_macs_per_image=extra["dense_macs_per_image"],
             specialized_macs_per_image=extra["specialized_macs_per_image"],
+        )
+
+
+@dataclass
+class PlanSetSpec:
+    """One picklable snapshot of a whole serving plan set.
+
+    The unit the process-sharded runtime ships to a worker in *every*
+    situation that (re)builds plans — initial launch, a two-phase hot-swap,
+    and a supervisor **restart** of a crashed worker.  Capturing the dense
+    plan and the per-task specialized plans together means the restart path
+    cannot drift from the swap path: a respawned shard rebuilds from exactly
+    the spec the committed generation shipped, so it rejoins the fleet on the
+    same plans every live shard is serving.
+    """
+
+    plan: PlanSpec
+    specialized: Dict[str, PlanSpec]
+
+    @classmethod
+    def capture(cls, plan: EnginePlan, specialized: Dict[str, EnginePlan]) -> "PlanSetSpec":
+        return cls(
+            plan=PlanSpec.from_plan(plan),
+            specialized={
+                name: PlanSpec.from_plan(spec) for name, spec in specialized.items()
+            },
+        )
+
+    def build_all(self) -> Tuple[EnginePlan, Dict[str, EnginePlan]]:
+        """Reconstruct (dense plan, per-task specialized plans) — fresh kernels."""
+        return (
+            self.plan.build(),
+            {name: spec.build() for name, spec in self.specialized.items()},
         )

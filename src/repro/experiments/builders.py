@@ -70,6 +70,26 @@ def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) 
                           "is switched on directly")
 
 
+def add_fault_arguments(sub: argparse.ArgumentParser) -> None:
+    """Supervision/chaos knobs of the process backend (``--backend=process``)."""
+    sub.add_argument("--max-retries", type=int, default=2,
+                     help="re-dispatch budget per accepted request after a shard "
+                          "death (process backend)")
+    sub.add_argument("--heartbeat-interval", type=float, default=0.25,
+                     help="seconds between supervisor heartbeat/respawn ticks "
+                          "(process backend)")
+    sub.add_argument("--flatline-after", type=positive_int, default=8,
+                     help="consecutive unanswered heartbeats before an "
+                          "alive-but-silent shard is killed and replaced")
+    sub.add_argument("--no-restart", action="store_true",
+                     help="disable respawning dead shard workers")
+    sub.add_argument("--chaos", metavar="SPEC", default=None,
+                     help="fault-injection schedule, e.g. "
+                          "'crash:0@2.5,slow:1:0.05@1,drop_heartbeats:2@3' "
+                          "(kind:shard[:arg]@seconds, comma-separated; arms the "
+                          "worker-side chaos hooks)")
+
+
 def build_serving_network(args: argparse.Namespace):
     """A randomly-initialised multi-task network + compiled plan for benchmarks."""
     import numpy as np
@@ -229,4 +249,35 @@ def build_runtime(args: argparse.Namespace, plan, specialized, recorder=None,
         kwargs["recorder"] = recorder
     if max_pending is not None:
         kwargs["max_pending"] = max_pending
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.backend == "process":
+        # Supervision knobs only exist on the process backend.
+        if getattr(args, "heartbeat_interval", None) is not None:
+            kwargs["heartbeat_interval"] = args.heartbeat_interval
+        if getattr(args, "flatline_after", None) is not None:
+            kwargs["flatline_after"] = args.flatline_after
+        if getattr(args, "no_restart", False):
+            kwargs["restart"] = False
+        if getattr(args, "chaos", None):
+            kwargs["chaos"] = True
     return BACKENDS[args.backend](plan, **kwargs)
+
+
+def start_chaos_schedule(args: argparse.Namespace, runtime):
+    """Launch the ``--chaos`` fault schedule against a started runtime.
+
+    Returns the running :class:`~repro.serving.faults.FaultSchedule`, or
+    ``None`` when no schedule was requested.  Only meaningful on the process
+    backend — the thread backend shares a fate with its workers.
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None
+    if args.backend != "process":
+        raise SystemExit("--chaos requires --backend=process")
+    from repro.serving import FaultSchedule, parse_chaos_spec
+
+    events = parse_chaos_spec(spec)
+    print(f"chaos schedule armed: {spec}")
+    return FaultSchedule(runtime, events).start()

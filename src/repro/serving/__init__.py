@@ -23,13 +23,24 @@ Quick start::
 
 from repro.serving.base import BaseRuntime, PlanSet, run_plan_batch
 from repro.serving.batcher import DynamicBatcher
+from repro.serving.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    parse_chaos_spec,
+)
 from repro.serving.loadgen import Arrival, LoadGenerator, ManualClock
 from repro.serving.metrics import LatencyDigest, ServingMetrics, ServingReport, percentile
 from repro.serving.recalibrate import DriftReport, RecalibrationEvent, RecalibrationLoop
 from repro.serving.request import (
     AdmissionError,
+    DeadlineExpiredError,
+    NoLiveShardsError,
     QueueFullError,
+    RedispatchError,
     RequestCancelledError,
+    RetryBudgetExceededError,
     RuntimeClosedError,
     ServingRequest,
     ServingResult,
@@ -62,11 +73,20 @@ __all__ = [
     "RecalibrationEvent",
     "RecalibrationLoop",
     "AdmissionError",
+    "DeadlineExpiredError",
+    "NoLiveShardsError",
     "QueueFullError",
+    "RedispatchError",
     "RequestCancelledError",
+    "RetryBudgetExceededError",
     "RuntimeClosedError",
     "ServingRequest",
     "ServingResult",
     "ServingRuntime",
     "ShardedRuntime",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "parse_chaos_spec",
 ]

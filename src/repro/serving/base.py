@@ -143,9 +143,12 @@ class BaseRuntime:
         recorder: Optional[SparsityRecorder] = None,
         specialized: Optional[Dict[str, EnginePlan]] = None,
         clock: Callable[[], float] = time.monotonic,
+        max_retries: int = 2,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         #: Per-task specialized plans (:func:`repro.engine.specialize.
         #: specialize_tasks`) ride next to the dense plan in one PlanSet.
         #: All plans are immutable, and every worker's private WorkspacePool
@@ -156,6 +159,11 @@ class BaseRuntime:
         self.micro_batch = micro_batch
         self.workers = workers
         self.recorder = recorder if recorder is not None else SparsityRecorder()
+        #: Retry budget stamped on every admitted request: how many times a
+        #: request may be re-dispatched after a worker death before its future
+        #: fails permanently.  Only the process backend's supervisor consumes
+        #: it; the thread backend shares a fate with its workers.
+        self.max_retries = max_retries
         self.metrics = ServingMetrics()
         self._clock = clock
         self._batcher = DynamicBatcher(
@@ -515,13 +523,25 @@ class BaseRuntime:
                     f"expected one image of shape {plans.plan.input_shape}, "
                     f"got {image.shape}"
                 )
+            # Backend veto point: the process backend's supervisor rejects or
+            # sheds here when the fleet is dead or degraded, *before* the
+            # request is charged against the batcher's admission bound.
+            self._admission_gate(block)
             now = self._clock()
             with self._submit_lock:
                 index = self._submitted
                 self._submitted += 1
             result = ServingResult(index, task, now, deadline)
             # Copy so callers may reuse their staging buffer after submit().
-            request = ServingRequest(index, task, image.copy(), now, deadline, result)
+            request = ServingRequest(
+                index,
+                task,
+                image.copy(),
+                now,
+                deadline,
+                result,
+                max_retries=self.max_retries,
+            )
             # Whatever the swap gate consumed comes out of the same budget, so
             # the total wait stays bounded by the caller's timeout.
             remaining = (
@@ -540,6 +560,17 @@ class BaseRuntime:
                 self._intake_active -= 1
                 if not self._intake_active:
                     self._intake_gate.notify_all()
+
+    def _admission_gate(self, block: bool) -> None:
+        """Backend hook run before a validated request reaches the batcher.
+
+        The default accepts everything.  :class:`~repro.serving.sharded.
+        ShardedRuntime` overrides it to fail fast when no shard is live
+        (:class:`~repro.serving.request.NoLiveShardsError`) and to tighten
+        the admission bound while the fleet is degraded, shedding load
+        instead of letting submitters hang behind capacity that no longer
+        exists.
+        """
 
     def submit_many(
         self, items: Sequence[Tuple[str, np.ndarray]], **kwargs

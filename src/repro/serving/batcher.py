@@ -105,6 +105,22 @@ class DynamicBatcher:
             # timer they must start watching.
             self._work.notify_all()
 
+    def requeue_batch(self, batch: MicroBatch) -> None:
+        """Re-admit a previously dispatched batch after its worker died.
+
+        The fault-tolerant re-dispatch path: every member request was already
+        accepted (and charged against admission control) on its first pass, so
+        this bypasses both the capacity bound and the ``closed`` gate — an
+        accepted request must stay executable even while ``stop(drain=True)``
+        is draining.  The batch keeps its original composition, which is what
+        makes re-execution bit-identical to the first attempt on an immutable
+        plan.
+        """
+        with self._lock:
+            self._ready.append(batch)
+            self._pending += len(batch)
+            self._work.notify_all()
+
     def pending(self) -> int:
         """Requests admitted but not yet handed to a worker."""
         with self._lock:

@@ -1,0 +1,235 @@
+"""Chaos harness for the process-backed serving fleet.
+
+Fault tolerance that is never exercised is fault tolerance that does not
+work.  This module injects the failures the
+:class:`~repro.serving.sharded.ShardedRuntime` supervisor is built to
+survive — hard crashes, hangs, stragglers and silent heartbeat loss — either
+programmatically from tests (:class:`FaultInjector`) or declaratively from
+the CLI (``repro serve --chaos "crash:0@2.5,slow:1:4@1"``).
+
+Two delivery paths, matching how real failures arrive:
+
+* :meth:`FaultInjector.crash` kills the worker **from the parent** with a
+  real ``SIGKILL`` — the child gets no chance to clean up, exactly like an
+  OOM kill or a segfault.  It needs no cooperation from the worker.
+* ``hang``/``slow``/``drop_heartbeats`` ride the ordinary command channel as
+  ``("fault", kind, arg)`` messages.  Workers only honour them when spawned
+  with chaos enabled (the ``chaos=True`` runtime flag or ``REPRO_CHAOS=1``),
+  so a production fleet ignores a stray fault message instead of hanging.
+
+Injected faults are *indistinguishable* from organic ones on the supervisor
+side: a crash is reaped by process liveness, a hang or dropped heartbeat
+flatlines via missed pings, a slow worker turns into a straggler that the
+idle-shard work stealing routes around.  That equivalence is the point — the
+chaos suite certifies the same code paths production failures take.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "parse_chaos_spec",
+]
+
+#: Fault kinds and whether each takes an argument (its meaning):
+#: ``crash`` — none; ``hang`` — seconds the worker sleeps mid-loop;
+#: ``slow`` — seconds added after every batch; ``drop_heartbeats`` — none.
+FAULT_KINDS = {
+    "crash": False,
+    "hang": True,
+    "slow": True,
+    "drop_heartbeats": False,
+}
+
+
+class ChaosDisabledError(RuntimeError):
+    """The target runtime was not started with chaos injection enabled."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: inject ``kind`` into ``shard`` at ``at`` seconds
+    after the schedule starts (``arg`` per :data:`FAULT_KINDS`)."""
+
+    kind: str
+    shard: int
+    arg: Optional[float] = None
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind '{self.kind}'; known: {sorted(FAULT_KINDS)}"
+            )
+        if FAULT_KINDS[self.kind] and self.arg is None:
+            raise ValueError(f"fault '{self.kind}' requires an argument")
+        if self.shard < 0:
+            raise ValueError("shard index must be non-negative")
+        if self.at < 0:
+            raise ValueError("fault offset must be non-negative")
+
+
+def parse_chaos_spec(spec: str) -> List[FaultEvent]:
+    """Parse the CLI chaos DSL: ``kind:shard[:arg]@at`` comma-separated.
+
+    Examples: ``crash:0@2.5`` (SIGKILL shard 0 after 2.5 s),
+    ``slow:1:0.05@1`` (add 50 ms per batch on shard 1 after 1 s),
+    ``crash:0@1,crash:1@2,drop_heartbeats:2@3``.
+    """
+    events: List[FaultEvent] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        body, _, at_text = chunk.partition("@")
+        parts = body.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad chaos event '{chunk}': expected kind:shard[:arg]@at"
+            )
+        kind = parts[0].strip()
+        try:
+            shard = int(parts[1])
+        except ValueError:
+            raise ValueError(f"bad shard index in chaos event '{chunk}'") from None
+        arg = None
+        if len(parts) == 3:
+            try:
+                arg = float(parts[2])
+            except ValueError:
+                raise ValueError(f"bad argument in chaos event '{chunk}'") from None
+        at = 0.0
+        if at_text:
+            try:
+                at = float(at_text)
+            except ValueError:
+                raise ValueError(f"bad offset in chaos event '{chunk}'") from None
+        events.append(FaultEvent(kind=kind, shard=shard, arg=arg, at=at))
+    if not events:
+        raise ValueError(f"chaos spec '{spec}' contains no events")
+    return sorted(events, key=lambda event: event.at)
+
+
+class FaultInjector:
+    """Injects faults into a live :class:`~repro.serving.sharded.ShardedRuntime`.
+
+    The runtime must have been constructed with ``chaos=True`` (or under
+    ``REPRO_CHAOS=1``) — worker-side faults are a no-op in plain workers, and
+    refusing up front beats silently doing nothing in a test.
+    """
+
+    def __init__(self, runtime) -> None:
+        if not getattr(runtime, "chaos", False):
+            raise ChaosDisabledError(
+                "the runtime was not started with chaos=True; worker-side "
+                "fault hooks are compiled out (set chaos=True or REPRO_CHAOS=1)"
+            )
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------ faults --
+    def crash(self, shard: int) -> None:
+        """SIGKILL ``shard``'s worker process from the parent — no cleanup,
+        no goodbye, exactly like the kernel's OOM killer."""
+        target = self._shard(shard)
+        if target.process is not None and target.process.is_alive():
+            target.process.kill()
+
+    def hang(self, shard: int, seconds: float) -> None:
+        """Make the worker sleep ``seconds`` inside its command loop — it
+        stops answering heartbeats *and* executing, then (if the supervisor
+        has not already replaced it) resumes."""
+        self._send(shard, "hang", float(seconds))
+
+    def slow(self, shard: int, seconds: float) -> None:
+        """Turn the worker into a straggler: ``seconds`` of extra latency
+        after every batch it executes, until respawned or told ``slow`` 0."""
+        self._send(shard, "slow", float(seconds))
+
+    def drop_heartbeats(self, shard: int) -> None:
+        """Keep executing but never answer another ping — a silent partition
+        between the worker and the supervisor.  The supervisor must flatline
+        and replace it even though work still flows."""
+        self._send(shard, "drop_heartbeats", None)
+
+    def inject(self, event: FaultEvent) -> None:
+        """Apply one parsed :class:`FaultEvent` now."""
+        if event.kind == "crash":
+            self.crash(event.shard)
+        elif event.kind == "hang":
+            self.hang(event.shard, event.arg or 0.0)
+        elif event.kind == "slow":
+            self.slow(event.shard, event.arg or 0.0)
+        else:
+            self.drop_heartbeats(event.shard)
+
+    # ----------------------------------------------------------------- helpers --
+    def _shard(self, index: int):
+        shards = self.runtime._shards
+        if not 0 <= index < len(shards):
+            raise IndexError(f"shard {index} out of range (fleet of {len(shards)})")
+        return shards[index]
+
+    def _send(self, shard: int, kind: str, arg: Optional[float]) -> None:
+        target = self._shard(shard)
+        if target.dead:
+            return
+        target.task_queue.put(("fault", kind, arg))
+
+
+class FaultSchedule:
+    """Replays a list of :class:`FaultEvent`\\ s against a runtime on a
+    background thread — the CLI's ``--chaos`` driver.
+
+    Offsets are measured from :meth:`start` on ``clock`` (wall clock by
+    default).  The thread is daemonic and also stops early via
+    :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        events: Sequence[FaultEvent],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.injector = FaultInjector(runtime)
+        self.events = sorted(events, key=lambda event: event.at)
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "FaultSchedule":
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-schedule", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        epoch = self._clock()
+        for event in self.events:
+            while not self._stop.is_set():
+                remaining = event.at - (self._clock() - epoch)
+                if remaining <= 0:
+                    break
+                self._stop.wait(min(remaining, 0.05))
+            if self._stop.is_set():
+                return
+            try:
+                self.injector.inject(event)
+            except (IndexError, OSError):
+                # The fleet may have shrunk or stopped under us — chaos that
+                # arrives after shutdown is simply dropped.
+                return

@@ -88,6 +88,14 @@ class ServingReport:
     #: ``effective_macs`` what the fleet actually did.
     dense_macs: int = 0
     effective_macs: int = 0
+    #: Fault-tolerance counters (only the process backend's supervisor moves
+    #: them): worker respawns, requests re-queued after a shard death,
+    #: requests shed by degraded-mode admission control, and shards declared
+    #: flatlined (alive but unresponsive to heartbeats).
+    restarts: int = 0
+    redispatched: int = 0
+    shed: int = 0
+    flatline_alerts: int = 0
 
     @property
     def throughput(self) -> float:
@@ -151,6 +159,12 @@ class ServingReport:
                 f"  rejected: {self.rejected}, errors: {self.errors}, "
                 f"cancelled: {self.cancelled}"
             )
+        if self.restarts or self.redispatched or self.shed or self.flatline_alerts:
+            lines.append(
+                f"  fault tolerance: restarts: {self.restarts}, "
+                f"redispatched: {self.redispatched}, shed: {self.shed}, "
+                f"flatline alerts: {self.flatline_alerts}"
+            )
         if self.deadline_total:
             met = self.deadline_total - self.deadline_misses
             lines.append(f"  deadlines met: {met}/{self.deadline_total}")
@@ -180,6 +194,10 @@ class ServingMetrics:
         self._cancelled = 0
         self._deadline_misses = 0
         self._deadline_total = 0
+        self._restarts = 0
+        self._redispatched = 0
+        self._shed = 0
+        self._flatline_alerts = 0
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -211,6 +229,10 @@ class ServingMetrics:
             self._cancelled = 0
             self._deadline_misses = 0
             self._deadline_total = 0
+            self._restarts = 0
+            self._redispatched = 0
+            self._shed = 0
+            self._flatline_alerts = 0
             self._started_at = now
             self._stopped_at = None
 
@@ -248,6 +270,22 @@ class ServingMetrics:
     def observe_cancelled(self, count: int = 1) -> None:
         with self._lock:
             self._cancelled += count
+
+    def observe_restart(self, count: int = 1) -> None:
+        with self._lock:
+            self._restarts += count
+
+    def observe_redispatch(self, count: int = 1) -> None:
+        with self._lock:
+            self._redispatched += count
+
+    def observe_shed(self, count: int = 1) -> None:
+        with self._lock:
+            self._shed += count
+
+    def observe_flatline(self, count: int = 1) -> None:
+        with self._lock:
+            self._flatline_alerts += count
 
     # --------------------------------------------------------------- queries --
     def completed(self) -> int:
@@ -288,4 +326,8 @@ class ServingMetrics:
                 backend=backend,
                 dense_macs=dense_macs,
                 effective_macs=effective_macs,
+                restarts=self._restarts,
+                redispatched=self._redispatched,
+                shed=self._shed,
+                flatline_alerts=self._flatline_alerts,
             )

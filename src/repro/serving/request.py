@@ -32,6 +32,30 @@ class RequestCancelledError(RuntimeError):
     """The request was dropped before execution (``stop(drain=False)``)."""
 
 
+class NoLiveShardsError(RuntimeError):
+    """Every worker of the fleet is dead and no restart is possible.
+
+    Raised immediately at :meth:`~repro.serving.base.BaseRuntime.submit`
+    (instead of silently enqueueing into a queue nobody drains) and as the
+    permanent failure of re-dispatched requests that ran out of targets.
+    """
+
+
+class RedispatchError(RuntimeError):
+    """Base class for the permanent failures of the fault-tolerant re-dispatch
+    path: the request was *accepted* and re-queued after a shard death, but
+    could not be completed within its retry budget or deadline."""
+
+
+class RetryBudgetExceededError(RedispatchError):
+    """The request failed on ``max_retries + 1`` distinct dispatch attempts."""
+
+
+class DeadlineExpiredError(RedispatchError):
+    """The request's deadline passed (or cannot be met even by the earliest
+    possible retry) while it was waiting for re-dispatch."""
+
+
 class ServingResult:
     """Future for one submitted image.
 
@@ -118,9 +142,25 @@ class ServingRequest:
 
     Duck-typed against :class:`~repro.engine.scheduling.InferenceRequest` so
     :class:`~repro.engine.scheduling.MicroBatch` and the policies accept it.
+
+    ``attempts``/``max_retries`` are the fault-tolerance budget: ``attempts``
+    counts dispatches that ended in a shard death (0 while nothing has
+    failed), and a request is permanently failed with
+    :class:`RetryBudgetExceededError` once ``attempts`` would exceed
+    ``max_retries``.  The thread backend never retries, so both stay at their
+    defaults there.
     """
 
-    __slots__ = ("index", "task", "image", "arrival_time", "deadline", "result")
+    __slots__ = (
+        "index",
+        "task",
+        "image",
+        "arrival_time",
+        "deadline",
+        "result",
+        "attempts",
+        "max_retries",
+    )
 
     def __init__(
         self,
@@ -130,6 +170,7 @@ class ServingRequest:
         arrival_time: float,
         deadline: Optional[float],
         result: ServingResult,
+        max_retries: int = 0,
     ) -> None:
         self.index = index
         self.task = task
@@ -137,3 +178,5 @@ class ServingRequest:
         self.arrival_time = arrival_time
         self.deadline = deadline
         self.result = result
+        self.attempts = 0
+        self.max_retries = max_retries
