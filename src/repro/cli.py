@@ -21,6 +21,7 @@ from typing import Callable, Dict
 
 from repro.experiments.builders import (
     add_fault_arguments,
+    add_metrics_arguments,
     add_workload_arguments,
     append_bench_entry,
     build_runtime,
@@ -29,6 +30,7 @@ from repro.experiments.builders import (
     maybe_specialize,
     positive_int,
     start_chaos_schedule,
+    start_metrics_server,
 )
 from repro.experiments.config import fast_config, full_config
 from repro.experiments.figures import (
@@ -261,11 +263,14 @@ def _serve_bench_runtime(args: argparse.Namespace) -> None:
     ]
     runtime.start()
     schedule = start_chaos_schedule(args, runtime)
+    metrics_server = start_metrics_server(args, runtime)
     try:
         report = runtime.stop(drain=True)
     finally:
         if schedule is not None:
             schedule.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
     for future in futures:
         try:
             future.result(timeout=60.0)
@@ -352,8 +357,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             store=store,
         )
     schedule = None
+    metrics_server = None
     with runtime:
         schedule = start_chaos_schedule(args, runtime)
+        metrics_server = start_metrics_server(args, runtime)
         if loop is not None:
             loop.start()
         try:
@@ -384,6 +391,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                 loop.stop()
             if schedule is not None:
                 schedule.stop()
+            if metrics_server is not None:
+                metrics_server.stop()
     print()
     print(runtime.report().summary())
     if loop is not None:
@@ -508,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="append a machine-readable entry for this run to a "
                                   "BENCH_*.json trajectory file")
     add_fault_arguments(serve_bench)
+    add_metrics_arguments(serve_bench)
 
     from repro.engine.scheduling import SCHEDULING_MODES
 
@@ -548,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--recalibrate-min-images", type=positive_int, default=64,
                        help="images a task must have served before it is re-specialized")
     add_fault_arguments(serve)
+    add_metrics_arguments(serve)
 
     export = subparsers.add_parser(
         "export", help="publish a versioned model artifact to a ModelStore"

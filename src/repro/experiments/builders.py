@@ -90,6 +90,17 @@ def add_fault_arguments(sub: argparse.ArgumentParser) -> None:
                           "worker-side chaos hooks)")
 
 
+def add_metrics_arguments(sub: argparse.ArgumentParser) -> None:
+    """Observability knobs: the Prometheus endpoint and window cadence."""
+    sub.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve Prometheus text metrics on this port while the "
+                          "run is live (0 = pick an ephemeral port; the chosen "
+                          "port is printed)")
+    sub.add_argument("--metrics-window", type=float, default=1.0, metavar="SECONDS",
+                     help="windowed-snapshot interval of the metrics stream "
+                          "(seconds on the runtime clock)")
+
+
 def build_serving_network(args: argparse.Namespace):
     """A randomly-initialised multi-task network + compiled plan for benchmarks."""
     import numpy as np
@@ -249,6 +260,8 @@ def build_runtime(args: argparse.Namespace, plan, specialized, recorder=None,
         kwargs["recorder"] = recorder
     if max_pending is not None:
         kwargs["max_pending"] = max_pending
+    if getattr(args, "metrics_window", None) is not None:
+        kwargs["window_interval"] = args.metrics_window
     if getattr(args, "max_retries", None) is not None:
         kwargs["max_retries"] = args.max_retries
     if args.backend == "process":
@@ -281,3 +294,23 @@ def start_chaos_schedule(args: argparse.Namespace, runtime):
     events = parse_chaos_spec(spec)
     print(f"chaos schedule armed: {spec}")
     return FaultSchedule(runtime, events).start()
+
+
+def start_metrics_server(args: argparse.Namespace, runtime):
+    """Start the ``--metrics-port`` Prometheus endpoint for a started runtime.
+
+    Also starts the runtime stream's background window poller so scraped
+    window gauges move without anyone calling ``poll()`` by hand.  Returns
+    the running :class:`~repro.serving.MetricsServer`, or ``None`` when no
+    port was requested (note ``0`` requests an *ephemeral* port and is not
+    "off").
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from repro.serving import MetricsServer
+
+    runtime.stream.start()
+    server = MetricsServer(runtime.stream, port=port).start()
+    print(f"metrics endpoint: {server.url}")
+    return server

@@ -31,8 +31,15 @@ from repro.serving.faults import (
     parse_chaos_spec,
 )
 from repro.serving.loadgen import Arrival, LoadGenerator, ManualClock
-from repro.serving.metrics import LatencyDigest, ServingMetrics, ServingReport, percentile
+from repro.serving.metrics import (
+    LatencyDigest,
+    ServingMetrics,
+    ServingReport,
+    WindowSnapshot,
+    percentile,
+)
 from repro.serving.recalibrate import DriftReport, RecalibrationEvent, RecalibrationLoop
+from repro.serving.stream import MetricsEvent, MetricsServer, MetricsStream
 from repro.serving.request import (
     AdmissionError,
     DeadlineExpiredError,
@@ -68,6 +75,10 @@ __all__ = [
     "LatencyDigest",
     "ServingMetrics",
     "ServingReport",
+    "WindowSnapshot",
+    "MetricsEvent",
+    "MetricsServer",
+    "MetricsStream",
     "percentile",
     "DriftReport",
     "RecalibrationEvent",

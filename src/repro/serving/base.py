@@ -63,6 +63,7 @@ from repro.serving.request import (
     ServingRequest,
     ServingResult,
 )
+from repro.serving.stream import MetricsStream
 
 
 def run_plan_batch(
@@ -144,6 +145,7 @@ class BaseRuntime:
         specialized: Optional[Dict[str, EnginePlan]] = None,
         clock: Callable[[], float] = time.monotonic,
         max_retries: int = 2,
+        window_interval: float = 1.0,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -164,7 +166,9 @@ class BaseRuntime:
         #: fails permanently.  Only the process backend's supervisor consumes
         #: it; the thread backend shares a fate with its workers.
         self.max_retries = max_retries
-        self.metrics = ServingMetrics()
+        # The metrics accumulator shares the runtime's clock so mid-run
+        # reports and window boundaries live in one clock domain.
+        self.metrics = ServingMetrics(clock=clock)
         self._clock = clock
         self._batcher = DynamicBatcher(
             micro_batch=micro_batch,
@@ -172,6 +176,18 @@ class BaseRuntime:
             policy=self.policy,
             max_pending=max_pending,
             clock=clock,
+        )
+        #: Windowed snapshots + control-plane event log + Prometheus text.
+        #: Windows close on the runtime clock every ``window_interval``
+        #: seconds when :meth:`MetricsStream.poll` is called (the CLI runs
+        #: the stream's background poller; tests drive poll() manually).
+        self.stream = MetricsStream(
+            self.metrics,
+            clock,
+            interval=window_interval,
+            queue_depths=self.queue_depths,
+            shard_depths=self.shard_depths,
+            report=self.report,
         )
         self._submit_lock = threading.Lock()
         self._submitted = 0
@@ -253,6 +269,7 @@ class BaseRuntime:
                 self.metrics.observe_cancelled(len(cancelled))
             if self._started:
                 self._join_workers(drain=drain, timeout=timeout)
+            self.stream.stop()  # no-op unless the background poller ran
             self.metrics.mark_stop(self._clock())
         return self.report()
 
@@ -345,16 +362,22 @@ class BaseRuntime:
         self._validate_swap(plans)
         # One deadline covers every phase (batcher drain, in-flight drain,
         # backend cutover), so `timeout` bounds the whole call, not each step.
-        give_up = None if timeout is None else time.monotonic() + timeout
+        # Budgets run on the runtime's injectable clock — mixing in raw
+        # time.monotonic() here would put the swap deadline in a different
+        # clock domain than the drains it bounds.
+        give_up = None if timeout is None else self._clock() + timeout
 
         def remaining() -> Optional[float]:
-            return None if give_up is None else max(0.0, give_up - time.monotonic())
+            return None if give_up is None else max(0.0, give_up - self._clock())
 
         with self._control_lock:
             if self._stopped:
                 raise RuntimeClosedError("cannot swap plans on a stopped runtime")
             if not self._started:
                 self._plans = plans
+                self.stream.record_event(
+                    "swap", detail=f"pre-start install: tasks={plans.task_names()}"
+                )
                 return plans
             self._pause_intake()
             try:
@@ -368,6 +391,7 @@ class BaseRuntime:
                 self._apply_swap(plans, remaining())
             finally:
                 self._resume_intake()
+        self.stream.record_event("swap", detail=f"tasks={plans.task_names()}")
         return plans
 
     def swap_with(self, build, timeout: Optional[float] = None) -> PlanSet:
@@ -495,7 +519,10 @@ class BaseRuntime:
         apply at the swap gate, so a non-blocking submit fails fast instead
         of stalling for the drain.
         """
-        give_up = None if timeout is None else time.monotonic() + timeout
+        # The wait budget runs on the runtime's clock: deadlines, batch
+        # timestamps and this timeout must share one clock domain (and a
+        # ManualClock test must be able to expire the wait).
+        give_up = None if timeout is None else self._clock() + timeout
         with self._intake_gate:
             while self._intake_paused:
                 if not block:
@@ -503,7 +530,7 @@ class BaseRuntime:
                     raise QueueFullError(
                         "intake is paused for a plan swap; retry after the cutover"
                     )
-                remaining = None if give_up is None else give_up - time.monotonic()
+                remaining = None if give_up is None else give_up - self._clock()
                 if remaining is not None and remaining <= 0:
                     self.metrics.observe_rejection()
                     raise QueueFullError(
@@ -545,7 +572,7 @@ class BaseRuntime:
             # Whatever the swap gate consumed comes out of the same budget, so
             # the total wait stays bounded by the caller's timeout.
             remaining = (
-                None if give_up is None else max(0.0, give_up - time.monotonic())
+                None if give_up is None else max(0.0, give_up - self._clock())
             )
             try:
                 self._batcher.submit(request, block=block, timeout=remaining)
@@ -581,6 +608,20 @@ class BaseRuntime:
     def pending(self) -> int:
         return self._batcher.pending()
 
+    # ----------------------------------------------------------------- gauges --
+    def queue_depths(self) -> Dict[str, int]:
+        """Instantaneous queued requests per task (open + ready batches)."""
+        return self._batcher.depth_by_task()
+
+    def shard_depths(self) -> Dict[int, int]:
+        """Instantaneous in-flight depth per shard.
+
+        The base/thread runtime has no per-shard queues — workers pull from
+        the one shared batcher — so this is empty; the process backend
+        overrides it with per-shard in-flight batch counts.
+        """
+        return {}
+
     # ---------------------------------------------------------------- workers --
     def _worker_loop(self, state) -> None:
         """The shared pull loop: batches flow from the batcher to _execute.
@@ -610,8 +651,14 @@ class BaseRuntime:
         start: float,
         finish: float,
         switched: bool,
+        shard: Optional[int] = None,
     ) -> None:
-        """Resolve one executed batch's futures and record its metrics."""
+        """Resolve one executed batch's futures and record its metrics.
+
+        ``shard`` is the worker index that executed the batch (thread index
+        or process shard id); both backends thread it through so per-shard
+        completion counters work on either.
+        """
         latencies, queue_waits, deadline_results = [], [], []
         for request, row in zip(requests, logits):
             request.result.set_result(row, start, finish)
@@ -624,6 +671,7 @@ class BaseRuntime:
             queue_waits,
             switched=switched,
             deadline_results=deadline_results,
+            shard=shard,
         )
 
     def _fail_batch(self, requests: Sequence[ServingRequest], error: BaseException) -> None:

@@ -132,6 +132,21 @@ class DynamicBatcher:
         with self._lock:
             return dict(self._served)
 
+    def depth_by_task(self) -> Dict[str, int]:
+        """Instantaneous queued requests per task (open + ready batches).
+
+        A gauge for the observability stream: unlike :meth:`pending` it says
+        *where* the backlog sits, which is what per-task queue-depth
+        monitoring needs.
+        """
+        with self._lock:
+            depths: Dict[str, int] = {}
+            for task, bucket in self._open.items():
+                depths[task] = depths.get(task, 0) + len(bucket)
+            for batch in self._ready:
+                depths[batch.task] = depths.get(batch.task, 0) + len(batch)
+            return depths
+
     # ---------------------------------------------------------- lock helpers --
     def _close_open(self, task: str) -> None:
         """Move ``task``'s open batch to the ready list.  Lock held."""
@@ -191,15 +206,17 @@ class DynamicBatcher:
         """Wait until nothing is pending and no handed-out batch is unfinished.
 
         Only meaningful while intake is externally paused (new submissions
-        would re-arm the condition).  Returns ``False`` on timeout.  The wait
-        is wall-clock chunked rather than derived from the injectable clock:
-        it is woken by :meth:`task_done`/:meth:`next_batch` notifications, not
-        by time passing.
+        would re-arm the condition).  Returns ``False`` on timeout.  The
+        *give-up deadline* runs on the injectable clock (so a swap timeout
+        shares the runtime's clock domain and ManualClock tests can expire
+        it), while the individual waits stay wall-clock chunked: the loop is
+        woken by :meth:`task_done`/:meth:`next_batch` notifications, not by
+        time passing, and re-checks the deadline at least every 0.25 s.
         """
-        give_up = None if timeout is None else time.monotonic() + timeout
+        give_up = None if timeout is None else self._clock() + timeout
         with self._lock:
             while self._pending or self._in_flight:
-                remaining = None if give_up is None else give_up - time.monotonic()
+                remaining = None if give_up is None else give_up - self._clock()
                 if remaining is not None and remaining <= 0:
                     return False
                 self._quiet.wait(0.25 if remaining is None else min(0.25, remaining))

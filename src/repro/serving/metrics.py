@@ -11,8 +11,9 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.utils.ratios import fraction_saved
 
@@ -26,6 +27,24 @@ def percentile(values: Sequence[float], pct: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+def _fmt_ms(seconds: float) -> str:
+    """Milliseconds with one decimal, or ``-`` for the NaN empty-run sentinel."""
+    if math.isnan(seconds):
+        return "-"
+    return f"{1e3 * seconds:.1f}"
+
+
+def _clean_nan(value):
+    """Recursively map every NaN float to ``None`` (NaN is not valid JSON)."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _clean_nan(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean_nan(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -76,6 +95,10 @@ class ServingReport:
     latency: LatencyDigest
     queue_wait: LatencyDigest
     per_task: Dict[str, int] = field(default_factory=dict)
+    #: Completed images per shard/worker index.  Populated once the worker
+    #: result path reports shard identity (both backends do); empty for
+    #: reports predating a batch completion.
+    per_shard: Dict[int, int] = field(default_factory=dict)
     deadline_misses: int = 0
     deadline_total: int = 0
     #: Which worker implementation produced this report: ``"thread"`` for the
@@ -119,18 +142,11 @@ class ServingReport:
 
         Derived figures (throughput, mean batch size, MAC reduction) are
         included next to the raw counters so trajectory files are directly
-        plottable, and NaN latencies (empty runs) are mapped to ``None`` —
+        plottable, and every NaN anywhere in the payload (empty-run latency
+        sentinels, whichever sub-dict they live in) is mapped to ``None`` —
         ``NaN`` is not valid JSON.
         """
-
-        def _clean(value):
-            if isinstance(value, float) and math.isnan(value):
-                return None
-            return value
-
-        payload = {key: value for key, value in asdict(self).items()}
-        payload["latency"] = {k: _clean(v) for k, v in payload["latency"].items()}
-        payload["queue_wait"] = {k: _clean(v) for k, v in payload["queue_wait"].items()}
+        payload = _clean_nan(asdict(self))
         payload["throughput"] = self.throughput
         payload["mean_batch_size"] = self.mean_batch_size
         payload["mac_reduction"] = self.mac_reduction()
@@ -148,11 +164,11 @@ class ServingReport:
             f"({self.throughput:,.1f} images/sec)",
             f"  batches: {self.num_batches} (mean size {self.mean_batch_size:.1f}), "
             f"task switches: {self.task_switches}",
-            f"  latency  p50/p95/p99: {1e3 * self.latency.p50:.1f} / "
-            f"{1e3 * self.latency.p95:.1f} / {1e3 * self.latency.p99:.1f} ms "
-            f"(max {1e3 * self.latency.max:.1f} ms)",
-            f"  queue wait p50/p95: {1e3 * self.queue_wait.p50:.1f} / "
-            f"{1e3 * self.queue_wait.p95:.1f} ms",
+            f"  latency  p50/p95/p99: {_fmt_ms(self.latency.p50)} / "
+            f"{_fmt_ms(self.latency.p95)} / {_fmt_ms(self.latency.p99)} ms "
+            f"(max {_fmt_ms(self.latency.max)} ms)",
+            f"  queue wait p50/p95: {_fmt_ms(self.queue_wait.p50)} / "
+            f"{_fmt_ms(self.queue_wait.p95)} ms",
         ]
         if self.rejected or self.errors or self.cancelled:
             lines.append(
@@ -176,17 +192,112 @@ class ServingReport:
         if self.per_task:
             mix = ", ".join(f"{task}: {count}" for task, count in sorted(self.per_task.items()))
             lines.append(f"  per-task images: {mix}")
+        if self.per_shard:
+            mix = ", ".join(
+                f"shard {shard}: {count}" for shard, count in sorted(self.per_shard.items())
+            )
+            lines.append(f"  per-shard images: {mix}")
         return "\n".join(lines)
 
 
-class ServingMetrics:
-    """Mutable, lock-guarded accumulator behind :class:`ServingReport`."""
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Delta metrics over one reporting window of a live runtime.
 
-    def __init__(self) -> None:
+    Counters are *deltas against the previous window* (the cumulative totals
+    stay untouched in :class:`ServingMetrics`, so the final
+    :class:`ServingReport` still covers the whole run and the window deltas
+    sum to it).  Gauges (``queue_depth``, ``shard_depth``) and the sparsity
+    ``drift`` reading are instantaneous values sampled at window close.
+    """
+
+    index: int
+    start: float
+    end: float
+    completed: int
+    rejected: int
+    errors: int
+    cancelled: int
+    num_batches: int
+    shed: int
+    redispatched: int
+    restarts: int
+    flatline_alerts: int
+    deadline_misses: int
+    deadline_total: int
+    latency: LatencyDigest
+    queue_wait: LatencyDigest
+    per_task: Dict[str, int] = field(default_factory=dict)
+    per_shard: Dict[int, int] = field(default_factory=dict)
+    #: Instantaneous queue depth per task (open + ready requests) at window
+    #: close; supplied by the runtime, absent when sampled standalone.
+    queue_depth: Dict[str, int] = field(default_factory=dict)
+    #: Instantaneous in-flight depth per shard at window close (process
+    #: backend; the thread backend has no per-shard queues).
+    shard_depth: Dict[int, int] = field(default_factory=dict)
+    #: Max per-channel survival-rate delta vs the deployed calibration
+    #: profile, as last measured by the recalibration loop (None until one
+    #: reading exists).
+    drift: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def throughput(self) -> float:
+        """Completed images per second within this window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def miss_rate(self) -> float:
+        """Deadline-miss burn rate over this window (0.0 with no deadlines)."""
+        if self.deadline_total == 0:
+            return 0.0
+        return self.deadline_misses / self.deadline_total
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = _clean_nan(asdict(self))
+        payload["duration"] = self.duration
+        payload["throughput"] = self.throughput
+        payload["miss_rate"] = self.miss_rate
+        return payload
+
+
+class ServingMetrics:
+    """Mutable, lock-guarded accumulator behind :class:`ServingReport`.
+
+    ``clock`` is taken at construction so every report is measured on one
+    clock domain: the runtime passes its injectable clock down, and a
+    mid-run :meth:`report` without an explicit ``now`` reads that clock
+    instead of silently collapsing the window to zero.
+    """
+
+    #: Cumulative counters a window snapshot reports as deltas.  The window
+    #: baseline is a plain dict of these names so adding a counter here keeps
+    #: :meth:`window_report` in sync automatically.
+    _WINDOW_COUNTERS = (
+        "_rejected",
+        "_errors",
+        "_cancelled",
+        "_num_batches",
+        "_shed",
+        "_redispatched",
+        "_restarts",
+        "_flatline_alerts",
+        "_deadline_misses",
+        "_deadline_total",
+    )
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._lock = threading.Lock()
+        self._clock = clock
         self._latencies: List[float] = []
         self._queue_waits: List[float] = []
         self._per_task: Dict[str, int] = {}
+        self._per_shard: Dict[int, int] = {}
         self._num_batches = 0
         self._task_switches = 0
         self._rejected = 0
@@ -200,12 +311,28 @@ class ServingMetrics:
         self._flatline_alerts = 0
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
+        self._reset_window_baseline()
+
+    def _reset_window_baseline(self) -> None:
+        """Re-anchor window deltas at the current cumulative totals.
+
+        Caller holds ``self._lock`` (or is ``__init__``).
+        """
+        self._window_index = 0
+        self._window_started_at: Optional[float] = None
+        self._window_base = {name: getattr(self, name) for name in self._WINDOW_COUNTERS}
+        self._window_latency_offset = len(self._latencies)
+        self._window_queue_offset = len(self._queue_waits)
+        self._window_per_task = dict(self._per_task)
+        self._window_per_shard = dict(self._per_shard)
 
     # ------------------------------------------------------------ lifecycle --
     def mark_start(self, now: float) -> None:
         with self._lock:
             if self._started_at is None:
                 self._started_at = now
+            if self._window_started_at is None:
+                self._window_started_at = now
 
     def mark_stop(self, now: float) -> None:
         with self._lock:
@@ -222,6 +349,7 @@ class ServingMetrics:
             self._latencies.clear()
             self._queue_waits.clear()
             self._per_task.clear()
+            self._per_shard.clear()
             self._num_batches = 0
             self._task_switches = 0
             self._rejected = 0
@@ -235,6 +363,8 @@ class ServingMetrics:
             self._flatline_alerts = 0
             self._started_at = now
             self._stopped_at = None
+            self._reset_window_baseline()
+            self._window_started_at = now
 
     # ------------------------------------------------------------- recording --
     def observe_batch(
@@ -244,11 +374,14 @@ class ServingMetrics:
         queue_waits: Sequence[float],
         switched: bool,
         deadline_results: Sequence[Optional[bool]] = (),
+        shard: Optional[int] = None,
     ) -> None:
         with self._lock:
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
             self._per_task[task] = self._per_task.get(task, 0) + len(latencies)
+            if shard is not None:
+                self._per_shard[shard] = self._per_shard.get(shard, 0) + len(latencies)
             self._num_batches += 1
             if switched:
                 self._task_switches += 1
@@ -301,13 +434,24 @@ class ServingMetrics:
         dense_macs: int = 0,
         effective_macs: int = 0,
     ) -> ServingReport:
-        """Snapshot the counters into an immutable report."""
+        """Snapshot the counters into an immutable report.
+
+        The measurement window is always explicit: a stopped run measures
+        start→stop; a live run measures start→``now`` when the caller
+        supplies a reading, else start→``self._clock()``.  A mid-run report
+        can therefore never silently read duration (and throughput) 0.0.
+        """
         with self._lock:
             if self._started_at is None:
                 duration = 0.0
             else:
-                end = self._stopped_at if self._stopped_at is not None else now
-                duration = max(0.0, (end if end is not None else self._started_at) - self._started_at)
+                if self._stopped_at is not None:
+                    end = self._stopped_at
+                elif now is not None:
+                    end = now
+                else:
+                    end = self._clock()
+                duration = max(0.0, end - self._started_at)
             return ServingReport(
                 policy=policy,
                 workers=workers,
@@ -321,6 +465,7 @@ class ServingMetrics:
                 latency=LatencyDigest.of(self._latencies),
                 queue_wait=LatencyDigest.of(self._queue_waits),
                 per_task=dict(self._per_task),
+                per_shard=dict(self._per_shard),
                 deadline_misses=self._deadline_misses,
                 deadline_total=self._deadline_total,
                 backend=backend,
@@ -331,3 +476,66 @@ class ServingMetrics:
                 shed=self._shed,
                 flatline_alerts=self._flatline_alerts,
             )
+
+    def window_report(
+        self,
+        now: Optional[float] = None,
+        queue_depth: Optional[Mapping[str, int]] = None,
+        shard_depth: Optional[Mapping[int, int]] = None,
+        drift: Optional[float] = None,
+    ) -> WindowSnapshot:
+        """Close the current window and return its delta snapshot.
+
+        The snapshot covers everything observed since the previous
+        ``window_report`` (or since :meth:`mark_start` for the first window);
+        the baseline then rolls forward, so consecutive snapshots partition
+        the run and their ``completed`` deltas sum to the cumulative
+        :meth:`report` total.  Gauges are passed in by the runtime because
+        queue depth lives in the batcher/shards, not here.
+        """
+        with self._lock:
+            end = self._clock() if now is None else now
+            start = self._window_started_at
+            if start is None:
+                start = self._started_at if self._started_at is not None else end
+            latencies = self._latencies[self._window_latency_offset:]
+            queue_waits = self._queue_waits[self._window_queue_offset:]
+            per_task = {
+                task: count - self._window_per_task.get(task, 0)
+                for task, count in self._per_task.items()
+                if count != self._window_per_task.get(task, 0)
+            }
+            per_shard = {
+                shard: count - self._window_per_shard.get(shard, 0)
+                for shard, count in self._per_shard.items()
+                if count != self._window_per_shard.get(shard, 0)
+            }
+            base = self._window_base
+            snapshot = WindowSnapshot(
+                index=self._window_index,
+                start=start,
+                end=end,
+                completed=len(latencies),
+                rejected=self._rejected - base["_rejected"],
+                errors=self._errors - base["_errors"],
+                cancelled=self._cancelled - base["_cancelled"],
+                num_batches=self._num_batches - base["_num_batches"],
+                shed=self._shed - base["_shed"],
+                redispatched=self._redispatched - base["_redispatched"],
+                restarts=self._restarts - base["_restarts"],
+                flatline_alerts=self._flatline_alerts - base["_flatline_alerts"],
+                deadline_misses=self._deadline_misses - base["_deadline_misses"],
+                deadline_total=self._deadline_total - base["_deadline_total"],
+                latency=LatencyDigest.of(latencies),
+                queue_wait=LatencyDigest.of(queue_waits),
+                per_task=per_task,
+                per_shard=per_shard,
+                queue_depth=dict(queue_depth or {}),
+                shard_depth=dict(shard_depth or {}),
+                drift=drift,
+            )
+            index = self._window_index
+            self._reset_window_baseline()
+            self._window_index = index + 1
+            self._window_started_at = end
+            return snapshot

@@ -229,6 +229,25 @@ class RecalibrationLoop:
             per_task=per_task,
         )
 
+    def _publish_stream_event(self, event: RecalibrationEvent) -> None:
+        """Mirror a drift-measuring check into the runtime's metrics stream.
+
+        Feeds the observability layer: the event lands in the stream's event
+        log and its ``max_rate_delta`` becomes the live sparsity-drift gauge
+        window snapshots and the Prometheus endpoint report.  Guarded with
+        ``getattr`` so the loop keeps working against runtime doubles that
+        predate the stream.
+        """
+        stream = getattr(self.runtime, "stream", None)
+        if stream is None or event.drift is None:
+            return
+        stream.record_event(
+            "recalibration",
+            detail=event.reason,
+            value=event.drift.max_rate_delta,
+            at=event.checked_at,
+        )
+
     # ---------------------------------------------------------------- check --
     def _ready_tasks(self, live: CalibrationProfile) -> List[str]:
         """Tasks with enough traffic and full masked-layer coverage."""
@@ -281,6 +300,7 @@ class RecalibrationLoop:
                     ),
                 )
                 self.events.append(event)
+                self._publish_stream_event(event)
                 return event
             version, publish_error = self._respecialize_and_swap(live, ready)
             reason = (
@@ -300,6 +320,7 @@ class RecalibrationLoop:
                 published_version=version,
             )
             self.events.append(event)
+            self._publish_stream_event(event)
             return event
 
     def _respecialize_and_swap(

@@ -50,9 +50,11 @@ class ServingRuntime(BaseRuntime):
         self._pools: List[WorkspacePool] = []
         for index in range(self.workers):
             pool = WorkspacePool()
+            # Worker state carries the index so completed batches report
+            # which worker ran them (the thread analogue of a shard id).
             thread = threading.Thread(
                 target=self._worker_loop,
-                args=(pool,),
+                args=((index, pool),),
                 name=f"serving-worker-{index}",
                 daemon=True,
             )
@@ -83,8 +85,9 @@ class ServingRuntime(BaseRuntime):
             thread.join(remaining)
 
     def _execute(
-        self, batch: MicroBatch, pool: WorkspacePool, last_task: Optional[str]
+        self, batch: MicroBatch, state, last_task: Optional[str]
     ) -> None:
+        index, pool = state
         requests: List[ServingRequest] = batch.requests  # type: ignore[assignment]
         images = np.stack([request.image for request in requests])
         start = self._clock()
@@ -107,4 +110,5 @@ class ServingRuntime(BaseRuntime):
             start,
             finish,
             switched=last_task is not None and last_task != batch.task,
+            shard=index,
         )

@@ -545,7 +545,11 @@ class ShardedRuntime(BaseRuntime):
 
     def _await_ready(self) -> None:
         """Block until every worker rebuilt its plan (so reported throughput
-        measures serving, not interpreter spawn + NumPy import time)."""
+        measures serving, not interpreter spawn + NumPy import time).
+
+        Deliberately wall-clock: this bounds real interpreter spawn time, and
+        a manually-clocked runtime must still be able to start.
+        """
         deadline = time.monotonic() + self._start_timeout
         waiting = set(range(self.workers))
         while waiting:
@@ -819,6 +823,9 @@ class ShardedRuntime(BaseRuntime):
                 shard.task_queue = None
             self._spawn_worker(shard, set_spec, generation)
             self.metrics.observe_restart()
+            self.stream.record_event(
+                "restart", detail=f"shard {shard.index} respawned (restart #{shard.restarts})"
+            )
             # The shard stays dead (unroutable) until its readiness ack
             # arrives on its result pipe; the collector reactivates it.
 
@@ -868,6 +875,11 @@ class ShardedRuntime(BaseRuntime):
                     if flatlined:
                         self.metrics.observe_flatline()
                         missed = shard.missed_pings
+                        self.stream.record_event(
+                            "flatline",
+                            detail=f"shard {shard.index}: {missed} unanswered heartbeats",
+                            value=float(missed),
+                        )
                         if shard.process is not None and shard.process.is_alive():
                             shard.process.kill()
                             shard.process.join(5.0)
@@ -910,6 +922,21 @@ class ShardedRuntime(BaseRuntime):
                     f"degraded fleet ({live}/{total} shards live): shedding "
                     f"load beyond {bound} pending requests"
                 )
+
+    def shard_depths(self) -> Dict[int, int]:
+        """Instantaneous in-flight micro-batches per shard (gauge).
+
+        Dead shards report ``-1`` so a scrape distinguishes "idle" from
+        "down" — the respawn path flips them back once the readiness ack
+        lands.
+        """
+        if not self._started:
+            return {}
+        with self._route_lock:
+            return {
+                shard.index: (-1 if shard.dead else shard.inflight)
+                for shard in self._shards
+            }
 
     # --------------------------------------------------------------- collector --
     def _collector_loop(self) -> None:
@@ -1045,7 +1072,13 @@ class ShardedRuntime(BaseRuntime):
             self._slot_freed.notify_all()
         start = max(dispatch_time, finish - service)
         self._complete_batch(
-            batch.requests, logits, batch.task, start, finish, switched=switched
+            batch.requests,
+            logits,
+            batch.task,
+            start,
+            finish,
+            switched=switched,
+            shard=worker_id,
         )
 
     def _abort_batch(self, worker_id: int, slot: int, error: BaseException) -> None:
@@ -1070,14 +1103,18 @@ class ShardedRuntime(BaseRuntime):
         acknowledgement wait (swap acks, stats probes).  ``predicate`` runs
         under the condition lock and may raise to abort the wait;
         ``describe()`` renders the :class:`TimeoutError` message.
+
+        The give-up deadline runs on the runtime's injectable clock; the
+        individual waits stay wall-clock chunked (they are woken by acks,
+        not by time) and re-check the deadline at least every 0.25 s.
         """
-        give_up = None if timeout is None else time.monotonic() + timeout
+        give_up = None if timeout is None else self._clock() + timeout
         with self._control_cv:
             while True:
                 result = predicate()
                 if result is not None:
                     return result
-                remaining = None if give_up is None else give_up - time.monotonic()
+                remaining = None if give_up is None else give_up - self._clock()
                 if remaining is not None and remaining <= 0:
                     raise TimeoutError(describe())
                 self._control_cv.wait(
@@ -1103,8 +1140,11 @@ class ShardedRuntime(BaseRuntime):
         workers finish against the old plans.  Batches parked for re-dispatch
         are admitted work too — they are pumped immediately (finishing the
         drain beats honouring backoff) and must complete before the cutover.
+
+        The give-up deadline runs on the runtime's injectable clock so the
+        swap timeout it serves stays in one clock domain end to end.
         """
-        give_up = None if timeout is None else time.monotonic() + timeout
+        give_up = None if timeout is None else self._clock() + timeout
         while True:
             self._pump_retries(force=True)
             with self._route_lock:
@@ -1115,7 +1155,7 @@ class ShardedRuntime(BaseRuntime):
                     and not self._restart_capacity_locked()
                 ):
                     return  # teardown already failed everything in flight
-                remaining = None if give_up is None else give_up - time.monotonic()
+                remaining = None if give_up is None else give_up - self._clock()
                 if remaining is not None and remaining <= 0:
                     raise TimeoutError(
                         f"in-flight batches did not drain within {timeout}s; "
@@ -1307,6 +1347,8 @@ class ShardedRuntime(BaseRuntime):
 
     # ---------------------------------------------------------------- shutdown --
     def _join_workers(self, drain: bool, timeout: Optional[float]) -> None:
+        # Deliberately wall-clock: teardown must stay bounded even when the
+        # runtime's injectable clock is a ManualClock nobody advances.
         give_up = None if timeout is None else time.monotonic() + timeout
 
         def remaining(default: Optional[float] = None) -> Optional[float]:

@@ -1,0 +1,419 @@
+"""Live observability for a serving runtime: windows, events, Prometheus.
+
+Three pieces compose here:
+
+* :class:`MetricsEvent` — one discrete, timestamped control-plane event
+  (plan swap, recalibration, worker restart, flatline alert).
+* :class:`MetricsStream` — owns the rolling reporting window over a
+  :class:`~repro.serving.metrics.ServingMetrics` accumulator (``poll()``
+  closes a window whenever the runtime clock crosses the interval, so
+  windowing is deterministic under ``ManualClock``), keeps the bounded
+  event log, and renders everything as Prometheus text exposition.
+* :class:`MetricsServer` — a stdlib ``http.server`` daemon thread serving
+  ``GET /metrics`` from a stream (``repro serve --metrics-port``).
+
+The stream never resets the underlying accumulator: windows are computed
+as deltas against a rolling baseline, so the end-of-run
+:class:`~repro.serving.metrics.ServingReport` still covers the whole run
+and the window deltas sum to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import ServingMetrics, ServingReport, WindowSnapshot, _clean_nan
+
+__all__ = ["MetricsEvent", "MetricsStream", "MetricsServer"]
+
+
+@dataclass(frozen=True)
+class MetricsEvent:
+    """One discrete runtime event, stamped on the runtime clock.
+
+    ``kind`` is a short machine token (``"swap"``, ``"recalibration"``,
+    ``"restart"``, ``"flatline"``); ``detail`` is free-form context and
+    ``value`` an optional scalar (e.g. the drift magnitude that triggered a
+    recalibration).
+    """
+
+    kind: str
+    at: float
+    detail: str = ""
+    value: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return _clean_nan(asdict(self))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.9g}"
+
+
+class MetricsStream:
+    """Windowed snapshots + event log over one runtime's metrics.
+
+    Everything is dependency-injected so the stream stays backend-agnostic
+    and unit-testable without a runtime: ``clock`` is the runtime's
+    injectable clock, ``queue_depths``/``shard_depths`` are zero-argument
+    gauge callables sampled at window close, and ``report`` produces the
+    cumulative :class:`ServingReport` the Prometheus exposition is built
+    from.
+    """
+
+    def __init__(
+        self,
+        metrics: ServingMetrics,
+        clock: Callable[[], float],
+        interval: float = 1.0,
+        history: int = 120,
+        queue_depths: Optional[Callable[[], Mapping[str, int]]] = None,
+        shard_depths: Optional[Callable[[], Mapping[int, int]]] = None,
+        report: Optional[Callable[[], ServingReport]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"window interval must be positive, got {interval}")
+        if history < 1:
+            raise ValueError(f"window history must be >= 1, got {history}")
+        self._metrics = metrics
+        self._clock = clock
+        self._interval = float(interval)
+        self._queue_depths = queue_depths
+        self._shard_depths = shard_depths
+        self._report = report
+        self._lock = threading.Lock()
+        self._windows: Deque[WindowSnapshot] = deque(maxlen=history)
+        self._events: Deque[MetricsEvent] = deque(maxlen=max(16, 4 * history))
+        self._event_counts: Dict[str, int] = {}
+        self._last_drift: Optional[float] = None
+        # Arm the first window at construction so window boundaries are a
+        # pure function of the injected clock (deterministic under
+        # ManualClock: construct at t, first window closes at t+interval).
+        self._next_due = clock() + self._interval
+        self._poller: Optional[threading.Thread] = None
+        self._poller_stop = threading.Event()
+
+    # ---------------------------------------------------------------- events --
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def record_event(
+        self,
+        kind: str,
+        detail: str = "",
+        value: Optional[float] = None,
+        at: Optional[float] = None,
+    ) -> MetricsEvent:
+        """Append one event to the log (bounded; oldest events fall off)."""
+        event = MetricsEvent(
+            kind=kind,
+            at=self._clock() if at is None else at,
+            detail=detail,
+            value=value,
+        )
+        with self._lock:
+            self._events.append(event)
+            self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
+            if kind == "recalibration" and value is not None:
+                self._last_drift = value
+        return event
+
+    def events(self) -> List[MetricsEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def event_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._event_counts)
+
+    # --------------------------------------------------------------- windows --
+    def poll(self, now: Optional[float] = None) -> Optional[WindowSnapshot]:
+        """Close the current window iff the interval has elapsed.
+
+        Returns the freshly closed :class:`WindowSnapshot`, or ``None`` when
+        the window is still open.  A stall longer than one interval yields a
+        single wide window (the deltas stay exact), not a burst of empties.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            if now < self._next_due:
+                return None
+            self._next_due = now + self._interval
+        return self.force_window(now)
+
+    def force_window(self, now: Optional[float] = None) -> WindowSnapshot:
+        """Close the window unconditionally (end-of-run flush, tests)."""
+        now = self._clock() if now is None else now
+        # Sample gauges outside self._lock: they take runtime/batcher locks.
+        queue_depth = dict(self._queue_depths()) if self._queue_depths else {}
+        shard_depth = dict(self._shard_depths()) if self._shard_depths else {}
+        with self._lock:
+            drift = self._last_drift
+        snapshot = self._metrics.window_report(
+            now=now,
+            queue_depth=queue_depth,
+            shard_depth=shard_depth,
+            drift=drift,
+        )
+        with self._lock:
+            self._windows.append(snapshot)
+        return snapshot
+
+    def windows(self) -> List[WindowSnapshot]:
+        with self._lock:
+            return list(self._windows)
+
+    def last_window(self) -> Optional[WindowSnapshot]:
+        with self._lock:
+            return self._windows[-1] if self._windows else None
+
+    # ------------------------------------------------------ background poller --
+    def start(self) -> None:
+        """Start a daemon thread calling :meth:`poll` until :meth:`stop`.
+
+        The thread sleeps on the wall clock (there is nothing else to sleep
+        on) but closes windows on the *runtime* clock via ``poll()``, so a
+        manually-clocked runtime simply never closes a window from here.
+        """
+        if self._poller is not None:
+            return
+        self._poller_stop.clear()
+        pace = min(self._interval / 4.0, 0.25)
+
+        def _run() -> None:
+            while not self._poller_stop.wait(pace):
+                self.poll()
+
+        self._poller = threading.Thread(target=_run, name="metrics-stream-poll", daemon=True)
+        self._poller.start()
+
+    def stop(self) -> None:
+        if self._poller is None:
+            return
+        self._poller_stop.set()
+        self._poller.join(timeout=5.0)
+        self._poller = None
+
+    # ------------------------------------------------------------- prometheus --
+    def prometheus_text(self) -> str:
+        """Render the full metrics family in Prometheus text exposition."""
+        report = self._report() if self._report is not None else None
+        queue_depth = dict(self._queue_depths()) if self._queue_depths else {}
+        shard_depth = dict(self._shard_depths()) if self._shard_depths else {}
+        with self._lock:
+            last = self._windows[-1] if self._windows else None
+            counts = dict(self._event_counts)
+            drift = self._last_drift
+
+        lines: List[str] = []
+
+        def emit(
+            name: str,
+            mtype: str,
+            help_text: str,
+            samples: List[Tuple[Dict[str, str], float]],
+        ) -> None:
+            samples = [
+                (labels, value)
+                for labels, value in samples
+                if not (isinstance(value, float) and value != value)  # NaN: no sample
+            ]
+            if not samples:
+                return
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {mtype}")
+            for labels, value in samples:
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+                    )
+                    lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+
+        if report is not None:
+            base = {"backend": report.backend, "policy": report.policy}
+            emit("repro_serving_info", "gauge", "Static runtime identity labels.", [(base, 1)])
+            emit("repro_serving_workers", "gauge", "Configured worker count.", [({}, report.workers)])
+            emit(
+                "repro_serving_uptime_seconds",
+                "gauge",
+                "Measured duration of the current run.",
+                [({}, report.duration)],
+            )
+            for name, value, help_text in (
+                ("completed", report.completed, "Requests completed since start."),
+                ("rejected", report.rejected, "Requests rejected at admission."),
+                ("errors", report.errors, "Requests failed with an error."),
+                ("cancelled", report.cancelled, "Requests cancelled."),
+                ("batches", report.num_batches, "Micro-batches executed."),
+                ("task_switches", report.task_switches, "Per-worker task switches."),
+                ("shed", report.shed, "Requests shed by degraded-mode admission."),
+                ("redispatched", report.redispatched, "Requests re-queued after a shard death."),
+                ("restarts", report.restarts, "Worker processes respawned."),
+                ("flatline_alerts", report.flatline_alerts, "Shards declared unresponsive."),
+                ("deadline_misses", report.deadline_misses, "Deadlined requests that missed."),
+                ("deadlines", report.deadline_total, "Deadlined requests observed."),
+            ):
+                emit(f"repro_serving_{name}_total", "counter", help_text, [({}, value)])
+            emit(
+                "repro_serving_completed_per_task_total",
+                "counter",
+                "Requests completed, by task.",
+                [({"task": task}, count) for task, count in sorted(report.per_task.items())],
+            )
+            emit(
+                "repro_serving_completed_per_shard_total",
+                "counter",
+                "Requests completed, by shard.",
+                [({"shard": str(s)}, count) for s, count in sorted(report.per_shard.items())],
+            )
+            emit(
+                "repro_serving_latency_seconds",
+                "summary",
+                "End-to-end request latency quantiles over the full run.",
+                [
+                    ({"quantile": "0.5"}, report.latency.p50),
+                    ({"quantile": "0.95"}, report.latency.p95),
+                    ({"quantile": "0.99"}, report.latency.p99),
+                ],
+            )
+
+        emit(
+            "repro_serving_queue_depth",
+            "gauge",
+            "Requests queued (open + ready), by task.",
+            [({"task": task}, depth) for task, depth in sorted(queue_depth.items())],
+        )
+        emit(
+            "repro_serving_shard_queue_depth",
+            "gauge",
+            "Micro-batches in flight, by shard (-1 marks a dead shard).",
+            [({"shard": str(s)}, depth) for s, depth in sorted(shard_depth.items())],
+        )
+        emit(
+            "repro_serving_events_total",
+            "counter",
+            "Control-plane events recorded, by kind.",
+            [({"kind": kind}, count) for kind, count in sorted(counts.items())],
+        )
+        if drift is not None:
+            emit(
+                "repro_serving_sparsity_drift",
+                "gauge",
+                "Last measured max per-channel survival-rate delta.",
+                [({}, drift)],
+            )
+        if last is not None:
+            emit(
+                "repro_serving_window_index",
+                "gauge",
+                "Index of the last closed reporting window.",
+                [({}, last.index)],
+            )
+            emit(
+                "repro_serving_window_completed",
+                "gauge",
+                "Requests completed within the last closed window.",
+                [({}, last.completed)],
+            )
+            emit(
+                "repro_serving_window_throughput",
+                "gauge",
+                "Images/sec over the last closed window.",
+                [({}, last.throughput)],
+            )
+            emit(
+                "repro_serving_window_deadline_miss_rate",
+                "gauge",
+                "Deadline-miss burn rate over the last closed window.",
+                [({}, last.miss_rate)],
+            )
+        return "\n".join(lines) + "\n"
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    stream: MetricsStream
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server: _MetricsHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/metrics"):
+            body = self.server.stream.prometheus_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "only /metrics is served here")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class MetricsServer:
+    """Prometheus text endpoint over one :class:`MetricsStream`.
+
+    A ``ThreadingHTTPServer`` on a daemon thread: ``port=0`` binds an
+    ephemeral port (tests), :attr:`port`/:attr:`url` report where it
+    landed.  Usable as a context manager.
+    """
+
+    def __init__(self, stream: MetricsStream, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._httpd = _MetricsHTTPServer((host, port), _MetricsHandler)
+        self._httpd.stream = stream
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -13,7 +13,9 @@ with zero real sleeps.
 from __future__ import annotations
 
 import pickle
+import re
 import time
+import urllib.request
 
 import numpy as np
 import pytest
@@ -26,6 +28,7 @@ from repro.serving import (
     FaultEvent,
     FaultInjector,
     ManualClock,
+    MetricsServer,
     NoLiveShardsError,
     QueueFullError,
     RedispatchError,
@@ -442,8 +445,9 @@ class TestSupervision:
                 runtime.submit("alpha", image)
         finally:
             report = runtime.stop(drain=False)
-        assert report.shed >= 1
-        # Shed requests are counted as shed, not double-counted as rejected.
+        # Exactly the one overflow submit is shed — never double-counted as
+        # rejected, and never incremented twice along the admission path.
+        assert report.shed == 1
         assert report.rejected == 0
 
     def test_crash_mid_swap_aborts_fleet_wide_and_rejoins_old_generation(self, served):
@@ -495,3 +499,49 @@ class TestSupervision:
         finally:
             report = runtime.stop(drain=True)
         assert report.restarts >= 1
+
+
+class TestMetricsEndpointUnderFaults:
+    def test_endpoint_reports_restart_counters_after_sigkill(self, served):
+        """Scrape the Prometheus endpoint mid-load after an injected SIGKILL:
+        the restart counter and restart event must move, the flatline-alert
+        counter must be exposed, and the per-shard queue-depth gauge must
+        name every shard in the fleet."""
+        _, plan = served
+        runtime = ShardedRuntime(
+            plan,
+            workers=2,
+            micro_batch=4,
+            max_wait=0.01,
+            max_retries=3,
+            heartbeat_interval=0.05,
+        )
+        runtime.start()
+        server = MetricsServer(runtime.stream).start()
+        try:
+            stream = deterministic_stream(plan, 4, seed=11)
+            futures = [runtime.submit(task, image) for task, image in stream]
+            runtime._shards[0].process.kill()
+            wait_until(
+                lambda: runtime.report().restarts >= 1,
+                message="supervisor respawned the killed shard",
+            )
+            for future in futures:
+                future.result(timeout=60)
+            body = urllib.request.urlopen(server.url, timeout=10).read().decode()
+            assert re.search(r"^repro_serving_restarts_total [1-9]", body, re.M)
+            assert re.search(r"^repro_serving_flatline_alerts_total \d", body, re.M)
+            assert re.search(
+                r'^repro_serving_events_total\{kind="restart"\} [1-9]', body, re.M
+            )
+            assert 'repro_serving_shard_queue_depth{shard="0"}' in body
+            assert 'repro_serving_shard_queue_depth{shard="1"}' in body
+            restart_events = [
+                event for event in runtime.stream.events() if event.kind == "restart"
+            ]
+            assert restart_events and "respawned" in restart_events[0].detail
+        finally:
+            server.stop()
+            report = runtime.stop(drain=True)
+        assert report.restarts >= 1
+        assert report.completed == len(stream)
