@@ -319,7 +319,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     task_names = plan.task_names()
     print(
         f"serve: {len(task_names)} tasks @ input {plan.input_shape}, "
-        f"policy={args.policy}, backend={args.backend}, workers={args.workers}, "
+        f"policy={args.policy}, backend={args.backend}, "
+        f"coalesce={'on' if getattr(args, 'coalesce', False) else 'off'}, "
+        f"workers={args.workers}, "
         f"micro-batch {args.micro_batch}, max-wait {1e3 * args.max_wait:.1f} ms, "
         f"{args.scenario} Poisson traffic at {args.rate:.0f} req/s "
         f"({source} — this exercises the serving path, not accuracy)"
@@ -327,6 +329,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     generators = {
         "uniform": LoadGenerator.uniform,
         "skewed": LoadGenerator.skewed,
+        "zipf": LoadGenerator.zipf,
         "bursty": LoadGenerator.bursty,
     }
     generator = generators[args.scenario](task_names, args.rate, seed=args.seed)
@@ -540,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-control bound on pending requests")
     serve.add_argument("--deadline", type=float, default=None,
                        help="optional per-request latency deadline in seconds")
-    serve.add_argument("--scenario", choices=["uniform", "skewed", "bursty"],
+    serve.add_argument("--scenario", choices=["uniform", "skewed", "zipf", "bursty"],
                        default="uniform", help="traffic shape of the load generator")
     serve.add_argument("--artifact", metavar="PATH", default=None,
                        help="serve a published model artifact (an artifact directory or "

@@ -202,6 +202,45 @@ _INT8SPD_WINS: Optional[bool] = None
 
 
 # ---------------------------------------------------------------------------
+# Row-stable GEMM: one reduction order for every batch size.
+# ---------------------------------------------------------------------------
+#: Minimum row count at which BLAS runs its standard sgemm path.  Below this,
+#: implementations switch to gemv (M=1) or skinny-M kernels (observed up to
+#: M=7 for large-K FC shapes on OpenBLAS) whose reduction order differs from
+#: the full kernel's, so the same row reduces to ULP-different values in a
+#: small batch than in a large one.  8 is the widest switch point observed
+#: (it matches the row micro-tile height of x86 single/double kernels); conv
+#: GEMMs never dip under it because their M is ``n * spatial``.
+_SGEMM_MIN_ROWS = 8
+
+
+def matmul_rowsafe(a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``a @ b`` whose per-row results match the same rows in any batch size.
+
+    BLAS dispatches small-M products (a single request's FC layer, a task
+    owning one row of a mixed micro-batch) to gemv/skinny kernels that
+    reduce in a different order than the standard sgemm path, producing
+    ULP-different outputs for the identical row depending on how many other
+    rows share the call.  That would break the serving contract that a
+    coalesced mixed-task batch is bit-identical to per-task execution of the
+    same rows.  Padding small batches to :data:`_SGEMM_MIN_ROWS` (the extra
+    rows are zeros and discarded) keeps every call on the one sgemm path,
+    whose per-row reductions are independent of M.  Integer (int8) GEMMs
+    accumulate exactly at any M and never need this detour.
+    """
+    m = a.shape[0]
+    if m >= _SGEMM_MIN_ROWS:
+        return np.matmul(a, b, out=out)
+    padded = np.zeros((_SGEMM_MIN_ROWS,) + a.shape[1:], dtype=a.dtype)
+    padded[:m] = a
+    result = np.matmul(padded, b)
+    if out is None:
+        return result[:m]
+    out[:] = result[:m]
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Shared epilogue: threshold mask + sparsity reporting.
 # ---------------------------------------------------------------------------
 def report_mask_stats(
@@ -467,7 +506,13 @@ def run_conv_blocked(kernel, x, task, ws, recorder, ctx, panels=None, variant="b
         if kernel.mask is not None:
             gemm = tile.reshape(nb, spi, c_out)
             tile_mask = mask[b0 : b0 + nb]
-            np.greater_equal(gemm, thresholds, out=tile_mask)
+            # Per-row thresholds (mixed-task batches) carry a leading batch
+            # axis and must be sliced alongside the image block; the
+            # single-task layouts ((1, spi, c), or broadcastable (spi, c))
+            # broadcast over every block unsliced.
+            per_row = thresholds.ndim == 3 and thresholds.shape[0] != 1
+            tile_thr = thresholds[b0 : b0 + nb] if per_row else thresholds
+            np.greater_equal(gemm, tile_thr, out=tile_mask)
             gemm *= tile_mask
             if channel_live is not None:
                 channel_live += tile_mask.sum(axis=(0, 1), dtype=np.int64)
@@ -753,7 +798,11 @@ def run_conv_winograd(kernel, x, task, ws, recorder, ctx):
         if kernel.mask is not None:
             gemm = tile.reshape(nb, spi, c_out)
             tile_mask = mask[b0 : b0 + nb]
-            np.greater_equal(gemm, thresholds, out=tile_mask)
+            # Same per-row threshold slicing as the blocked path (mixed-task
+            # batches ship an (n, spi, c) threshold gather).
+            per_row = thresholds.ndim == 3 and thresholds.shape[0] != 1
+            tile_thr = thresholds[b0 : b0 + nb] if per_row else thresholds
+            np.greater_equal(gemm, tile_thr, out=tile_mask)
             gemm *= tile_mask
             if channel_live is not None:
                 channel_live += tile_mask.sum(axis=(0, 1), dtype=np.int64)
@@ -881,9 +930,14 @@ def _refine_conv_int8(kernel, q, x, cols, out, task, ws, n):
     )
     # Window layout (ky, kx, c) matches weight_t's row order exactly.
     patches = windows[img, pos // w_out, pos % w_out].reshape(-1, k * k * c_in)
-    for c in np.unique(chan):
-        rows_c = chan == c
-        out3[img[rows_c], pos[rows_c], c] = patches[rows_c] @ weight_t[:, c] + kernel.bias[c]
+    # One per-element dot per flagged slot: einsum reduces each row in a
+    # fixed order regardless of how many slots are flagged, so the refined
+    # value is invariant to batch composition.  A per-column gathered gemv
+    # would reduce in an m-dependent order, and a coalesced mixed-task batch
+    # flags a different row set than the same rows run per task.
+    out3[img, pos, chan] = (
+        np.einsum("ij,ij->i", patches, weight_t.T[chan]) + kernel.bias[chan]
+    )
 
 
 def run_conv_int8(kernel, x, task, ws, recorder, ctx):
@@ -1146,14 +1200,19 @@ def run_linear_blocked(kernel, x, task, ws, recorder, ctx, panels=None, variant=
         b1 = min(n, b0 + block)
         tile = out[b0:b1]
         if panels is None:
-            np.matmul(x[b0:b1], kernel.weight_t, out=tile)
+            matmul_rowsafe(x[b0:b1], kernel.weight_t, out=tile)
         else:
             for j0, j1, wpanel in panels:
-                np.matmul(x[b0:b1], wpanel, out=tile[:, j0:j1])
+                matmul_rowsafe(x[b0:b1], wpanel, out=tile[:, j0:j1])
         np.add(tile, kernel.bias, out=tile)
         if kernel.mask is not None:
             tile_mask = mask[b0:b1]
-            np.greater_equal(tile, thresholds, out=tile_mask)
+            # Per-row thresholds (mixed-task batches) are (n, width); the
+            # single-task layouts ((1, width), or broadcastable (width,))
+            # broadcast over every row block unsliced.
+            per_row = thresholds.ndim == 2 and thresholds.shape[0] != 1
+            tile_thr = thresholds[b0:b1] if per_row else thresholds
+            np.greater_equal(tile, tile_thr, out=tile_mask)
             tile *= tile_mask
             if channel_live is not None:
                 channel_live += tile_mask.sum(axis=0, dtype=np.int64)
@@ -1189,9 +1248,9 @@ def _refine_linear_int8(kernel, q, x, qx, out, task, n):
     rows, chan = np.nonzero(flagged)
     if rows.size == 0:
         return
-    for c in np.unique(chan):
-        rows_c = rows[chan == c]
-        out[rows_c, c] = x[rows_c] @ weight_t[:, c] + kernel.bias[c]
+    # Per-element dots (see _refine_conv_int8): batch-composition-invariant,
+    # unlike a per-column gathered gemv.
+    out[rows, chan] = np.einsum("ij,ij->i", x[rows], weight_t.T[chan]) + kernel.bias[chan]
 
 
 def run_linear_int8(kernel, x, task, ws, recorder, ctx):

@@ -36,7 +36,7 @@ from __future__ import annotations
 import itertools
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -220,7 +220,10 @@ def _gemm_with_dynamic_row_gather(kernel, a: np.ndarray, out: np.ndarray, ctx) -
     the output is prefilled with the bias — a zero row GEMMs to exactly the
     bias — and only the surviving rows are multiplied.  Gathering preserves
     each surviving row's reduction order, so both paths are bit-identical to
-    the dense matmul.  Effective-MAC accounting lands in ``ctx``.
+    the dense matmul (both routed through
+    :func:`~repro.engine.kernels.matmul_rowsafe` so a single surviving row
+    still reduces in sgemm order).  Effective-MAC accounting lands in
+    ``ctx``.
     """
     rows = a.shape[0]
     reduction, width = kernel.weight_t.shape
@@ -230,11 +233,11 @@ def _gemm_with_dynamic_row_gather(kernel, a: np.ndarray, out: np.ndarray, ctx) -
         if live_rows / rows <= ctx.dynamic.crossover_for(kernel.name):
             out[:] = kernel.bias
             if live_rows:
-                out[live] = a[live] @ kernel.weight_t + kernel.bias
+                out[live] = _kernels.matmul_rowsafe(a[live], kernel.weight_t) + kernel.bias
             ctx.dynamic_gemms += 1
             ctx.effective_macs += live_rows * reduction * width
             return
-    np.matmul(a, kernel.weight_t, out=out)
+    _kernels.matmul_rowsafe(a, kernel.weight_t, out=out)
     out += kernel.bias
     if ctx is not None:
         ctx.effective_macs += rows * reduction * width
@@ -587,6 +590,34 @@ class TaskPlan:
     head_dense_macs: int = 0
 
 
+#: Pseudo-task name carried by :class:`MixedTaskView`: layer statistics a
+#: recorder collects while running a genuinely mixed batch are attributed to
+#: this aggregate bucket (per-task sparsity cannot be untangled per tile
+#: without giving up the fused epilogue).  Request/pass accounting stays
+#: per-task — see :func:`repro.serving.base.run_plan_batch`.
+MIXED_TASK_NAME = "__mixed__"
+
+
+class MixedTaskView:
+    """Per-row threshold view standing in for :class:`TaskPlan` in mixed batches.
+
+    ``thresholds[slot]`` carries a leading batch axis — ``(n, spi, c)`` for
+    conv masks, ``(n, width)`` for linear masks — where row ``i`` holds the
+    threshold row of the task that owns input row ``i``.  The fused kernels
+    broadcast it exactly like the single-task ``(1, ...)`` layout; the tiled
+    lowerings slice it per image/row block.  Ducks the :class:`TaskPlan`
+    attributes the kernels touch (``name`` and ``thresholds``), nothing more:
+    the classification head is applied per task *outside* the kernel loop.
+    """
+
+    __slots__ = ("name", "num_classes", "thresholds")
+
+    def __init__(self, num_classes: int, thresholds: List[np.ndarray]) -> None:
+        self.name = MIXED_TASK_NAME
+        self.num_classes = num_classes
+        self.thresholds = thresholds
+
+
 def _build_task_plan(
     task: TaskParameters,
     specs: List[MaskSpec],
@@ -643,6 +674,12 @@ class EnginePlan:
     #: rebuild identical choices.  None = every kernel on its default.
     kernel_choices: Optional[Dict[str, str]] = None
     _workspaces: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
+    #: Workspace-owner uid for the per-row threshold buffers of mixed-task
+    #: batches (:meth:`run_mixed`).  Allocated eagerly like kernel uids so
+    #: concurrent workers never race a lazy assignment; ``dataclasses.replace``
+    #: keeps it, which is correct — the kernels (and so the pools) are shared
+    #: between the replaced snapshots too.
+    _mixed_uid: int = field(default_factory=lambda: next(_KERNEL_UIDS), repr=False)
 
     def task_names(self) -> List[str]:
         return list(self.tasks)
@@ -683,7 +720,22 @@ class EnginePlan:
         """
         if task not in self.tasks:
             raise KeyError(f"task '{task}' was not compiled; known: {self.task_names()}")
-        task_plan = self.tasks[task]
+        return self._run_task_plan(x, self.tasks[task], recorder, workspaces, ctx)
+
+    def _run_task_plan(
+        self,
+        x: np.ndarray,
+        task_plan: TaskPlan,
+        recorder=None,
+        workspaces: Optional[WorkspacePool] = None,
+        ctx: Optional[RunContext] = None,
+    ) -> np.ndarray:
+        """:meth:`run` body against an explicit :class:`TaskPlan` object.
+
+        The task plan may belong to a *different* plan of the same coalescing
+        group (identical kernel geometry), which is how group-leader execution
+        serves a member task's rows on the leader's kernels.
+        """
         if x.ndim == 3:
             x = x[None, ...]
         if x.shape[1:] != self.input_shape:
@@ -697,10 +749,111 @@ class EnginePlan:
         x = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=self.dtype)
         for kernel in self.kernels:
             x = kernel.run(x, task_plan, pool, recorder, ctx)
-        logits = x @ task_plan.head_weight_t + task_plan.head_bias
+        logits = _kernels.matmul_rowsafe(x, task_plan.head_weight_t) + task_plan.head_bias
         head_macs = task_plan.head_weight_t.shape[0] * task_plan.head_weight_t.shape[1]
         ctx.effective_macs += x.shape[0] * head_macs
         ctx.dense_macs += x.shape[0] * (task_plan.head_dense_macs or head_macs)
+        return logits
+
+    def run_mixed(
+        self,
+        x: np.ndarray,
+        row_tasks: Sequence[str],
+        task_plans: Optional[Dict[str, TaskPlan]] = None,
+        recorder=None,
+        workspaces: Optional[WorkspacePool] = None,
+        ctx: Optional[RunContext] = None,
+    ) -> np.ndarray:
+        """Execute one micro-batch whose rows may belong to *different* tasks.
+
+        ``row_tasks[i]`` names the task that owns input row ``i``.  The whole
+        batch runs the shared backbone as **one** pass: per-row thresholds are
+        gathered into pooled ``(n, ...)`` buffers (one copy of each member
+        task's threshold row per batch — never a resident per-task stack), the
+        fused kernels mask against them, and the per-task FC heads are applied
+        to each task's row group at the end.
+
+        Exactness contract: bit-identical to running the same rows as
+        per-task singular batches.  Every plan op is row-independent and the
+        repo's GEMM paths preserve per-row reduction order under batch
+        regrouping (the same property the dynamic row-gather fast path is
+        built on), so neither the shared backbone pass nor the row-sliced
+        head GEMMs can change a single bit.
+
+        ``task_plans`` overrides the threshold/head lookup (defaults to
+        ``self.tasks``): a coalescing group of *specialized* plans executes on
+        the group leader's kernels while each member contributes its own
+        compacted :class:`TaskPlan`.  All members must share the leader's
+        mask geometry and head width — violations raise :class:`CompileError`.
+
+        Layer statistics are recorded under :data:`MIXED_TASK_NAME`; per-task
+        request accounting is the caller's job (see ``run_plan_batch``).
+        """
+        names = list(row_tasks)
+        if x.ndim == 3:
+            x = x[None, ...]
+        if len(names) != x.shape[0]:
+            raise ValueError(
+                f"row_tasks has {len(names)} entries for a batch of {x.shape[0]} rows"
+            )
+        lookup = task_plans if task_plans is not None else self.tasks
+        unique = list(dict.fromkeys(names))
+        missing = [name for name in unique if name not in lookup]
+        if missing:
+            raise KeyError(f"mixed batch references unknown task(s) {missing}")
+        if len(unique) == 1:
+            # Homogeneous batch: identical to the singular path by definition.
+            return self._run_task_plan(x, lookup[unique[0]], recorder, workspaces, ctx)
+        if x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected input of per-sample shape {self.input_shape}, got {x.shape[1:]}"
+            )
+        members = {name: lookup[name] for name in unique}
+        widths = {tp.num_classes for tp in members.values()}
+        if len(widths) != 1:
+            raise CompileError(
+                f"mixed-task batch requires equal head widths, got {sorted(widths)}"
+            )
+        pool = workspaces if workspaces is not None else self._workspaces
+        if ctx is None:
+            ctx = RunContext(self.dynamic)
+        ctx.prev_sparsity = 0.0
+        n = x.shape[0]
+        rows_of: Dict[str, List[int]] = {name: [] for name in unique}
+        for row, name in enumerate(names):
+            rows_of[name].append(row)
+
+        # Per-row threshold gather, one pooled buffer per mask slot.
+        num_slots = max((spec.slot for spec in self.mask_specs), default=-1) + 1
+        mixed_thresholds: List[Optional[np.ndarray]] = [None] * num_slots
+        for spec in self.mask_specs:
+            ref = members[unique[0]].thresholds[spec.slot]
+            buf = pool.get(
+                self._mixed_uid, f"mixthr{spec.slot}", n, (n,) + ref.shape[1:], ref.dtype
+            )
+            for name, rows in rows_of.items():
+                src = members[name].thresholds[spec.slot]
+                if src.shape != ref.shape:
+                    raise CompileError(
+                        f"task '{name}' mask slot {spec.slot} has shape {src.shape}, "
+                        f"incompatible with this plan's {ref.shape} — not in this "
+                        "coalescing group"
+                    )
+                buf[rows] = src[0]
+            mixed_thresholds[spec.slot] = buf
+        view = MixedTaskView(next(iter(widths)), mixed_thresholds)
+
+        x = np.ascontiguousarray(x.transpose(0, 2, 3, 1), dtype=self.dtype)
+        for kernel in self.kernels:
+            x = kernel.run(x, view, pool, recorder, ctx)
+
+        logits = np.empty((n, view.num_classes), dtype=x.dtype)
+        for name, rows in rows_of.items():
+            tp = members[name]
+            logits[rows] = _kernels.matmul_rowsafe(x[rows], tp.head_weight_t) + tp.head_bias
+            head_macs = tp.head_weight_t.shape[0] * tp.head_weight_t.shape[1]
+            ctx.effective_macs += len(rows) * head_macs
+            ctx.dense_macs += len(rows) * (tp.head_dense_macs or head_macs)
         return logits
 
     def num_workspace_buffers(self) -> int:

@@ -24,7 +24,7 @@ large float tensors where JSON round-trips would be wasteful and lossy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +46,86 @@ from repro.engine.plan import (
 __all__ = ["PlanSetSpec", "PlanSpec", "TaskSpec"]
 
 
+class _TensorRef:
+    """Index into a :class:`PlanSetSpec`-level shared tensor table.
+
+    Version-4 specs captured with deduplication replace repeated ndarrays
+    (the shared backbone a specialized plan passes through by identity) with
+    one of these markers, so the tensor pickles **once** per plan set rather
+    than once per task.  Resolution back to arrays happens in
+    :meth:`PlanSetSpec.build_all`; a bare :meth:`PlanSpec.build` never sees
+    refs because stand-alone captures don't intern.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TensorRef({self.index})"
+
+    # __slots__ classes need explicit pickle support.
+    def __getstate__(self):
+        return self.index
+
+    def __setstate__(self, state) -> None:
+        self.index = state
+
+
+class _TensorInterner:
+    """Dedup ndarrays by *source object* identity during capture.
+
+    ``specialize_plan`` passes uncompacted arrays through to each per-task
+    plan by identity, so keying on ``id()`` of the source array is exactly
+    what collapses the N backbone copies to one.  Source references are kept
+    alive for the interner's lifetime so ids cannot be recycled mid-capture.
+    """
+
+    def __init__(self) -> None:
+        self.table: List[np.ndarray] = []
+        self._index: Dict[int, int] = {}
+        self._keepalive: List[np.ndarray] = []
+
+    def __call__(self, value: np.ndarray) -> _TensorRef:
+        key = id(value)
+        slot = self._index.get(key)
+        if slot is None:
+            slot = len(self.table)
+            self._index[key] = slot
+            self._keepalive.append(value)
+            self.table.append(np.array(value))
+        return _TensorRef(slot)
+
+
+def _arr(value, intern):
+    return intern(value) if intern is not None else np.array(value)
+
+
+def _resolve(obj, tensors: List[np.ndarray]):
+    """Replace every :class:`_TensorRef` in a captured structure with its
+    table entry.  Refs to one slot resolve to the *same* array object, so
+    worker-side plans keep the sharing the capture found."""
+    if isinstance(obj, _TensorRef):
+        return tensors[obj.index]
+    if isinstance(obj, dict):
+        return {key: _resolve(value, tensors) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_resolve(value, tensors) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(_resolve(value, tensors) for value in obj)
+    if isinstance(obj, TaskSpec):
+        return TaskSpec(
+            name=obj.name,
+            num_classes=obj.num_classes,
+            thresholds=[_resolve(t, tensors) for t in obj.thresholds],
+            head_weight_t=_resolve(obj.head_weight_t, tensors),
+            head_bias=_resolve(obj.head_bias, tensors),
+            head_dense_macs=obj.head_dense_macs,
+        )
+    return obj
+
+
 @dataclass
 class TaskSpec:
     """Plain-data snapshot of one :class:`~repro.engine.plan.TaskPlan`."""
@@ -58,23 +138,26 @@ class TaskSpec:
     head_dense_macs: int = 0
 
     @classmethod
-    def from_task(cls, task: TaskPlan) -> "TaskSpec":
+    def from_task(cls, task: TaskPlan, intern=None) -> "TaskSpec":
         return cls(
             name=task.name,
             num_classes=task.num_classes,
-            thresholds=[np.array(t) for t in task.thresholds],
-            head_weight_t=np.array(task.head_weight_t),
-            head_bias=np.array(task.head_bias),
+            thresholds=[_arr(t, intern) for t in task.thresholds],
+            head_weight_t=_arr(task.head_weight_t, intern),
+            head_bias=_arr(task.head_bias, intern),
             head_dense_macs=task.head_dense_macs,
         )
 
     def build(self) -> TaskPlan:
+        # ``asarray`` not ``array``: plans treat tensors as immutable, so the
+        # rebuilt plan may share the spec's arrays — which is what lets every
+        # plan resolved against one v4 tensor table share its backbone.
         return TaskPlan(
             name=self.name,
             num_classes=self.num_classes,
-            thresholds=[np.array(t) for t in self.thresholds],
-            head_weight_t=np.array(self.head_weight_t),
-            head_bias=np.array(self.head_bias),
+            thresholds=[np.asarray(t) for t in self.thresholds],
+            head_weight_t=np.asarray(self.head_weight_t),
+            head_bias=np.asarray(self.head_bias),
             head_dense_macs=self.head_dense_macs,
         )
 
@@ -92,18 +175,18 @@ def _mask_from_tuple(data) -> Optional[MaskSpec]:
     return MaskSpec(slot, layer_name, kind, tuple(gemm_shape))
 
 
-def _quant_dict(kernel) -> Optional[Dict[str, object]]:
+def _quant_dict(kernel, intern=None) -> Optional[Dict[str, object]]:
     quant = getattr(kernel, "quant", None)
     if quant is None:
         return None
     payload = {
-        "weight_q": np.array(quant.weight_q),
-        "w_scale": np.array(quant.w_scale),
+        "weight_q": _arr(quant.weight_q, intern),
+        "w_scale": _arr(quant.w_scale, intern),
         "in_scale": float(quant.in_scale),
-        "scale": np.array(quant.scale),
+        "scale": _arr(quant.scale, intern),
     }
     if getattr(quant, "weight_qi", None) is not None:
-        payload["weight_qi"] = np.array(quant.weight_qi)
+        payload["weight_qi"] = _arr(quant.weight_qi, intern)
     return payload
 
 
@@ -112,23 +195,23 @@ def _quant_from_dict(data) -> Optional[QuantizedGemm]:
         return None
     weight_qi = data.get("weight_qi")
     return QuantizedGemm(
-        weight_q=np.array(data["weight_q"]),
-        w_scale=np.array(data["w_scale"]),
+        weight_q=np.asarray(data["weight_q"]),
+        w_scale=np.asarray(data["w_scale"]),
         in_scale=float(data["in_scale"]),
-        scale=np.array(data["scale"]),
+        scale=np.asarray(data["scale"]),
         # Pre-v3 payloads lack the int16 rows; the int8spd runner derives
         # them lazily from weight_q on first use.
         weight_qi=None if weight_qi is None else np.ascontiguousarray(weight_qi),
     )
 
 
-def _describe_kernel(kernel) -> Dict[str, object]:
+def _describe_kernel(kernel, intern=None) -> Dict[str, object]:
     if isinstance(kernel, ConvGemmMaskKernel):
         return {
             "type": "conv",
             "name": kernel.name,
-            "weight_t": np.array(kernel.weight_t),
-            "bias": np.array(kernel.bias),
+            "weight_t": _arr(kernel.weight_t, intern),
+            "bias": _arr(kernel.bias, intern),
             "kernel_size": kernel.kernel_size,
             "stride": kernel.stride,
             "padding": kernel.padding,
@@ -138,20 +221,20 @@ def _describe_kernel(kernel) -> Dict[str, object]:
             "dense_macs": kernel.dense_macs_per_image,
             "dense_channels": kernel.dense_channels,
             "variant": kernel.variant,
-            "quant": _quant_dict(kernel),
+            "quant": _quant_dict(kernel, intern),
         }
     if isinstance(kernel, LinearMaskKernel):
         return {
             "type": "linear",
             "name": kernel.name,
-            "weight_t": np.array(kernel.weight_t),
-            "bias": np.array(kernel.bias),
+            "weight_t": _arr(kernel.weight_t, intern),
+            "bias": _arr(kernel.bias, intern),
             "mask": _mask_tuple(kernel.mask),
             "relu": kernel.relu,
             "dense_macs": kernel.dense_macs_per_image,
             "dense_channels": kernel.dense_channels,
             "variant": kernel.variant,
-            "quant": _quant_dict(kernel),
+            "quant": _quant_dict(kernel, intern),
         }
     if isinstance(kernel, MaxPoolKernel):
         return {
@@ -167,7 +250,7 @@ def _describe_kernel(kernel) -> Dict[str, object]:
     if isinstance(kernel, ChannelScatterKernel):
         return {
             "type": "scatter",
-            "live_index": np.array(kernel.live_index),
+            "live_index": _arr(kernel.live_index, intern),
             "dense_channels": kernel.dense_channels,
         }
     raise CompileError(f"cannot serialize kernel type {type(kernel).__name__}")
@@ -181,8 +264,8 @@ def _build_kernel(index: int, desc: Dict[str, object]):
         kernel = ConvGemmMaskKernel(
             index,
             name=desc["name"],
-            weight_t=np.array(desc["weight_t"]),
-            bias=np.array(desc["bias"]),
+            weight_t=np.asarray(desc["weight_t"]),
+            bias=np.asarray(desc["bias"]),
             kernel_size=desc["kernel_size"],
             stride=desc["stride"],
             padding=desc["padding"],
@@ -199,8 +282,8 @@ def _build_kernel(index: int, desc: Dict[str, object]):
         kernel = LinearMaskKernel(
             index,
             name=desc["name"],
-            weight_t=np.array(desc["weight_t"]),
-            bias=np.array(desc["bias"]),
+            weight_t=np.asarray(desc["weight_t"]),
+            bias=np.asarray(desc["bias"]),
             mask=_mask_from_tuple(desc["mask"]),
             relu=desc["relu"],
             dense_macs=desc["dense_macs"],
@@ -222,7 +305,9 @@ def _build_kernel(index: int, desc: Dict[str, object]):
     if kind == "flatten":
         return FlattenKernel(index)
     if kind == "scatter":
-        return ChannelScatterKernel(index, np.array(desc["live_index"]), desc["dense_channels"])
+        return ChannelScatterKernel(
+            index, np.asarray(desc["live_index"]), desc["dense_channels"]
+        )
     raise CompileError(f"cannot deserialize kernel type '{kind}'")
 
 
@@ -257,11 +342,14 @@ class PlanSpec:
     #: weight layouts (Winograd transform, L2 column panels) are rebuilt
     #: lazily in the worker rather than serialized.  Older specs still load:
     #: every v3 field degrades to a lazy derivation.
+    #: 4 = tensors captured through :meth:`PlanSetSpec.capture` are interned
+    #: into the set-level shared table, with ``_TensorRef`` markers standing
+    #: in here; only :meth:`PlanSetSpec.build_all` resolves them.
     version: int = 3
 
     # ----------------------------------------------------------------- capture --
     @classmethod
-    def from_plan(cls, plan: EnginePlan) -> "PlanSpec":
+    def from_plan(cls, plan: EnginePlan, intern=None) -> "PlanSpec":
         from repro.engine.specialize import SpecializedEnginePlan
 
         dynamic = None
@@ -278,7 +366,7 @@ class PlanSpec:
                 "dead_threshold": plan.dead_threshold,
                 "compact_reduction": plan.compact_reduction,
                 "live_channels": {
-                    layer: np.array(live) for layer, live in plan.live_channels.items()
+                    layer: _arr(live, intern) for layer, live in plan.live_channels.items()
                 },
                 "dense_macs_per_image": plan.dense_macs_per_image,
                 "specialized_macs_per_image": plan.specialized_macs_per_image,
@@ -286,20 +374,43 @@ class PlanSpec:
         return cls(
             dtype=np.dtype(plan.dtype).name,
             input_shape=tuple(plan.input_shape),
-            kernels=[_describe_kernel(kernel) for kernel in plan.kernels],
+            kernels=[_describe_kernel(kernel, intern) for kernel in plan.kernels],
             mask_specs=[_mask_tuple(spec) for spec in plan.mask_specs],
-            tasks={name: TaskSpec.from_task(task) for name, task in plan.tasks.items()},
+            tasks={
+                name: TaskSpec.from_task(task, intern) for name, task in plan.tasks.items()
+            },
             head_permutation=(
-                np.array(plan.head_permutation) if plan.head_permutation is not None else None
+                _arr(plan.head_permutation, intern)
+                if plan.head_permutation is not None
+                else None
             ),
             dynamic=dynamic,
             specialization=specialization,
             kernel_choices=(
                 dict(plan.kernel_choices) if getattr(plan, "kernel_choices", None) else None
             ),
+            version=4 if intern is not None else 3,
         )
 
     # ------------------------------------------------------------------- build --
+    def resolved(self, tensors: Optional[List[np.ndarray]]) -> "PlanSpec":
+        """Return a ref-free copy of this spec, arrays pulled from ``tensors``.
+
+        Identity-preserving: refs to one table slot resolve to the same array
+        object across every spec resolved against the same table, so a
+        rebuilt plan set shares its backbone arrays the way the captured one
+        did.  A no-op (returns ``self``) when there is no table.
+        """
+        if tensors is None:
+            return self
+        return replace(
+            self,
+            kernels=_resolve(self.kernels, tensors),
+            tasks=_resolve(self.tasks, tensors),
+            head_permutation=_resolve(self.head_permutation, tensors),
+            specialization=_resolve(self.specialization, tensors),
+        )
+
     def build(self) -> EnginePlan:
         """Reconstruct an executable plan: fresh kernels, empty workspaces."""
         from repro.engine.specialize import SpecializedEnginePlan
@@ -320,7 +431,9 @@ class PlanSpec:
             mask_specs=mask_specs,
             tasks=tasks,
             head_permutation=(
-                np.array(self.head_permutation) if self.head_permutation is not None else None
+                np.asarray(self.head_permutation)
+                if self.head_permutation is not None
+                else None
             ),
             dynamic=dynamic,
             # getattr: version-1 pickles predate the field entirely.
@@ -339,7 +452,7 @@ class PlanSpec:
             dead_threshold=extra["dead_threshold"],
             compact_reduction=extra["compact_reduction"],
             live_channels={
-                layer: np.array(live) for layer, live in extra["live_channels"].items()
+                layer: np.asarray(live) for layer, live in extra["live_channels"].items()
             },
             dense_macs_per_image=extra["dense_macs_per_image"],
             specialized_macs_per_image=extra["specialized_macs_per_image"],
@@ -361,19 +474,44 @@ class PlanSetSpec:
 
     plan: PlanSpec
     specialized: Dict[str, PlanSpec]
+    #: Version-4 shared tensor table.  ``capture(dedup=True)`` interns every
+    #: ndarray by *source object* identity across the dense plan and all
+    #: specialized plans, so the frozen backbone (which ``specialize_plan``
+    #: passes through to each per-task plan by identity) pickles **once**
+    #: per plan set instead of once per task — the wire-size fix for the
+    #: many-task regime.  ``None`` for pre-v4 pickles and plain captures.
+    tensors: Optional[List[np.ndarray]] = None
 
     @classmethod
-    def capture(cls, plan: EnginePlan, specialized: Dict[str, EnginePlan]) -> "PlanSetSpec":
-        return cls(
-            plan=PlanSpec.from_plan(plan),
+    def capture(
+        cls,
+        plan: EnginePlan,
+        specialized: Dict[str, EnginePlan],
+        dedup: bool = True,
+    ) -> "PlanSetSpec":
+        intern = _TensorInterner() if dedup else None
+        captured = cls(
+            plan=PlanSpec.from_plan(plan, intern),
             specialized={
-                name: PlanSpec.from_plan(spec) for name, spec in specialized.items()
+                name: PlanSpec.from_plan(spec, intern) for name, spec in specialized.items()
             },
+            tensors=intern.table if intern is not None else None,
         )
+        return captured
 
     def build_all(self) -> Tuple[EnginePlan, Dict[str, EnginePlan]]:
-        """Reconstruct (dense plan, per-task specialized plans) — fresh kernels."""
+        """Reconstruct (dense plan, per-task specialized plans) — fresh kernels.
+
+        v4 specs resolve against the shared tensor table first; refs to one
+        slot come back as the same array object, so the rebuilt plans keep
+        the backbone sharing the capture deduplicated.  ``getattr`` tolerance:
+        pre-v4 pickles have no ``tensors`` attribute at all.
+        """
+        tensors = getattr(self, "tensors", None)
         return (
-            self.plan.build(),
-            {name: spec.build() for name, spec in self.specialized.items()},
+            self.plan.resolved(tensors).build(),
+            {
+                name: spec.resolved(tensors).build()
+                for name, spec in self.specialized.items()
+            },
         )

@@ -53,16 +53,32 @@ class InferenceRequest:
 
 
 class MicroBatch:
-    """A scheduling unit: up to ``micro_batch`` same-task requests.
+    """A scheduling unit: up to ``micro_batch`` requests of one routing key.
 
-    ``seq`` is the batch's per-task sequence number (0 for the task's first
+    ``seq`` is the batch's per-key sequence number (0 for the key's first
     batch); the derived attributes summarise the member requests for the
     policies' sort keys.
+
+    Historically a batch held same-task requests only.  With cross-task
+    coalescing the batcher buckets by *coalescing group* instead, so a batch
+    may carry rows of several tasks sharing one backbone: ``group`` names
+    that bucket (``None`` for classic per-task batches), ``tasks`` records
+    each row's owning task, and ``task`` degrades to the first row's task —
+    a representative label for error paths and single-task consumers.
     """
 
-    __slots__ = ("task", "requests", "seq", "arrival_time", "deadline", "first_index")
+    __slots__ = (
+        "task", "requests", "seq", "arrival_time", "deadline", "first_index",
+        "group", "tasks", "mixed",
+    )
 
-    def __init__(self, task: str, requests: Sequence[InferenceRequest], seq: int) -> None:
+    def __init__(
+        self,
+        task: str,
+        requests: Sequence[InferenceRequest],
+        seq: int,
+        group: Optional[str] = None,
+    ) -> None:
         if not requests:
             raise ValueError("a MicroBatch needs at least one request")
         self.task = task
@@ -72,6 +88,9 @@ class MicroBatch:
         deadlines = [r.deadline for r in self.requests if r.deadline is not None]
         self.deadline = min(deadlines) if deadlines else None
         self.first_index = min(request.index for request in self.requests)
+        self.group = group
+        self.tasks: Tuple[str, ...] = tuple(r.task for r in self.requests)
+        self.mixed = any(name != task for name in self.tasks)
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -83,6 +102,16 @@ class MicroBatch:
     def urgency(self) -> float:
         """Deadline if any member has one, else +inf (sorts after deadlines)."""
         return self.deadline if self.deadline is not None else math.inf
+
+    @property
+    def routing_key(self) -> str:
+        """What schedulers/dispatchers key affinity on: group, else task.
+
+        Two batches with the same routing key share all plan state (same
+        task, or same coalescing group over one backbone), so executing them
+        back to back is *not* a task switch.
+        """
+        return self.group if self.group is not None else self.task
 
 
 def chunk_requests(
@@ -155,11 +184,14 @@ class SingularPolicy(SchedulingPolicy):
     def pick(self, ready, last_task=None):
         if not ready:
             raise ValueError("pick() needs at least one ready batch")
-        # Stick with the current task while it has ready work; otherwise
-        # move to the task that has been waiting longest.
+        # Stick with the current routing key while it has ready work;
+        # otherwise move to the key that has been waiting longest.  (For
+        # classic per-task batches the routing key IS the task.)
         return min(
             ready,
-            key=lambda b: (b.task != last_task, b.arrival_time, b.first_index, b.seq),
+            key=lambda b: (
+                b.routing_key != last_task, b.arrival_time, b.first_index, b.seq,
+            ),
         )
 
 
@@ -180,13 +212,15 @@ class PipelinedPolicy(SchedulingPolicy):
     def pick(self, ready, last_task=None):
         if not ready:
             raise ValueError("pick() needs at least one ready batch")
-        # Prefer a task other than the one just executed, longest-waiting
-        # first.  Per-task seq counters are NOT comparable across tasks
+        # Prefer a routing key other than the one just executed, longest-
+        # waiting first.  Per-key seq counters are NOT comparable across keys
         # online (a task active since boot has a far higher counter than a
-        # newcomer), so arrival time is the cross-task tiebreak.
+        # newcomer), so arrival time is the cross-key tiebreak.
         return min(
             ready,
-            key=lambda b: (b.task == last_task, b.arrival_time, b.first_index, b.seq),
+            key=lambda b: (
+                b.routing_key == last_task, b.arrival_time, b.first_index, b.seq,
+            ),
         )
 
 
@@ -288,12 +322,44 @@ class WeightedFairPolicy(SchedulingPolicy):
         return batch
 
 
+class CoalescingPolicy(SchedulingPolicy):
+    """Group-sticky, deadline-aware scheduling for coalesced batches.
+
+    Designed for the many-task regime where the batcher buckets by
+    coalescing group: among the ready batches, an urgent deadline always
+    wins; otherwise the policy sticks with the worker's current routing key
+    (consecutive same-group batches share every byte of plan state) and
+    falls back to the longest-waiting group.  With coalescing disabled the
+    routing key degenerates to the task and this behaves like ``singular``
+    with deadline awareness.
+    """
+
+    name = "coalescing"
+
+    def order(self, batches: Sequence[MicroBatch]) -> List[MicroBatch]:
+        return sorted(batches, key=lambda b: (b.urgency, b.arrival_time, b.first_index))
+
+    def pick(self, ready, last_task=None):
+        if not ready:
+            raise ValueError("pick() needs at least one ready batch")
+        return min(
+            ready,
+            key=lambda b: (
+                b.urgency,
+                b.routing_key != last_task,
+                b.arrival_time,
+                b.first_index,
+            ),
+        )
+
+
 #: Built-in policies by CLI/engine mode name.
 POLICIES: Dict[str, type] = {
     SingularPolicy.name: SingularPolicy,
     PipelinedPolicy.name: PipelinedPolicy,
     FifoDeadlinePolicy.name: FifoDeadlinePolicy,
     WeightedFairPolicy.name: WeightedFairPolicy,
+    CoalescingPolicy.name: CoalescingPolicy,
 }
 
 #: Mode names accepted wherever a policy can be named by string.

@@ -50,6 +50,7 @@ machine, caching the result on the plan.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -113,6 +114,51 @@ class SpecializedEnginePlan(EnginePlan):
             f"a specialized plan serves only task '{self.source_task}'; "
             "add tasks to the dense plan and re-specialize"
         )
+
+
+def coalescing_signature(plan) -> Optional[str]:
+    """Geometry digest deciding which specialized plans may share a batch.
+
+    Two specialized plans of the **same dense source** are interchangeable —
+    their kernels compute bit-identical backbone math, differing only in the
+    per-task thresholds/head that ride in the :class:`~repro.engine.plan.
+    TaskPlan` — exactly when this digest matches: compaction produces weights
+    as pure column slices of the shared dense arrays, so equal live sets (plus
+    equal compaction mode, kernel variants and quantization payload) imply
+    equal compacted tensors bit-for-bit.  Returns ``None`` for plans that are
+    not :class:`SpecializedEnginePlan` instances (unknown provenance — never
+    coalesce those with anything).
+    """
+    if type(plan) is not SpecializedEnginePlan:
+        return None
+    digest = hashlib.sha1()
+    digest.update(repr((plan.compact_reduction, plan.dead_threshold)).encode())
+    for layer in sorted(plan.live_channels):
+        live = np.ascontiguousarray(plan.live_channels[layer], dtype=np.bool_)
+        digest.update(layer.encode())
+        digest.update(live.tobytes())
+    for kernel in plan.kernels:
+        weight_t = getattr(kernel, "weight_t", None)
+        shape = tuple(weight_t.shape) if weight_t is not None else ()
+        digest.update(
+            repr(
+                (
+                    type(kernel).__name__,
+                    getattr(kernel, "name", ""),
+                    getattr(kernel, "variant", None),
+                    shape,
+                )
+            ).encode()
+        )
+        quant = getattr(kernel, "quant", None)
+        if quant is not None:
+            # Quantization scales are derived from calibration ranges, not
+            # just geometry — fold them in so plans calibrated differently
+            # never coalesce (their int8 outputs would differ).
+            digest.update(np.asarray(quant.w_scale).tobytes())
+            digest.update(np.asarray(quant.scale).tobytes())
+            digest.update(repr(float(quant.in_scale)).encode())
+    return digest.hexdigest()
 
 
 def _ensure_min_live(live: np.ndarray, rates: np.ndarray, min_live: int) -> np.ndarray:

@@ -68,6 +68,10 @@ def add_workload_arguments(sub: argparse.ArgumentParser, default_requests: int) 
                      help="attach calibrated int8 weights to every GEMM kernel; with "
                           "--kernels=auto int8 competes in the chooser, otherwise it "
                           "is switched on directly")
+    sub.add_argument("--coalesce", action="store_true",
+                     help="cross-task batch coalescing: tasks sharing a backbone "
+                          "batch together and execute as one shared-backbone pass "
+                          "with per-row threshold masks (the many-task fast path)")
 
 
 def add_fault_arguments(sub: argparse.ArgumentParser) -> None:
@@ -260,6 +264,8 @@ def build_runtime(args: argparse.Namespace, plan, specialized, recorder=None,
         kwargs["recorder"] = recorder
     if max_pending is not None:
         kwargs["max_pending"] = max_pending
+    if getattr(args, "coalesce", False):
+        kwargs["coalesce"] = True
     if getattr(args, "metrics_window", None) is not None:
         kwargs["window_interval"] = args.metrics_window
     if getattr(args, "max_retries", None) is not None:

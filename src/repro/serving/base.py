@@ -50,6 +50,7 @@ from repro.engine.plan import (
     WorkspacePool,
 )
 from repro.engine.scheduling import MicroBatch, SchedulingPolicy, get_policy
+from repro.engine.specialize import coalescing_signature
 from repro.engine.stats import SparsityRecorder
 from repro.hardware.scenario import ExecutionConfig
 from repro.hardware.simulator import BatchResult, SystolicArraySimulator
@@ -73,6 +74,8 @@ def run_plan_batch(
     task: str,
     recorder: SparsityRecorder,
     pool: WorkspacePool,
+    row_tasks: Optional[Sequence[str]] = None,
+    task_plans: Optional[Dict[str, TaskPlan]] = None,
 ) -> np.ndarray:
     """Execute one micro-batch over ``plan`` with full stats accounting.
 
@@ -81,10 +84,28 @@ def run_plan_batch(
     enabling the fast path after specialization still applies to specialized
     batches), runs the plan, and records the pass and its MAC counts into
     ``recorder``.
+
+    ``row_tasks`` (set for coalesced batches) names each row's owning task
+    and routes execution through :meth:`EnginePlan.run_mixed`; passes are
+    then recorded per member task with its own row count, so request
+    accounting stays exact even though layer statistics aggregate under the
+    mixed pseudo-task.  ``task_plans`` optionally overrides the per-task
+    threshold/head lookup (group-leader execution of specialized plans).
     """
     ctx = RunContext(plan.dynamic if plan.dynamic is not None else fallback_dynamic)
-    logits = plan.run(images, task, recorder=recorder, workspaces=pool, ctx=ctx)
-    recorder.record_pass(task, images.shape[0])
+    if row_tasks is not None:
+        logits = plan.run_mixed(
+            images, row_tasks, task_plans=task_plans,
+            recorder=recorder, workspaces=pool, ctx=ctx,
+        )
+        counts: Dict[str, int] = {}
+        for name in row_tasks:
+            counts[name] = counts.get(name, 0) + 1
+        for name, count in counts.items():
+            recorder.record_pass(name, count)
+    else:
+        logits = plan.run(images, task, recorder=recorder, workspaces=pool, ctx=ctx)
+        recorder.record_pass(task, images.shape[0])
     recorder.record_macs(ctx.dense_macs, ctx.effective_macs)
     return logits
 
@@ -99,7 +120,7 @@ class PlanSet:
     mutates a live one.
     """
 
-    __slots__ = ("plan", "specialized")
+    __slots__ = ("plan", "specialized", "_groups", "_leaders")
 
     def __init__(
         self, plan: EnginePlan, specialized: Optional[Dict[str, EnginePlan]] = None
@@ -109,6 +130,27 @@ class PlanSet:
         for name in self.specialized:
             if name not in plan.tasks:
                 raise KeyError(f"specialized plan for unknown task '{name}'")
+        # Coalescing groups: tasks in the same group may share one mixed
+        # micro-batch.  Dense tasks coalesce freely (same backbone, same head
+        # width); specialized plans coalesce only when their compacted
+        # geometry digest matches (see ``coalescing_signature``), and plans of
+        # unknown provenance never coalesce.  The *leader* (first-registered
+        # member) names the one plan object every batch of the group executes,
+        # which is what keeps worker workspace pools from growing per task.
+        self._groups: Dict[str, str] = {}
+        self._leaders: Dict[str, str] = {}
+        for name, task_plan in self.plan.tasks.items():
+            spec = self.specialized.get(name)
+            if spec is None:
+                key = f"dense/c{task_plan.num_classes}"
+            else:
+                signature = coalescing_signature(spec)
+                if signature is None:
+                    key = f"solo/{name}"
+                else:
+                    key = f"spec/{signature}/c{spec.tasks[name].num_classes}"
+            self._groups[name] = key
+            self._leaders.setdefault(key, name)
 
     def plan_for(self, task: str) -> EnginePlan:
         """The plan a batch of ``task`` executes (specialized when available)."""
@@ -120,10 +162,111 @@ class PlanSet:
     def __contains__(self, task: str) -> bool:
         return task in self.plan.tasks
 
-    def kernel_uids(self) -> set:
-        """Workspace-owner uids of every kernel across the whole set."""
-        plans = [self.plan, *self.specialized.values()]
-        return {kernel.uid for plan in plans for kernel in plan.kernels}
+    def coalescing_group(self, task: str) -> str:
+        """The coalescing-group key of ``task`` (the batcher's bucket key)."""
+        return self._groups[task]
+
+    def group_leader(self, group: str) -> str:
+        """The member task whose plan object executes this group's batches."""
+        return self._leaders[group]
+
+    def execution_for(self, batch: MicroBatch) -> Tuple[
+        EnginePlan, Optional[Dict[str, TaskPlan]], Optional[Tuple[str, ...]]
+    ]:
+        """Resolve one micro-batch to ``(exec_plan, task_plans, row_tasks)``.
+
+        Non-coalesced batches keep today's path exactly (``(plan_for(task),
+        None, None)``).  Coalesced batches execute on the group **leader's**
+        plan: for the dense group the member tasks all live in the dense
+        plan's own task table; for a specialized group each member contributes
+        its own compacted :class:`TaskPlan`, gathered here from the member
+        plans so the leader's kernels mask with the right thresholds.
+        """
+        if batch.group is None:
+            return self.plan_for(batch.task), None, None
+        if not batch.mixed:
+            # A coalesced batch that happens to hold one task's rows needs no
+            # per-row threshold gather: its own plan executes it exactly as a
+            # per-task singular batch would (which is the exactness
+            # reference), with broadcast thresholds.
+            return self.plan_for(batch.task), None, None
+        leader = self._leaders.get(batch.group, batch.task)
+        exec_plan = self.plan_for(leader)
+        if exec_plan is self.plan:
+            return exec_plan, None, batch.tasks
+        task_plans = {
+            name: self.plan_for(name).tasks[name] for name in set(batch.tasks)
+        }
+        return exec_plan, task_plans, batch.tasks
+
+    def kernel_uids(self, reachable_only: bool = False) -> set:
+        """Workspace-owner uids of every kernel across the whole set.
+
+        With ``reachable_only`` (a coalescing runtime pruning worker pools),
+        only plans that can actually execute contribute: the dense plan plus
+        each coalescing group's leader.  Non-leader specialized plans are
+        never run once groups form — their buffers are reclaimable.
+        """
+        if reachable_only:
+            by_id = {id(self.plan): self.plan}
+            for leader in self._leaders.values():
+                plan = self.plan_for(leader)
+                by_id.setdefault(id(plan), plan)
+            plans = list(by_id.values())
+        else:
+            plans = [self.plan, *self.specialized.values()]
+        uids = {kernel.uid for plan in plans for kernel in plan.kernels}
+        uids.update(plan._mixed_uid for plan in plans)
+        return uids
+
+    def plan_bytes(self, shared_only: bool = False) -> int:
+        """Resident bytes of the set's tensors, counting shared memory once.
+
+        Arrays that alias a common base (backbone weights shared across task
+        plans, pass-through tensors a specialized plan kept from its dense
+        source) are counted a single time — the resident-set semantics the
+        many-task memory budget is stated in.
+
+        ``shared_only`` restricts the count to the *plan* tensors (kernel
+        weights/biases/quant payloads — the backbone every task shares).
+        That is the portion deduplication keeps O(1) in the task count; the
+        remainder is the paper's irreducible per-task payload (per-neuron
+        thresholds + FC head), which necessarily scales with N.
+        """
+        seen: set = set()
+        total = 0
+
+        def visit(array) -> None:
+            nonlocal total
+            if not isinstance(array, np.ndarray):
+                return
+            base = array
+            while isinstance(base.base, np.ndarray):
+                base = base.base
+            if id(base) not in seen:
+                seen.add(id(base))
+                total += base.nbytes
+
+        by_id = {id(p): p for p in [self.plan, *self.specialized.values()]}
+        for plan in by_id.values():
+            for kernel in plan.kernels:
+                visit(getattr(kernel, "weight_t", None))
+                visit(getattr(kernel, "bias", None))
+                visit(getattr(kernel, "live_index", None))
+                quant = getattr(kernel, "quant", None)
+                if quant is not None:
+                    visit(quant.weight_q)
+                    visit(quant.w_scale)
+                    visit(quant.scale)
+                    visit(quant.weight_qi)
+            if shared_only:
+                continue
+            for task_plan in plan.tasks.values():
+                for thresholds in task_plan.thresholds:
+                    visit(thresholds)
+                visit(task_plan.head_weight_t)
+                visit(task_plan.head_bias)
+        return total
 
 
 class BaseRuntime:
@@ -146,11 +289,19 @@ class BaseRuntime:
         clock: Callable[[], float] = time.monotonic,
         max_retries: int = 2,
         window_interval: float = 1.0,
+        coalesce: bool = False,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        #: Cross-task batch coalescing (off by default): when enabled the
+        #: batcher buckets requests by coalescing group instead of task, so
+        #: one micro-batch may carry rows of several tasks over the shared
+        #: backbone.  Default-off preserves per-task batching semantics for
+        #: existing policies (weighted-fair's per-task virtual clocks, queue
+        #: depth accounting in tests).
+        self.coalesce = bool(coalesce)
         #: Per-task specialized plans (:func:`repro.engine.specialize.
         #: specialize_tasks`) ride next to the dense plan in one PlanSet.
         #: All plans are immutable, and every worker's private WorkspacePool
@@ -176,6 +327,11 @@ class BaseRuntime:
             policy=self.policy,
             max_pending=max_pending,
             clock=clock,
+            # Late-bound through self._plans so hot-swaps retarget the
+            # group map without touching the batcher.
+            coalesce=(lambda task: self._plans.coalescing_group(task))
+            if self.coalesce
+            else None,
         )
         #: Windowed snapshots + control-plane event log + Prometheus text.
         #: Windows close on the runtime clock every ``window_interval``
@@ -641,7 +797,10 @@ class BaseRuntime:
                 self._execute(batch, state, last_task)
             finally:
                 self._batcher.task_done()
-            last_task = batch.task
+            # Track the routing key, not the raw task: consecutive coalesced
+            # batches of one group share all plan state, so they are not a
+            # task switch.  For non-coalesced batches the key IS the task.
+            last_task = batch.routing_key
 
     def _complete_batch(
         self,
@@ -652,12 +811,15 @@ class BaseRuntime:
         finish: float,
         switched: bool,
         shard: Optional[int] = None,
+        per_task: Optional[Dict[str, int]] = None,
     ) -> None:
         """Resolve one executed batch's futures and record its metrics.
 
         ``shard`` is the worker index that executed the batch (thread index
         or process shard id); both backends thread it through so per-shard
-        completion counters work on either.
+        completion counters work on either.  ``per_task`` attributes a mixed
+        batch's images to each member task instead of charging them all to
+        ``task``.
         """
         latencies, queue_waits, deadline_results = [], [], []
         for request, row in zip(requests, logits):
@@ -672,6 +834,7 @@ class BaseRuntime:
             switched=switched,
             deadline_results=deadline_results,
             shard=shard,
+            per_task=per_task,
         )
 
     def _fail_batch(self, requests: Sequence[ServingRequest], error: BaseException) -> None:

@@ -41,6 +41,7 @@ class DynamicBatcher:
         policy: SchedulingPolicy,
         max_pending: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        coalesce: Optional[Callable[[str], str]] = None,
     ) -> None:
         if micro_batch <= 0:
             raise ValueError("micro_batch must be positive")
@@ -52,6 +53,12 @@ class DynamicBatcher:
         self.max_wait = max_wait
         self.policy = policy
         self.max_pending = max_pending
+        #: Optional ``task -> coalescing group`` map.  When set, open batches
+        #: bucket by group instead of task, so one micro-batch may carry
+        #: requests of several tasks sharing a backbone (cross-task
+        #: coalescing); the resulting :class:`MicroBatch` records the group
+        #: and per-row tasks.  ``None`` preserves classic per-task batching.
+        self.coalesce = coalesce
         self._clock = clock
         self._lock = Lock()
         self._can_submit = Condition(self._lock)
@@ -94,13 +101,14 @@ class DynamicBatcher:
                     self._can_submit.wait(remaining)
                 if self._closed:
                     raise RuntimeClosedError("the batcher closed while waiting for space")
-            bucket = self._open.setdefault(request.task, [])
+            key = self.coalesce(request.task) if self.coalesce is not None else request.task
+            bucket = self._open.setdefault(key, [])
             if not bucket:
-                self._close_at[request.task] = self._clock() + self.max_wait
+                self._close_at[key] = self._clock() + self.max_wait
             bucket.append(request)
             self._pending += 1
             if len(bucket) >= self.micro_batch:
-                self._close_open(request.task)
+                self._close_open(key)
             # Wake workers either way: a new ready batch, or a new max-wait
             # timer they must start watching.
             self._work.notify_all()
@@ -140,21 +148,32 @@ class DynamicBatcher:
         monitoring needs.
         """
         with self._lock:
+            # Buckets may be keyed by coalescing group, so walk the member
+            # requests — per-task depth must stay exact either way.
             depths: Dict[str, int] = {}
-            for task, bucket in self._open.items():
-                depths[task] = depths.get(task, 0) + len(bucket)
+            for bucket in self._open.values():
+                for request in bucket:
+                    depths[request.task] = depths.get(request.task, 0) + 1
             for batch in self._ready:
-                depths[batch.task] = depths.get(batch.task, 0) + len(batch)
+                for name in batch.tasks:
+                    depths[name] = depths.get(name, 0) + 1
             return depths
 
     # ---------------------------------------------------------- lock helpers --
-    def _close_open(self, task: str) -> None:
-        """Move ``task``'s open batch to the ready list.  Lock held."""
-        bucket = self._open.pop(task)
-        self._close_at.pop(task, None)
-        seq = self._seq.get(task, 0)
-        self._seq[task] = seq + 1
-        self._ready.append(MicroBatch(task, bucket, seq))
+    def _close_open(self, key: str) -> None:
+        """Move bucket ``key``'s open batch to the ready list.  Lock held.
+
+        ``key`` is the task name under classic batching, or the coalescing
+        group when :attr:`coalesce` is set — then the batch's ``task`` field
+        holds the first member's task (a representative) and ``group`` the
+        bucket key, so downstream consumers can tell the two apart.
+        """
+        bucket = self._open.pop(key)
+        self._close_at.pop(key, None)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        group = key if self.coalesce is not None else None
+        self._ready.append(MicroBatch(bucket[0].task, bucket, seq, group=group))
 
     def _close_expired(self, now: float) -> None:
         """Close every open batch whose max-wait deadline passed.  Lock held."""
@@ -180,7 +199,8 @@ class DynamicBatcher:
                     self._ready.remove(batch)
                     self._pending -= len(batch)
                     self._in_flight += 1
-                    self._served[batch.task] = self._served.get(batch.task, 0) + len(batch)
+                    for name in batch.tasks:
+                        self._served[name] = self._served.get(name, 0) + 1
                     self._can_submit.notify_all()
                     return batch
                 if self._closed and not self._open:

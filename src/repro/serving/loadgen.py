@@ -4,11 +4,13 @@ A :class:`LoadGenerator` produces a deterministic (seeded) arrival trace —
 inter-arrival gaps drawn from an exponential distribution, task picked from a
 weighted mix — and can *replay* it against a live
 :class:`~repro.serving.ServingRuntime`, sleeping until each arrival's
-timestamp before submitting.  Three canonical scenarios cover the evaluation:
+timestamp before submitting.  Four canonical scenarios cover the evaluation:
 
 * **uniform** — every task equally likely at a constant rate;
 * **skewed** — one hot task takes ``hot_fraction`` of the traffic (the
   realistic "one dominant tenant" case for weighted-fair scheduling);
+* **zipf** — task popularity follows a power law (``1/rank^alpha``), the
+  long-tail many-task mix the cross-task coalescing path is built for;
 * **bursty** — each ``burst_period`` splits into a high phase at
   ``burst_factor``× the nominal rate followed by a low phase at
   1/``burst_factor``× (each lasting ``burst_period/2`` seconds), which
@@ -117,6 +119,24 @@ class LoadGenerator:
             return cls(tasks, rate, seed=seed)
         cold = (1.0 - hot_fraction) / (len(tasks) - 1)
         return cls(tasks, rate, mix=[hot_fraction] + [cold] * (len(tasks) - 1), seed=seed)
+
+    @classmethod
+    def zipf(
+        cls, tasks: Sequence[str], rate: float, alpha: float = 1.1, seed: int = 0
+    ) -> "LoadGenerator":
+        """Long-tail many-task traffic: task *k* (by list position) weighted
+        ``1/(k+1)**alpha``.
+
+        The canonical mix for the 50–200-task coalescing regime: a few tasks
+        dominate, but the tail is wide enough that per-task batches of the
+        cold tasks close on ``max_wait`` with one or two rows — exactly the
+        fragmentation cross-task coalescing repairs.  Deterministic under a
+        fixed ``seed`` like every other scenario.
+        """
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(len(tasks))]
+        return cls(tasks, rate, mix=weights, seed=seed)
 
     @classmethod
     def bursty(

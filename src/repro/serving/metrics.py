@@ -190,7 +190,18 @@ class ServingReport:
                 f"({100.0 * self.mac_reduction():.1f}% saved)"
             )
         if self.per_task:
-            mix = ", ".join(f"{task}: {count}" for task, count in sorted(self.per_task.items()))
+            # At many-task scale (100+ tasks) a full per-task line is
+            # unreadable, so the summary shows the top tasks by volume and
+            # aggregates the long tail; ``to_dict()``/``to_json()`` always
+            # carry the complete per-task map.
+            top_k = 10
+            by_volume = sorted(self.per_task.items(), key=lambda kv: (-kv[1], kv[0]))
+            shown = sorted(by_volume[:top_k])
+            mix = ", ".join(f"{task}: {count}" for task, count in shown)
+            rest = by_volume[top_k:]
+            if rest:
+                remainder = sum(count for _, count in rest)
+                mix += f", … and {len(rest)} more tasks: {remainder} images"
             lines.append(f"  per-task images: {mix}")
         if self.per_shard:
             mix = ", ".join(
@@ -375,11 +386,23 @@ class ServingMetrics:
         switched: bool,
         deadline_results: Sequence[Optional[bool]] = (),
         shard: Optional[int] = None,
+        per_task: Optional[Dict[str, int]] = None,
     ) -> None:
+        """Record one executed batch.
+
+        ``per_task`` (set for coalesced mixed-task batches) attributes the
+        batch's images to each member task by its own row count instead of
+        charging them all to the representative ``task``; the batch still
+        counts once for batch/switch accounting.
+        """
         with self._lock:
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
-            self._per_task[task] = self._per_task.get(task, 0) + len(latencies)
+            if per_task:
+                for name, count in per_task.items():
+                    self._per_task[name] = self._per_task.get(name, 0) + count
+            else:
+                self._per_task[task] = self._per_task.get(task, 0) + len(latencies)
             if shard is not None:
                 self._per_shard[shard] = self._per_shard.get(shard, 0) + len(latencies)
             self._num_batches += 1

@@ -72,7 +72,11 @@ class ServingRuntime(BaseRuntime):
         otherwise grow every pool without bound.
         """
         self._plans = plans
-        live = plans.kernel_uids()
+        # Under coalescing only the dense plan and each group's leader can
+        # execute, so non-leader specialized plans' buffers are dead weight —
+        # pruning by reachability is what keeps worker pools from scaling
+        # with the task count in the many-task regime.
+        live = plans.kernel_uids(reachable_only=self.coalesce)
         for pool in self._pools:
             pool.retain(live)
 
@@ -94,21 +98,31 @@ class ServingRuntime(BaseRuntime):
         # One snapshot read per batch: the whole batch executes against a
         # single consistent plan set even if a swap lands mid-flight.
         plans = self.plans
-        plan = plans.plan_for(batch.task)
+        plan, task_plans, row_tasks = plans.execution_for(batch)
         try:
             logits = run_plan_batch(
-                plan, plans.plan.dynamic, images, batch.task, self.recorder, pool
+                plan, plans.plan.dynamic, images, batch.task, self.recorder, pool,
+                row_tasks=row_tasks, task_plans=task_plans,
             )
         except Exception as error:  # pragma: no cover - defensive: surface, don't die
             self._fail_batch(requests, error)
             return
         finish = self._clock()
+        per_task: Optional[dict] = None
+        if batch.mixed:
+            per_task = {}
+            for name in batch.tasks:
+                per_task[name] = per_task.get(name, 0) + 1
         self._complete_batch(
             requests,
             logits,
             batch.task,
             start,
             finish,
-            switched=last_task is not None and last_task != batch.task,
+            # ``last_task`` carries the previous batch's routing key (see
+            # BaseRuntime._worker_loop): back-to-back batches of one
+            # coalescing group are not a switch.
+            switched=last_task is not None and last_task != batch.routing_key,
             shard=index,
+            per_task=per_task,
         )

@@ -245,7 +245,11 @@ def _shard_worker_main(
                 elif kind == "swap_abort":
                     pending_swaps.pop(message[1], None)
                 continue
-            slot, task, n = message
+            # Batch descriptor: ``row_tasks`` is None for classic single-task
+            # batches and the per-row task tuple for coalesced ones;
+            # ``exec_task`` names the plan that executes (the coalescing
+            # group's leader — for non-coalesced batches it equals ``task``).
+            slot, task, n, row_tasks, exec_task = message
             images = np.ndarray(
                 (n,) + tuple(input_shape),
                 dtype=dtype,
@@ -254,8 +258,19 @@ def _shard_worker_main(
             )
             started = time.perf_counter()
             try:
-                exec_plan = specialized.get(task, plan)
-                logits = run_plan_batch(exec_plan, plan.dynamic, images, task, recorder, pool)
+                exec_plan = specialized.get(exec_task, plan)
+                task_plans = None
+                if row_tasks is not None and exec_plan is not plan:
+                    # Specialized-group batch: the leader's kernels mask with
+                    # each member's own compacted thresholds/head.
+                    task_plans = {
+                        name: specialized.get(name, plan).tasks[name]
+                        for name in set(row_tasks)
+                    }
+                logits = run_plan_batch(
+                    exec_plan, plan.dynamic, images, task, recorder, pool,
+                    row_tasks=row_tasks, task_plans=task_plans,
+                )
             except Exception as error:
                 result_conn.send(("error", worker_id, slot, repr(error)))
                 continue
@@ -627,14 +642,27 @@ class ShardedRuntime(BaseRuntime):
                 self._execute(batch, state, last_task)
             finally:
                 self._batcher.task_done()
-            last_task = batch.task
+            # Routing key, not raw task: consecutive batches of one
+            # coalescing group share plan state and are not a switch.
+            last_task = batch.routing_key
 
     def _execute(self, batch: MicroBatch, state, last_task: Optional[str]) -> None:
         """Route one closed micro-batch to a shard (dispatcher thread)."""
         requests: List[ServingRequest] = batch.requests  # type: ignore[assignment]
+        plans = self.plans
+        if batch.group is not None:
+            row_tasks: Optional[tuple] = batch.tasks
+            try:
+                exec_task = plans.group_leader(batch.group)
+            except KeyError:  # group map changed under us (swap drains first,
+                exec_task = batch.task  # but stay safe): fall back per-task
+                row_tasks = None
+        else:
+            row_tasks = None
+            exec_task = batch.task
         with self._route_lock:
             while True:
-                shard = self._pick_shard(batch.task)
+                shard = self._pick_shard(batch.routing_key)
                 if shard is None:
                     break
                 if shard.free_slots:
@@ -644,8 +672,10 @@ class ShardedRuntime(BaseRuntime):
                 # a slot (or mark a shard dead), then re-route.
                 self._slot_freed.wait(0.25)
             if shard is not None and shard.in_shm is not None:
-                switched = shard.last_task is not None and shard.last_task != batch.task
-                shard.last_task = batch.task
+                switched = (
+                    shard.last_task is not None and shard.last_task != batch.routing_key
+                )
+                shard.last_task = batch.routing_key
                 shard.inflight += 1
                 dispatch_time = self._clock()
                 self._inflight[(shard.index, slot)] = (batch, dispatch_time, switched)
@@ -661,7 +691,9 @@ class ShardedRuntime(BaseRuntime):
                 for row, request in enumerate(requests):
                     view[row] = request.image  # cast to the plan dtype lands in the ring
                 del view
-                shard.task_queue.put((slot, batch.task, len(requests)))
+                shard.task_queue.put(
+                    (slot, batch.task, len(requests), row_tasks, exec_task)
+                )
                 return
             restartable = self._restart_capacity_locked()
         if restartable:
@@ -1071,6 +1103,11 @@ class ShardedRuntime(BaseRuntime):
             shard.inflight -= 1
             self._slot_freed.notify_all()
         start = max(dispatch_time, finish - service)
+        per_task: Optional[Dict[str, int]] = None
+        if batch.mixed:
+            per_task = {}
+            for name in batch.tasks:
+                per_task[name] = per_task.get(name, 0) + 1
         self._complete_batch(
             batch.requests,
             logits,
@@ -1079,6 +1116,7 @@ class ShardedRuntime(BaseRuntime):
             finish,
             switched=switched,
             shard=worker_id,
+            per_task=per_task,
         )
 
     def _abort_batch(self, worker_id: int, slot: int, error: BaseException) -> None:
